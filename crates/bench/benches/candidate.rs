@@ -1,0 +1,33 @@
+//! Criterion: candidate-graph construction across filter configurations
+//! and query sizes (the Table 3 cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsword_core::prelude::*;
+
+fn bench_candidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_build");
+    group.sample_size(20);
+    for name in ["yeast", "eu2005"] {
+        let data = gsword_core::datasets::dataset(name);
+        for k in [4usize, 8, 16] {
+            let Some(query) = QueryGraph::extract(&data, k, 0xCA) else {
+                continue;
+            };
+            for (cfg_name, cfg) in [
+                ("default", BuildConfig::default()),
+                ("unfiltered", BuildConfig::unfiltered()),
+                ("strong", BuildConfig::strong()),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}-k{k}"), cfg_name),
+                    &cfg,
+                    |b, cfg| b.iter(|| build_candidate_graph(&data, &query, cfg).0.byte_size()),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: functional simulation throughput of the device kernel
+//! variants (baseline, O0/O1/O2, iteration sync).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsword_core::prelude::*;
+
+fn bench_device(c: &mut Criterion) {
+    let data = gsword_core::datasets::dataset("dblp");
+    let query = QueryGraph::extract(&data, 8, 0xD1).expect("query");
+    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+    let order = quicksi_order(&query, &data);
+    let ctx = QueryCtx::new(&cg, &order);
+
+    const N: u64 = 2_000;
+    let dev = DeviceConfig {
+        num_blocks: 2,
+        threads_per_block: 64,
+        host_threads: 2,
+    };
+    let mut group = c.benchmark_group("device_kernels");
+    group.throughput(Throughput::Elements(N));
+    let configs = [
+        ("baseline", EngineConfig::gpu_baseline(N)),
+        ("o0", EngineConfig::o0(N)),
+        ("o1", EngineConfig::o1(N)),
+        ("o2", EngineConfig::o2(N)),
+        ("itersync", EngineConfig::iteration_sync(N)),
+    ];
+    for (name, cfg) in configs {
+        let cfg = EngineConfig { device: dev, ..cfg };
+        group.bench_with_input(BenchmarkId::new("alley", name), &cfg, |b, cfg| {
+            b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: exact enumeration throughput — sequential vs parallel, and
+//! the trawling extension-count path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsword_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let data = gsword_core::datasets::dataset("yeast");
+    let query = QueryGraph::extract(&data, 6, 0xE0).expect("query");
+    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+    let order = quicksi_order(&query, &data);
+    let ctx = QueryCtx::new(&cg, &order);
+
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("count_instances", threads), &threads, |b, &t| {
+            b.iter(|| count_instances_parallel(&ctx, EnumLimits::unlimited(), t).count)
+        });
+    }
+    group.bench_function("trawl_once", |b| {
+        let dist = DepthDist::new(3, ctx.len());
+        let mut rng = SmallRng::seed_from_u64(9);
+        b.iter(|| gsword_core::pipeline::trawl_once(&ctx, &Alley, &dist, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

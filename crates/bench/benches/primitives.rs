@@ -1,0 +1,52 @@
+//! Criterion: overhead of the SIMT warp primitives and the coalescing
+//! memory model — the per-instruction cost floor of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsword_core::simt::memory::{warp_load, LaneAddr};
+use gsword_core::simt::warp;
+use gsword_core::simt::{KernelCounters, Region, WARP_SIZE};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_primitives");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("ballot", |b| {
+        let mut ctr = KernelCounters::default();
+        let mut pred = [false; WARP_SIZE];
+        pred[7] = true;
+        pred[21] = true;
+        b.iter(|| warp::ballot(&mut ctr, u32::MAX, &pred))
+    });
+
+    group.bench_function("reduce_max_by_key", |b| {
+        let mut ctr = KernelCounters::default();
+        let mut keys = [0.0f64; WARP_SIZE];
+        for (i, k) in keys.iter_mut().enumerate() {
+            *k = (i as f64 * 0.37) % 1.0;
+        }
+        b.iter(|| warp::reduce_max_by_key(&mut ctr, u32::MAX, &keys))
+    });
+
+    group.bench_function("warp_load_coalesced", |b| {
+        let mut ctr = KernelCounters::default();
+        let mut addrs: [LaneAddr; WARP_SIZE] = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::LOCAL, 4096 + i));
+        }
+        b.iter(|| warp_load(&mut ctr, &addrs))
+    });
+
+    group.bench_function("warp_load_scattered", |b| {
+        let mut ctr = KernelCounters::default();
+        let mut addrs: [LaneAddr; WARP_SIZE] = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::LOCAL, i * 131_072));
+        }
+        b.iter(|| warp_load(&mut ctr, &addrs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

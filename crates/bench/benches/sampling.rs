@@ -1,0 +1,37 @@
+//! Criterion: CPU sampling throughput of the two RW estimators across
+//! three representative datasets (uniform, lexical, power-law).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsword_core::prelude::*;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_sampling");
+    const N: u64 = 2_000;
+    group.throughput(Throughput::Elements(N));
+    for name in ["yeast", "wordnet", "eu2005"] {
+        let data = gsword_core::datasets::dataset(name);
+        let Some(query) = QueryGraph::extract(&data, 8, 0xBE) else {
+            continue;
+        };
+        let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+        let order = quicksi_order(&query, &data);
+        let ctx = QueryCtx::new(&cg, &order);
+        for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.short(), name),
+                &ctx,
+                |b, ctx| {
+                    b.iter(|| {
+                        gsword_core::estimators::with_estimator(kind, |est| {
+                            gsword_core::estimators::run_sequential(ctx, est, N, 7).estimate.value()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Extension ablation: Alley's branching optimization (CPU) vs the flat
+//! sampler — the trade-off the paper cites when excluding branching from
+//! the GPU kernels (Section 2.2's remark).
+//!
+//! Expected shape: branching shares refine computations across sibling
+//! paths (fewer refines per path) and reduces variance per unit work on
+//! refine-heavy graphs, at the cost of irregular tree control flow — fine
+//! on a CPU, hostile to SIMT.
+
+use std::time::Instant;
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::estimators::{run_branching, run_sequential, BranchingConfig};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("ext_branching", "Alley branching (CPU) vs flat sampling — extension beyond the paper");
+    let mut t = Table::new(&[
+        "dataset", "mode", "paths", "refines/path", "wall ms", "q-error",
+    ]);
+    for name in ["yeast", "dblp", "eu2005"] {
+        let w = Workload::load(name);
+        let Some(query) = w
+            .queries(8)
+            .into_iter()
+            .find(|q| q.class() == QueryClass::Dense)
+        else {
+            continue;
+        };
+        let truth = w.truth(&query, "k8");
+        let (cg, _) = build_candidate_graph(&w.data, &query, &BuildConfig::default());
+        let order = quicksi_order(&query, &w.data);
+        let ctx = QueryCtx::new(&cg, &order);
+
+        let n = samples();
+        let t0 = Instant::now();
+        let flat = run_sequential(&ctx, &Alley, n, 0xB0);
+        let flat_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Match total path budget: each tree explores several paths.
+        let cfg = BranchingConfig::default();
+        let t0 = Instant::now();
+        let (branched, stats) = run_branching(&ctx, &Alley, &cfg, n / 4, 0xB0);
+        let branch_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let q = |v: f64| truth.map_or("-".to_string(), |tr| format!("{:.2}", q_error(v, tr)));
+        t.row(vec![
+            name.to_string(),
+            "flat".to_string(),
+            n.to_string(),
+            format!("{:.1}", (ctx.len() - 1) as f64),
+            format!("{flat_ms:.0}"),
+            q(flat.estimate.value()),
+        ]);
+        t.row(vec![
+            name.to_string(),
+            format!("branch b={}", cfg.factor),
+            stats.paths.to_string(),
+            format!("{:.1}", stats.refines as f64 / stats.paths.max(1) as f64),
+            format!("{branch_ms:.0}"),
+            q(branched.value()),
+        ]);
+    }
+    t.print();
+}

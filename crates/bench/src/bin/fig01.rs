@@ -1,0 +1,71 @@
+//! Figure 1: the motivating experiment — q-error and CPU runtime of
+//! WanderJoin and Alley as the sample count grows, for an 8-vertex query
+//! on eu2005 and WordNet.
+//!
+//! Expected shape: on eu2005 both estimators converge (Alley in fewer
+//! samples, at more time per sample); on WordNet both collapse to empty
+//! estimates regardless of sample count.
+
+use gsword_bench::{banner, cpu_threads, opt_cell, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig01", "q-error & CPU runtime vs #samples (8-vertex query)");
+    let sweep: Vec<u64> = {
+        let top = samples() * 10;
+        let mut s = vec![top / 1000, top / 100, top / 10, top];
+        s.retain(|&x| x > 0);
+        s
+    };
+    let threads = cpu_threads();
+
+    for name in ["eu2005", "wordnet"] {
+        let w = Workload::load(name);
+        // One fixed 8-vertex query, like the paper's preliminary study.
+        // Prefer a query whose ground truth is known and positive.
+        let queries = w.queries(8);
+        // Mirror the paper's query choice: eu2005's query converges, the
+        // WordNet one exposes underestimation — probe each candidate with a
+        // quick baseline run and keep the hardest.
+        let Some((query, truth)) = queries
+            .iter()
+            .filter_map(|q| {
+                let t = w.truth(q, "k8")?;
+                (t > 0.0).then_some((q.clone(), t))
+            })
+            .map(|(q, t)| {
+                let probe = Gsword::builder(&w.data, &q)
+                    .samples(5_000)
+                    .backend(Backend::GpuBaseline)
+                    .seed(1)
+                    .run()
+                    .expect("probe");
+                (probe.q_error(t), q, t)
+            })
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .map(|(_, q, t)| (q, t))
+        else {
+            println!("[{name}] no 8-vertex query with computable ground truth; skipping");
+            continue;
+        };
+        println!("[{name}] query: {} vertices / {} edges, exact = {truth}", query.num_vertices(), query.num_edges());
+        let mut t = Table::new(&["samples", "WJ q-error", "WJ ms", "AL q-error", "AL ms"]);
+        for &n in &sweep {
+            let mut cells = vec![n.to_string()];
+            for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
+                let r = Gsword::builder(&w.data, &query)
+                    .samples(n)
+                    .estimator(kind)
+                    .backend(Backend::Cpu { threads })
+                    .seed(0xF16)
+                    .run()
+                    .expect("cpu run");
+                cells.push(format!("{:.2}", r.q_error(truth)));
+                cells.push(opt_cell(Some(r.wall_ms), 1));
+            }
+            t.row(cells);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 5: the synchronization micro-benchmark — warp stall factors
+//! (StallLong / StallWait proxies) for sample vs iteration
+//! synchronization, with Alley as the sampling method.
+//!
+//! Expected shape: iteration synchronization wastes fewer issue slots
+//! (StallWait) in the validate-bound regime but pays far more memory
+//! stalls (StallLong) from scattered candidate accesses, and loses end to
+//! end (the paper reports an average 1.3× slowdown).
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig05", "sample vs iteration synchronization stall factors (Alley)");
+    let mut t = Table::new(&[
+        "dataset",
+        "sync",
+        "StallLong/sample",
+        "StallWait/sample",
+        "warp eff",
+        "modeled ms/1e6",
+        "slowdown",
+    ]);
+    let mut slowdowns = Vec::new();
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let Some(query) = w.queries(8).into_iter().next() else {
+            continue;
+        };
+        let run = |cfg: EngineConfig| {
+            Gsword::builder(&w.data, &query)
+                .samples(samples())
+                .estimator(EstimatorKind::Alley)
+                .backend(Backend::Device(cfg))
+                .seed(0xF05)
+                .run()
+                .expect("device run")
+        };
+        let ss = run(EngineConfig::o0(0));
+        let is = run(EngineConfig::iteration_sync(0));
+        let per = |r: &Report, f: &dyn Fn(&KernelCounters) -> u64| {
+            f(&r.counters.unwrap()) as f64 / r.sampler.samples as f64
+        };
+        let ms = |r: &Report| r.modeled_ms.unwrap() * gsword_bench::PAPER_SAMPLES as f64 / r.sampler.samples as f64;
+        let slowdown = ms(&is) / ms(&ss);
+        slowdowns.push(slowdown);
+        for (label, r, slow) in [("sample", &ss, 1.0), ("iteration", &is, slowdown)] {
+            t.row(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{:.0}", per(r, &|c| c.stall_long())),
+                format!("{:.0}", per(r, &|c| c.stall_wait())),
+                format!("{:.3}", r.counters.unwrap().warp_efficiency()),
+                format!("{:.1}", ms(r)),
+                format!("{slow:.2}x"),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\naverage iteration-sync slowdown: {:.2}x (paper: 1.3x)",
+        gsword_bench::geomean(&slowdowns)
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 10: gSWORD's speedup over the GPU baselines as the query size
+//! grows (4 → 8 → 16), for WanderJoin and Alley.
+//!
+//! Expected shape: speedups grow with query size (more iterations ⇒ more
+//! validate/refine imbalance for the baseline to lose on), and Alley's
+//! speedup exceeds WanderJoin's (it also benefits from warp streaming).
+
+use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
+use gsword_core::prelude::*;
+
+fn speedup(w: &Workload, query: &QueryGraph, kind: EstimatorKind, seed: u64) -> f64 {
+    let per_sample_ms = |backend| {
+        let r = Gsword::builder(&w.data, query)
+            .samples(samples())
+            .estimator(kind)
+            .backend(backend)
+            .seed(seed)
+            .run()
+            .expect("device run");
+        r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64
+    };
+    per_sample_ms(Backend::GpuBaseline) / per_sample_ms(Backend::Gsword)
+}
+
+fn main() {
+    banner("fig10", "gSWORD speedup over GPU baseline vs query size");
+    let mut t = Table::new(&["dataset", "WJ k=4", "WJ k=8", "WJ k=16", "AL k=4", "AL k=8", "AL k=16"]);
+    let mut by_size: [Vec<f64>; 6] = Default::default();
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let mut cells = vec![name.to_string()];
+        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+            for (j, k) in [4usize, 8, 16].into_iter().enumerate() {
+                let queries = w.queries(k);
+                let sp: Vec<f64> = queries
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, q)| speedup(&w, q, kind, 0xF10 + qi as u64))
+                    .collect();
+                let g = geomean(&sp);
+                by_size[i * 3 + j].push(g);
+                cells.push(if g.is_nan() { "-".into() } else { format!("{g:.1}x") });
+            }
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["geomean".to_string()];
+    for col in &by_size {
+        cells.push(format!("{:.1}x", geomean(col)));
+    }
+    t.row(cells);
+    t.print();
+    println!("\nexpected: speedup grows with k; Alley > WanderJoin (paper Figure 10)");
+}

@@ -1,0 +1,51 @@
+//! Figure 11: gSWORD's speedup over the GPU baselines for dense vs sparse
+//! 16-vertex queries.
+//!
+//! Expected shape: healthy speedups for both classes (robustness to query
+//! structure).
+
+use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig11", "speedup over GPU baseline: dense vs sparse 16-vertex queries");
+    let mut t = Table::new(&["dataset", "WJ sparse", "WJ dense", "AL sparse", "AL dense"]);
+    let mut totals: [Vec<f64>; 4] = Default::default();
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let queries = w.queries(16);
+        let mut cells = vec![name.to_string()];
+        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+            for (j, class) in [QueryClass::Sparse, QueryClass::Dense].into_iter().enumerate() {
+                let sp: Vec<f64> = queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.class() == class)
+                    .map(|(qi, query)| {
+                        let per = |backend| {
+                            let r = Gsword::builder(&w.data, query)
+                                .samples(samples())
+                                .estimator(kind)
+                                .backend(backend)
+                                .seed(0xF11 + qi as u64)
+                                .run()
+                                .expect("run");
+                            r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64
+                        };
+                        per(Backend::GpuBaseline) / per(Backend::Gsword)
+                    })
+                    .collect();
+                let g = geomean(&sp);
+                totals[i * 2 + j].push(g);
+                cells.push(if g.is_nan() { "-".into() } else { format!("{g:.1}x") });
+            }
+        }
+        t.row(cells);
+    }
+    let mut cells = vec!["geomean".to_string()];
+    for col in &totals {
+        cells.push(format!("{:.1}x", geomean(col)));
+    }
+    t.row(cells);
+    t.print();
+}

@@ -1,0 +1,62 @@
+//! Figure 12: the ablation — runtime with no optimization (O0), sample
+//! inheritance only (O1), and inheritance + warp streaming (O2), for
+//! WanderJoin and Alley.
+//!
+//! Expected shape: O1 cuts runtime for both estimators (3.9× WJ / 2.5× AL
+//! in the paper — WanderJoin has heavier validate imbalance); O2 cuts
+//! Alley further (5.3× in the paper) but leaves WanderJoin unchanged (no
+//! refine stage to stream).
+
+use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig12", "ablation: O0 / O1 (inheritance) / O2 (+streaming), ms @ 1e6 samples");
+    let mut t = Table::new(&[
+        "dataset", "WJ O0", "WJ O1", "WJ O2", "AL O0", "AL O1", "AL O2",
+    ]);
+    let mut o1_speedup = [Vec::new(), Vec::new()]; // per estimator
+    let mut o2_speedup_al = Vec::new();
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let queries = w.queries(16);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+            let run = |cfg: EngineConfig, seed: u64| {
+                let r = Gsword::builder(&w.data, &queries[seed as usize % queries.len()])
+                    .samples(samples())
+                    .estimator(kind)
+                    .backend(Backend::Device(cfg))
+                    .seed(0xF12 + seed)
+                    .run()
+                    .expect("run");
+                r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64
+            };
+            let avg = |cfg: fn(u64) -> EngineConfig| {
+                let xs: Vec<f64> = (0..queries.len() as u64).map(|s| run(cfg(0), s)).collect();
+                geomean(&xs)
+            };
+            let o0 = avg(EngineConfig::o0);
+            let o1 = avg(EngineConfig::o1);
+            let o2 = avg(EngineConfig::o2);
+            o1_speedup[ei].push(o0 / o1);
+            if ei == 1 {
+                o2_speedup_al.push(o1 / o2);
+            }
+            for v in [o0, o1, o2] {
+                cells.push(format!("{v:.1}"));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "\nO1 speedup: WJ {:.1}x (paper 3.9x), AL {:.1}x (paper 2.5x); O2 extra speedup on AL: {:.1}x (paper 5.3x)",
+        geomean(&o1_speedup[0]),
+        geomean(&o1_speedup[1]),
+        geomean(&o2_speedup_al)
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 13: q-error of the two RW estimators across datasets and query
+//! sizes (signed: negative = underestimation).
+//!
+//! Expected shape: both accurate at k=4; WanderJoin degrades at k=8 and
+//! collapses at k=16 while Alley stays stable — except on WordNet, where
+//! both estimators underestimate catastrophically at k=16.
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig13", "signed q-error of WJ and Alley vs query size (median [max] over queries)");
+    let mut t = Table::new(&[
+        "dataset", "k", "WJ median", "WJ max", "AL median", "AL max", "truth known",
+    ]);
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        for k in [4usize, 8, 16] {
+            let queries = w.queries(k);
+            let mut known = 0usize;
+            let mut errs: [Vec<f64>; 2] = Default::default();
+            for (qi, query) in queries.iter().enumerate() {
+                let Some(truth) = w.truth(query, &format!("k{k}")) else {
+                    continue;
+                };
+                known += 1;
+                for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+                    let r = Gsword::builder(&w.data, query)
+                        .samples(samples())
+                        .estimator(kind)
+                        .backend(Backend::GpuBaseline) // plain estimator accuracy
+                        .seed(0xF13 + qi as u64)
+                        .run()
+                        .expect("run");
+                    errs[ei].push(signed_q_error(r.estimate, truth));
+                }
+            }
+            let fmt = |xs: &mut Vec<f64>| -> (String, String) {
+                if xs.is_empty() {
+                    return ("-".into(), "-".into());
+                }
+                xs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+                let med = xs[xs.len() / 2];
+                let max = *xs.last().unwrap();
+                (format!("{med:+.1}"), format!("{max:+.1}"))
+            };
+            let (wm, wx) = fmt(&mut errs[0]);
+            let (am, ax) = fmt(&mut errs[1]);
+            t.row(vec![
+                name.to_string(),
+                k.to_string(),
+                wm,
+                wx,
+                am,
+                ax,
+                format!("{known}/{}", queries.len()),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nsign convention: + overestimate, - underestimate (paper plots these up/down)");
+}

@@ -1,0 +1,47 @@
+//! Figure 14: Alley's sample success ratio (valid samples / total) per
+//! dataset and query size, on the plain GPU baseline (no inheritance —
+//! inheritance recycles dead lanes and would mask the ratio).
+//!
+//! Expected shape: ratios fall with query size; WordNet's 16-vertex ratio
+//! collapses to ~0 (the paper reports < 1e-7), explaining Figure 13's
+//! underestimation.
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig14", "Alley sample success ratio (GPU baseline)");
+    let mut t = Table::new(&["dataset", "k=4", "k=8", "k=16"]);
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let mut cells = vec![name.to_string()];
+        for k in [4usize, 8, 16] {
+            let queries = w.queries(k);
+            if queries.is_empty() {
+                cells.push("-".into());
+                continue;
+            }
+            let mut valid = 0u64;
+            let mut total = 0u64;
+            for (qi, query) in queries.iter().enumerate() {
+                let r = Gsword::builder(&w.data, query)
+                    .samples(samples())
+                    .estimator(EstimatorKind::Alley)
+                    .backend(Backend::GpuBaseline)
+                    .seed(0xF14 + qi as u64)
+                    .run()
+                    .expect("run");
+                valid += r.sampler.valid;
+                total += r.sampler.samples;
+            }
+            let ratio = valid as f64 / total as f64;
+            cells.push(if ratio == 0.0 {
+                format!("0 (<{:.0e})", 1.0 / total as f64)
+            } else {
+                format!("{ratio:.2e}")
+            });
+        }
+        t.row(cells);
+    }
+    t.print();
+}

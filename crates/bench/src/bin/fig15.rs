@@ -1,0 +1,68 @@
+//! Figure 15: q-error of the plain RW estimators vs trawling on WordNet's
+//! 16-vertex queries — the underestimation rescue.
+//!
+//! Expected shape: plain estimators underestimate by orders of magnitude
+//! (often returning 0); trawling collapses the q-error (the paper reports
+//! reduction factors of ~1e5 and maximum q-error dropping from 1e9/2e6 to
+//! 1.2e4).
+
+use gsword_bench::{banner, geomean, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig15", "q-error: plain RW vs trawling (WordNet, 16-vertex queries)");
+    let w = Workload::load("wordnet");
+    let queries = w.queries(16);
+    let trawl_cfg = TrawlConfig {
+        batches: 6,
+        per_batch: 128,
+        cpu_threads: gsword_bench::cpu_threads(),
+        ..TrawlConfig::default()
+    };
+    let mut t = Table::new(&["query", "truth", "WJ q", "WJ+trawl q", "AL q", "AL+trawl q"]);
+    let mut reduction: [Vec<f64>; 2] = Default::default();
+    let mut max_plain: [f64; 2] = [1.0, 1.0];
+    let mut max_trawl: [f64; 2] = [1.0, 1.0];
+    for (qi, query) in queries.iter().enumerate() {
+        let Some(truth) = w.truth(query, "k16") else {
+            continue;
+        };
+        let mut cells = vec![format!("q{qi}"), format!("{truth:.0}")];
+        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+            // "Existing RW estimators": the plain GPU baseline, without
+            // gSWORD's inheritance (which already mitigates mild cases).
+            let plain = Gsword::builder(&w.data, query)
+                .samples(samples())
+                .estimator(kind)
+                .backend(Backend::GpuBaseline)
+                .seed(0xF15 + qi as u64)
+                .run()
+                .expect("plain");
+            let trawled = Gsword::builder(&w.data, query)
+                .samples(samples())
+                .estimator(kind)
+                .trawling(trawl_cfg)
+                .seed(0xF15 + qi as u64)
+                .run()
+                .expect("trawled");
+            let qp = plain.q_error(truth);
+            let qt = trawled.q_error(truth);
+            reduction[ei].push(qp / qt);
+            max_plain[ei] = max_plain[ei].max(qp);
+            max_trawl[ei] = max_trawl[ei].max(qt);
+            cells.push(format!("{qp:.1}"));
+            cells.push(format!("{qt:.1}"));
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "\nq-error reduction (geomean): WJ {:.1}x, AL {:.1}x; max q-error WJ {:.0} → {:.0}, AL {:.0} → {:.0}",
+        geomean(&reduction[0]),
+        geomean(&reduction[1]),
+        max_plain[0],
+        max_trawl[0],
+        max_plain[1],
+        max_trawl[1],
+    );
+}

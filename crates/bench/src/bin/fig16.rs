@@ -1,0 +1,58 @@
+//! Figure 16: component times of CPU–GPU co-processing — GPU sampling
+//! alone, CPU enumeration alone, and the overlapped pipeline total.
+//!
+//! Expected shape: the pipeline total tracks the GPU sampling component;
+//! the CPU enumeration cost is hidden by the overlap (and capped by the
+//! batch timeout).
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    banner("fig16", "co-processing component times (WordNet, 16-vertex queries)");
+    let w = Workload::load("wordnet");
+    let queries = w.queries(16);
+    let trawl_cfg = TrawlConfig {
+        batches: 6,
+        per_batch: 64,
+        cpu_threads: gsword_bench::cpu_threads(),
+        ..TrawlConfig::default()
+    };
+    let mut t = Table::new(&[
+        "query", "GPU sampling (wall ms)", "CPU enum alone (wall ms)", "co-processing total (wall ms)",
+    ]);
+    for (qi, query) in queries.iter().enumerate() {
+        let (cg, _) = build_candidate_graph(&w.data, query, &BuildConfig::default());
+        let order = quicksi_order(query, &w.data);
+        let ctx = QueryCtx::new(&cg, &order);
+
+        // (a) GPU sampling alone.
+        let engine = EngineConfig::gsword(samples()).with_seed(0xF16 + qi as u64);
+        let gpu_only = run_engine(&ctx, &Alley, &engine);
+
+        // (b) CPU enumeration alone: the same trawl workload, unpreempted.
+        let dist = DepthDist::new(trawl_cfg.min_depth, ctx.len());
+        let mut rng = SmallRng::seed_from_u64(trawl_cfg.seed);
+        let t0 = Instant::now();
+        let n_tasks = trawl_cfg.batches * trawl_cfg.per_batch;
+        for _ in 0..n_tasks {
+            gsword_core::pipeline::trawl_once(&ctx, &Alley, &dist, &mut rng);
+        }
+        let cpu_alone_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // (c) The overlapped pipeline.
+        let pipe = run_coprocessing(&ctx, &Alley, &engine, &trawl_cfg);
+
+        t.row(vec![
+            format!("q{qi}"),
+            format!("{:.0}", gpu_only.wall_ms),
+            format!("{cpu_alone_ms:.0}"),
+            format!("{:.0}", pipe.total_wall_ms),
+        ]);
+    }
+    t.print();
+    println!("\nexpected: total ≈ GPU sampling component (enumeration hidden by overlap + timeout)");
+}

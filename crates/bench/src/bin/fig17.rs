@@ -1,0 +1,50 @@
+//! Figure 17: q-error and runtime of co-processing as the number of
+//! batches varies, on five representative WordNet 16-vertex queries.
+//!
+//! Expected shape: more batches → more overlap and more enumerated
+//! samples → lower q-error, until per-batch time gets too short for the
+//! enumerations to finish and q-error rises again; total runtime stays
+//! roughly flat. The paper picks 6 batches as the default.
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig17", "q-error & runtime vs number of batches (WordNet, 16-vertex)");
+    let w = Workload::load("wordnet");
+    let queries: Vec<_> = w
+        .queries(16)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(qi, q)| w.truth(&q, "k16").map(|t| (qi, q, t)))
+        .take(5)
+        .collect();
+    let batch_sweep = [1usize, 2, 4, 6, 8, 12];
+    let mut t = Table::new(&[
+        "query", "batches", "q-error", "trawl done", "total wall ms",
+    ]);
+    for &(qi, ref query, truth) in &queries {
+        for &batches in &batch_sweep {
+            let r = Gsword::builder(&w.data, query)
+                .samples(samples())
+                .estimator(EstimatorKind::Alley)
+                .trawling(TrawlConfig {
+                    batches,
+                    per_batch: 64,
+                    cpu_threads: gsword_bench::cpu_threads(),
+                    ..TrawlConfig::default()
+                })
+                .seed(0xF17 + qi as u64)
+                .run()
+                .expect("pipeline");
+            t.row(vec![
+                format!("q{qi}"),
+                batches.to_string(),
+                format!("{:.1}", r.q_error(truth)),
+                format!("{}/{}", r.trawl_completed, batches * 64),
+                format!("{:.0}", r.wall_ms),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,49 @@
+//! Figure 18: q-error and runtime of co-processing as the number of CPU
+//! enumeration threads varies, on five representative WordNet 16-vertex
+//! queries.
+//!
+//! Expected shape: more threads complete more enumerations inside each
+//! batch window → q-error falls; total runtime stays flat (the GPU side
+//! sets the pace). The paper's q3 improves from q-error 300 → 64 going
+//! from 1 to 12 threads.
+
+use gsword_bench::{banner, samples, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig18", "q-error & runtime vs CPU threads (WordNet, 16-vertex)");
+    let w = Workload::load("wordnet");
+    let queries: Vec<_> = w
+        .queries(16)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(qi, q)| w.truth(&q, "k16").map(|t| (qi, q, t)))
+        .take(5)
+        .collect();
+    let thread_sweep = [1usize, 2, 4, 8, 12];
+    let mut t = Table::new(&["query", "threads", "q-error", "trawl done", "total wall ms"]);
+    for &(qi, ref query, truth) in &queries {
+        for &threads in &thread_sweep {
+            let r = Gsword::builder(&w.data, query)
+                .samples(samples())
+                .estimator(EstimatorKind::Alley)
+                .trawling(TrawlConfig {
+                    batches: 6,
+                    per_batch: 512, // saturate the CPU side so threads matter
+                    cpu_threads: threads,
+                    ..TrawlConfig::default()
+                })
+                .seed(0xF18 + qi as u64)
+                .run()
+                .expect("pipeline");
+            t.row(vec![
+                format!("q{qi}"),
+                threads.to_string(),
+                format!("{:.1}", r.q_error(truth)),
+                format!("{}/3072", r.trawl_completed),
+                format!("{:.0}", r.wall_ms),
+            ]);
+        }
+    }
+    t.print();
+}

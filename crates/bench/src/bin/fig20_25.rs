@@ -1,0 +1,59 @@
+//! Appendix Figures 20–25: matching-order comparison — gSWORD runtime and
+//! q-error under the QuickSI order vs the G-CARE order, for query sizes
+//! 4, 8, and 16.
+//!
+//! Expected shape: the two orders are comparable in both runtime and
+//! accuracy; QuickSI is slightly faster on large queries, G-CARE slightly
+//! more accurate on small ones.
+
+use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("fig20_25", "QuickSI vs G-CARE matching orders (gSWORD-AL)");
+    let mut t = Table::new(&[
+        "dataset", "k", "QSI ms", "GC ms", "QSI q-err", "GC q-err",
+    ]);
+    let mut time_ratio = Vec::new();
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        for k in [4usize, 8, 16] {
+            let queries = w.queries(k);
+            let mut ms = [Vec::new(), Vec::new()];
+            let mut qe = [Vec::new(), Vec::new()];
+            for (qi, query) in queries.iter().enumerate() {
+                let truth = w.truth(query, &format!("k{k}"));
+                for (oi, order) in [OrderKind::QuickSi, OrderKind::GCare].into_iter().enumerate() {
+                    let r = Gsword::builder(&w.data, query)
+                        .samples(samples())
+                        .estimator(EstimatorKind::Alley)
+                        .order(order)
+                        .seed(0xF20 + qi as u64)
+                        .run()
+                        .expect("run");
+                    ms[oi].push(r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64);
+                    if let Some(truth) = truth {
+                        qe[oi].push(r.q_error(truth));
+                    }
+                }
+            }
+            let (mq, mg) = (geomean(&ms[0]), geomean(&ms[1]));
+            if mq.is_finite() && mg.is_finite() {
+                time_ratio.push(mq / mg);
+            }
+            t.row(vec![
+                name.to_string(),
+                k.to_string(),
+                format!("{mq:.1}"),
+                format!("{mg:.1}"),
+                if qe[0].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[0])) },
+                if qe[1].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[1])) },
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nQuickSI/G-CARE runtime ratio (geomean): {:.2} (paper: ~0.93, i.e. QuickSI ~7% faster)",
+        geomean(&time_ratio)
+    );
+}

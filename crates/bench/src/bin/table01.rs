@@ -1,0 +1,31 @@
+//! Table 1: dataset statistics — suite graphs alongside the paper's
+//! originals.
+
+use gsword_bench::{banner, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("table01", "Dataset statistics (suite vs paper)");
+    let mut t = Table::new(&[
+        "dataset", "category", "|V|", "|E|", "d", "L", "scale",
+        "paper |V|", "paper |E|", "paper d",
+    ]);
+    for name in gsword_bench::dataset_names() {
+        let spec = gsword_core::datasets::spec(name).expect("suite name");
+        let w = Workload::load(name);
+        let s = GraphStats::of(&w.data);
+        t.row(vec![
+            name.to_string(),
+            spec.category.to_string(),
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.1}", s.avg_degree),
+            s.labels.to_string(),
+            format!("1/{}", spec.scale),
+            spec.paper_vertices.to_string(),
+            spec.paper_edges.to_string(),
+            format!("{:.1}", spec.paper_avg_degree),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,81 @@
+//! Table 2: average running time per query (milliseconds, normalized to
+//! the paper's 10⁶-sample budget) for the six compared methods on every
+//! dataset, with standard deviations.
+//!
+//! CPU methods report measured wall time of the multi-threaded dynamic
+//! scheduler; GPU methods report modeled device time from the SIMT
+//! counters (see DESIGN.md §1 on the substitution).
+//!
+//! Expected shape: GPU baselines beat CPU by one to two orders of
+//! magnitude; gSWORD beats the GPU baselines (≈9× average in the paper,
+//! more for Alley than WanderJoin); CPU-AL slower than CPU-WJ.
+
+use gsword_bench::{banner, cpu_threads, mean_std, samples, Table, Workload, PAPER_SAMPLES};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("table02", "average runtime per query (ms @ 1e6 samples)");
+    let threads = cpu_threads();
+    let mut t = Table::new(&[
+        "dataset", "CPU-WJ", "CPU-AL", "GPU-WJ", "GPU-AL", "gSWORD-WJ", "gSWORD-AL",
+        "gsword/cpu", "gsword/gpu",
+    ]);
+    let mut cpu_speedups = Vec::new();
+    let mut gpu_speedups = Vec::new();
+
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let queries = w.queries(16);
+        if queries.is_empty() {
+            continue;
+        }
+        // columns: (method, estimator, backend)
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 6];
+        for (qi, query) in queries.iter().enumerate() {
+            let seed = 0x7AB2 + qi as u64;
+            for (slot, kind) in [(0, EstimatorKind::WanderJoin), (1, EstimatorKind::Alley)] {
+                let r = Gsword::builder(&w.data, query)
+                    .samples(samples())
+                    .estimator(kind)
+                    .backend(Backend::Cpu { threads })
+                    .seed(seed)
+                    .run()
+                    .expect("cpu");
+                cols[slot].push(r.wall_ms * PAPER_SAMPLES as f64 / r.sampler.samples as f64);
+            }
+            for (slot, backend) in [(2, Backend::GpuBaseline), (4, Backend::Gsword)] {
+                for (off, kind) in [(0, EstimatorKind::WanderJoin), (1, EstimatorKind::Alley)] {
+                    let r = Gsword::builder(&w.data, query)
+                        .samples(samples())
+                        .estimator(kind)
+                        .backend(backend)
+                        .seed(seed)
+                        .run()
+                        .expect("device");
+                    let ms = r.modeled_ms.unwrap() * PAPER_SAMPLES as f64
+                        / r.samples_collected as f64;
+                    cols[slot + off].push(ms);
+                }
+            }
+        }
+        let stats: Vec<(f64, f64)> = cols.iter().map(|c| mean_std(c)).collect();
+        let cpu_avg = (stats[0].0 + stats[1].0) / 2.0;
+        let gpu_avg = (stats[2].0 + stats[3].0) / 2.0;
+        let gs_avg = (stats[4].0 + stats[5].0) / 2.0;
+        cpu_speedups.push(cpu_avg / gs_avg);
+        gpu_speedups.push(gpu_avg / gs_avg);
+        let mut cells = vec![name.to_string()];
+        for (m, s) in &stats {
+            cells.push(format!("{m:.0}±{s:.0}"));
+        }
+        cells.push(format!("{:.0}x", cpu_avg / gs_avg));
+        cells.push(format!("{:.1}x", gpu_avg / gs_avg));
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "\naverage gSWORD speedup: {:.0}x over CPU (paper: 341x), {:.1}x over GPU baselines (paper: 9x)",
+        gsword_bench::geomean(&cpu_speedups),
+        gsword_bench::geomean(&gpu_speedups)
+    );
+}

@@ -1,0 +1,41 @@
+//! Appendix Table 3: candidate-graph construction and CPU→GPU transfer
+//! costs (milliseconds) for query sizes 4, 8, 16 across the datasets.
+//!
+//! Transfer time is modeled from the structure's byte size over PCIe 3.0
+//! x16 (12 GB/s), matching the paper's hardware.
+
+use gsword_bench::{banner, mean_std, Table, Workload};
+use gsword_core::prelude::*;
+
+fn main() {
+    banner("table03", "candidate graph construction / transfer costs (ms)");
+    let mut t = Table::new(&[
+        "dataset", "build k=4", "build k=8", "build k=16", "xfer k=4", "xfer k=8", "xfer k=16",
+    ]);
+    for name in gsword_bench::dataset_names() {
+        let w = Workload::load(name);
+        let mut build = Vec::new();
+        let mut xfer = Vec::new();
+        for k in [4usize, 8, 16] {
+            let queries = w.queries(k);
+            let (mut bs, mut xs) = (Vec::new(), Vec::new());
+            for query in &queries {
+                let (_, stats) = build_candidate_graph(&w.data, query, &BuildConfig::default());
+                bs.push(stats.construction_ms);
+                xs.push(stats.transfer_ms);
+            }
+            build.push(mean_std(&bs).0);
+            xfer.push(mean_std(&xs).0);
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", build[0]),
+            format!("{:.2}", build[1]),
+            format!("{:.2}", build[2]),
+            format!("{:.3}", xfer[0]),
+            format!("{:.3}", xfer[1]),
+            format!("{:.3}", xfer[2]),
+        ]);
+    }
+    t.print();
+}

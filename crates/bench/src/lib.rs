@@ -1,0 +1,263 @@
+//! Experiment harness shared by the per-figure/table binaries.
+//!
+//! Every evaluation artifact of the paper maps to one binary in `src/bin`
+//! (see DESIGN.md §3). The binaries share workload construction, scaled
+//! default parameters, ground-truth computation with an on-disk cache, and
+//! table formatting through this library.
+//!
+//! Scaling knobs (environment variables):
+//!
+//! * `GSWORD_SAMPLES` — sample budget per query (default 20 000; the paper
+//!   uses 10⁶ — results are normalized to a 10⁶-sample budget where the
+//!   paper reports absolute times).
+//! * `GSWORD_QUERIES` — queries per (dataset, size) cell (default 5; the
+//!   paper uses 20).
+//! * `GSWORD_DATASETS` — comma-separated subset of the suite.
+//! * `GSWORD_TRUTH_BUDGET` — search-node budget for ground-truth
+//!   enumeration (default 2×10⁸; cells whose budget trips report no
+//!   q-error).
+//! * `GSWORD_FAST` — set to shrink everything for a smoke run.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use gsword_core::prelude::*;
+
+/// The paper's reference sample budget; absolute runtimes are normalized
+/// to this (Section 6.1 uses 10⁶ samples per query).
+pub const PAPER_SAMPLES: u64 = 1_000_000;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Whether `GSWORD_FAST` smoke mode is active.
+pub fn fast_mode() -> bool {
+    std::env::var("GSWORD_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Sample budget per query for experiments.
+pub fn samples() -> u64 {
+    let default = if fast_mode() { 2_000 } else { 20_000 };
+    env_u64("GSWORD_SAMPLES", default)
+}
+
+/// Queries per (dataset, size) cell.
+pub fn queries_per_cell() -> usize {
+    let default = if fast_mode() { 2 } else { 5 };
+    env_u64("GSWORD_QUERIES", default as u64) as usize
+}
+
+/// Ground-truth enumeration budget (search nodes).
+pub fn truth_budget() -> u64 {
+    let default = if fast_mode() { 20_000_000 } else { 200_000_000 };
+    env_u64("GSWORD_TRUTH_BUDGET", default)
+}
+
+/// The datasets this run covers.
+pub fn dataset_names() -> Vec<&'static str> {
+    match std::env::var("GSWORD_DATASETS") {
+        Ok(list) if !list.is_empty() => gsword_core::datasets::dataset_names()
+            .into_iter()
+            .filter(|n| list.split(',').any(|x| x.trim() == *n))
+            .collect(),
+        _ => gsword_core::datasets::dataset_names(),
+    }
+}
+
+/// CPU threads used by the CPU baselines (the paper's server has 12
+/// cores).
+pub fn cpu_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get()).min(12)
+}
+
+/// A dataset with its per-size query workloads (the paper's extraction
+/// method; Section 6.1).
+pub struct Workload {
+    /// Suite dataset name.
+    pub name: &'static str,
+    /// The data graph.
+    pub data: Graph,
+}
+
+impl Workload {
+    /// Load a suite dataset.
+    pub fn load(name: &'static str) -> Self {
+        Workload {
+            name,
+            data: gsword_core::datasets::dataset(name),
+        }
+    }
+
+    /// Extract the standard query workload of `k` vertices.
+    pub fn queries(&self, k: usize) -> Vec<QueryGraph> {
+        QueryGraph::workload(&self.data, k, queries_per_cell(), 0xC0DE + k as u64)
+    }
+
+    /// Ground truth for one query, via the cache.
+    pub fn truth(&self, query: &QueryGraph, tag: &str) -> Option<f64> {
+        cached_truth(self.name, tag, &self.data, query)
+    }
+}
+
+/// Stable content hash of a query (for the truth cache key).
+fn query_hash(q: &QueryGraph) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut feed = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    feed(q.num_vertices() as u64);
+    for u in 0..q.num_vertices() as u8 {
+        feed(q.label(u) as u64);
+        feed(q.adjacency_mask(u) as u64);
+    }
+    h
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = std::env::var("GSWORD_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/gsword-truth"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Exact count with an on-disk cache (`target/gsword-truth/`). `None` when
+/// the enumeration budget trips.
+pub fn cached_truth(dataset: &str, tag: &str, data: &Graph, query: &QueryGraph) -> Option<f64> {
+    let key = format!("{dataset}-{tag}-{:016x}", query_hash(query));
+    let path = cache_dir().join(format!("{key}.json"));
+    if let Ok(body) = std::fs::read_to_string(&path) {
+        if let Ok(v) = serde_json::from_str::<Option<u64>>(&body) {
+            return v.map(|x| x as f64);
+        }
+    }
+    let v = gsword_core::exact_count(data, query, truth_budget(), 0);
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = write!(f, "{}", serde_json::to_string(&v).expect("serializable"));
+    }
+    v.map(|x| x as f64)
+}
+
+/// Geometric mean (ignores non-finite and non-positive entries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite() && *x > 0.0).map(f64::ln).collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    (m, v.sqrt())
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells already formatted).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Collect per-dataset series into an ordered map (stable printing).
+pub type Series = BTreeMap<String, Vec<f64>>;
+
+/// Format an `Option<f64>` cell.
+pub fn opt_cell(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// A standard header line for experiment binaries.
+pub fn banner(id: &str, what: &str) {
+    println!("=== {id}: {what} ===");
+    println!(
+        "samples/query: {} (normalized to paper budget {}), queries/cell: {}, truth budget: {}",
+        samples(),
+        PAPER_SAMPLES,
+        queries_per_cell(),
+        truth_budget()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 0.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn query_hash_distinguishes() {
+        let a = QueryGraph::new(vec![0, 0], &[(0, 1)]).unwrap();
+        let b = QueryGraph::new(vec![0, 1], &[(0, 1)]).unwrap();
+        assert_ne!(query_hash(&a), query_hash(&b));
+        assert_eq!(query_hash(&a), query_hash(&a));
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal flag parser — no external dependencies.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--flag [value]` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["--trawl", "--help"];
+
+impl Args {
+    /// Parse `argv` (after the subcommand). Short `-q`/`-o` aliases map to
+    /// `--query`/`--output`.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            let a = match a.as_str() {
+                "-q" => "--query".to_string(),
+                "-o" => "--output".to_string(),
+                other => other.to_string(),
+            };
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&a.as_str()) {
+                    out.flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    out.flags.insert(name.to_string(), v.clone());
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `i`.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(|s| s.as_str())
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed() {
+        let a = Args::parse(&sv(&["yeast", "-q", "q.txt", "--samples", "500", "--trawl"])).unwrap();
+        assert_eq!(a.positional(0), Some("yeast"));
+        assert_eq!(a.get("query"), Some("q.txt"));
+        assert_eq!(a.num::<u64>("samples", 0).unwrap(), 500);
+        assert!(a.has("trawl"));
+        assert!(!a.has("output"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(&sv(&["--samples"])).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let a = Args::parse(&sv(&["--samples", "xyz"])).unwrap();
+        assert!(a.num::<u64>("samples", 0).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&sv(&[])).unwrap();
+        assert_eq!(a.num::<u64>("samples", 7).unwrap(), 7);
+    }
+}

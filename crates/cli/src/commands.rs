@@ -1,0 +1,208 @@
+//! Subcommand implementations.
+
+use gsword_core::prelude::*;
+use gsword_core::{datasets, estimators, graph, query};
+
+use crate::args::Args;
+
+/// Usage text shown on errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  gsword stats    <graph>
+  gsword generate <dataset> -o <file>
+  gsword estimate <graph> -q <query> [--samples N] [--estimator wj|alley]
+                  [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
+  gsword exact    <graph> -q <query> [--budget N] [--threads N]
+  gsword motifs   <graph> [--samples N] [--label L]
+  gsword orders   <graph> -q <query> [--probe N]
+
+<graph>: dataset name (yeast hprd wordnet patents dblp orkut eu2005 uk2002),
+         a t/v/e file, or a SNAP edge list (*.el)
+<query>: a t/v/e query file, or extract:<k>[:<seed>]";
+
+/// Route a parsed command line to its subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".to_string());
+    };
+    let args = Args::parse(&argv[1..])?;
+    if args.has("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "generate" => cmd_generate(&args),
+        "estimate" => cmd_estimate(&args),
+        "exact" => cmd_exact(&args),
+        "motifs" => cmd_motifs(&args),
+        "orders" => cmd_orders(&args),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_data(spec: &str) -> Result<Graph, String> {
+    if datasets::dataset_names().contains(&spec) {
+        return Ok(datasets::dataset(spec));
+    }
+    let loaded = if spec.ends_with(".el") {
+        graph::io::load_edge_list(spec)
+    } else {
+        graph::io::load_graph(spec)
+    };
+    loaded.map_err(|e| format!("cannot load graph '{spec}': {e}"))
+}
+
+fn load_query_spec(data: &Graph, spec: &str) -> Result<QueryGraph, String> {
+    if let Some(rest) = spec.strip_prefix("extract:") {
+        let mut parts = rest.split(':');
+        let k: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("extract needs a size, e.g. extract:8")?;
+        let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+        return QueryGraph::extract(data, k, seed)
+            .ok_or_else(|| format!("could not extract a {k}-vertex query (seed {seed})"));
+    }
+    query::io::load_query(spec).map_err(|e| format!("cannot load query '{spec}': {e}"))
+}
+
+fn data_arg(args: &Args) -> Result<Graph, String> {
+    load_data(args.positional(0).ok_or("missing <graph> argument")?)
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let g = data_arg(args)?;
+    println!("{}", GraphStats::of(&g));
+    let lh = graph::ops::label_histogram(&g);
+    let mut top: Vec<(usize, usize)> = lh.into_iter().enumerate().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    print!("top labels:");
+    for (l, c) in top.iter().take(5).filter(|&&(_, c)| c > 0) {
+        print!(" {l}×{c}");
+    }
+    println!();
+    let (_, comps) = graph::ops::connected_components(&g);
+    println!("connected components: {comps}");
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args.positional(0).ok_or("missing <dataset> argument")?;
+    let out = args.get("output").ok_or("missing -o <file>")?;
+    if !datasets::dataset_names().contains(&name) {
+        return Err(format!("unknown dataset '{name}'"));
+    }
+    let g = datasets::dataset(name);
+    graph::io::save_graph(&g, out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn parse_backend(args: &Args) -> Result<Backend, String> {
+    match args.get("backend").unwrap_or("gsword") {
+        "cpu" => Ok(Backend::Cpu { threads: 0 }),
+        "gpu-baseline" => Ok(Backend::GpuBaseline),
+        "gsword" => Ok(Backend::Gsword),
+        other => Err(format!("unknown backend '{other}'")),
+    }
+}
+
+fn parse_estimator(args: &Args) -> Result<EstimatorKind, String> {
+    match args.get("estimator").unwrap_or("alley") {
+        "wj" | "wanderjoin" => Ok(EstimatorKind::WanderJoin),
+        "al" | "alley" => Ok(EstimatorKind::Alley),
+        other => Err(format!("unknown estimator '{other}'")),
+    }
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), String> {
+    let data = data_arg(args)?;
+    let q = load_query_spec(&data, args.get("query").ok_or("missing -q <query>")?)?;
+    let samples: u64 = args.num("samples", 100_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let mut b = Gsword::builder(&data, &q)
+        .samples(samples)
+        .seed(seed)
+        .estimator(parse_estimator(args)?)
+        .backend(parse_backend(args)?);
+    if args.has("trawl") {
+        b = b.trawling(TrawlConfig::default());
+    }
+    let r = b.run().map_err(|e| e.to_string())?;
+    println!("estimate: {:.1}", r.estimate);
+    println!(
+        "samples: {} (valid {}, success ratio {:.2e}, ±95% CI {:.1}%)",
+        r.sampler.samples,
+        r.sampler.valid,
+        r.sampler.success_ratio(),
+        r.sampler.rel_ci95() * 100.0
+    );
+    if let Some(t) = r.trawl {
+        println!("trawling estimate: {t:.1} ({} enumerations completed)", r.trawl_completed);
+    }
+    if let Some(ms) = r.modeled_ms {
+        println!("modeled device time: {ms:.2} ms");
+    }
+    println!("wall time: {:.1} ms", r.wall_ms);
+    Ok(())
+}
+
+fn cmd_exact(args: &Args) -> Result<(), String> {
+    let data = data_arg(args)?;
+    let q = load_query_spec(&data, args.get("query").ok_or("missing -q <query>")?)?;
+    let budget: u64 = args.num("budget", 0)?;
+    let threads: usize = args.num("threads", 0)?;
+    match gsword_core::exact_count(&data, &q, budget, threads) {
+        Some(c) => println!("exact count: {c}"),
+        None => println!("enumeration budget exhausted (raise --budget)"),
+    }
+    Ok(())
+}
+
+fn cmd_motifs(args: &Args) -> Result<(), String> {
+    let data = data_arg(args)?;
+    let samples: u64 = args.num("samples", 100_000)?;
+    let label: Label = match args.get("label") {
+        Some(v) => v.parse().map_err(|_| "bad --label")?,
+        None => (0..data.label_count() as Label)
+            .max_by_key(|&l| data.vertices_with_label(l).len())
+            .unwrap_or(0),
+    };
+    println!("census over label {label} ({} vertices)", data.vertices_with_label(label).len());
+    for (name, motif) in query::motifs::census_motifs(label) {
+        let r = Gsword::builder(&data, &motif)
+            .samples(samples)
+            .run()
+            .map_err(|e| e.to_string())?;
+        println!("{name:<16} {:>14.0}", r.estimate);
+    }
+    Ok(())
+}
+
+fn cmd_orders(args: &Args) -> Result<(), String> {
+    let data = data_arg(args)?;
+    let q = load_query_spec(&data, args.get("query").ok_or("missing -q <query>")?)?;
+    let probe: u64 = args.num("probe", 2_000)?;
+    let (cg, _) = build_candidate_graph(&data, &q, &BuildConfig::default());
+    let (best, scores) = estimators::select_order(
+        &cg,
+        &data,
+        &q,
+        &Alley,
+        &estimators::OrderSelectConfig {
+            probe_samples: probe,
+            ..Default::default()
+        },
+    );
+    println!("probed {} orders; best: {:?}", scores.len(), best.phi());
+    for (i, s) in scores.iter().enumerate() {
+        println!(
+            "#{i}: variance {:.3e}, success ratio {:.3e}, order {:?}",
+            s.variance,
+            s.success_ratio,
+            s.order.phi()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! `gsword` — command-line subgraph counting.
+//!
+//! ```text
+//! gsword stats    <graph>
+//! gsword generate <dataset> -o <file>
+//! gsword estimate <graph> -q <query> [options]
+//! gsword exact    <graph> -q <query> [--budget N] [--threads N]
+//! gsword motifs   <graph> [--samples N]
+//! gsword orders   <graph> -q <query> [--probe N]
+//! ```
+//!
+//! `<graph>` is a suite dataset name (`yeast`, …, `uk2002`), a `t/v/e`
+//! file, or a SNAP edge list (`.el`). `<query>` is a `t/v/e` query file or
+//! `extract:<k>[:<seed>]` to extract one from the data graph.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

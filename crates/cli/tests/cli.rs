@@ -1,0 +1,97 @@
+//! End-to-end tests of the `gsword` CLI binary: every subcommand, file
+//! round-trips, and error paths.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gsword"))
+        .args(args)
+        .output()
+        .expect("spawn gsword CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn stats_subcommand() {
+    let (ok, stdout, _) = run(&["stats", "yeast"]);
+    assert!(ok);
+    assert!(stdout.contains("|V|=3112"), "{stdout}");
+    assert!(stdout.contains("connected components"), "{stdout}");
+}
+
+#[test]
+fn estimate_and_exact_agree() {
+    let (ok, est_out, _) = run(&[
+        "estimate", "yeast", "-q", "extract:4:7", "--samples", "40000", "--seed", "1",
+    ]);
+    assert!(ok, "{est_out}");
+    let (ok2, exact_out, _) = run(&["exact", "yeast", "-q", "extract:4:7"]);
+    assert!(ok2);
+    let est: f64 = est_out
+        .lines()
+        .find_map(|l| l.strip_prefix("estimate: "))
+        .expect("estimate line")
+        .parse()
+        .expect("parse estimate");
+    let exact: f64 = exact_out
+        .lines()
+        .find_map(|l| l.strip_prefix("exact count: "))
+        .expect("exact line")
+        .parse()
+        .expect("parse exact");
+    let q = est.max(1.0) / exact.max(1.0);
+    assert!((0.5..2.0).contains(&q), "estimate {est} vs exact {exact}");
+}
+
+#[test]
+fn generate_then_load_round_trip() {
+    let dir = std::env::temp_dir().join(format!("gsword-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("yeast.graph");
+    let (ok, _, stderr) = run(&["generate", "yeast", "-o", file.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    let (ok2, stdout, _) = run(&["stats", file.to_str().unwrap()]);
+    assert!(ok2);
+    assert!(stdout.contains("|V|=3112"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn orders_subcommand() {
+    let (ok, stdout, _) = run(&["orders", "yeast", "-q", "extract:5:3", "--probe", "500"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("best:"), "{stdout}");
+    assert!(stdout.contains("variance"), "{stdout}");
+}
+
+#[test]
+fn error_paths() {
+    let (ok, _, stderr) = run(&["unknown-subcommand"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["estimate", "yeast"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing -q"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["stats", "nonexistent-dataset"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load graph"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["estimate", "yeast", "-q", "extract:4", "--backend", "tpu"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown backend"), "{stderr}");
+}
+
+#[test]
+fn trawl_flag_runs() {
+    let (ok, stdout, stderr) = run(&[
+        "estimate", "yeast", "-q", "extract:4:9", "--samples", "6000", "--trawl",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("trawling estimate"), "{stdout}");
+}

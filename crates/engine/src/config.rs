@@ -1,0 +1,188 @@
+//! Engine configuration, presets, and run reports.
+
+use gsword_estimators::Estimate;
+use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters};
+
+/// Thread synchronization discipline (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Warp lanes refill together after all current samples finish — the
+    /// discipline gSWORD adopts (better memory locality).
+    SampleSync,
+    /// A lane starts a new sample the moment its current one dies — better
+    /// lane utilization, scattered memory accesses. 1.3× slower on average
+    /// in the paper.
+    IterationSync,
+}
+
+/// How sample tasks are distributed to lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Block-shared atomic pool (Algorithm 1, lines 4–5).
+    BlockPool,
+    /// Static per-thread quotas — the NextDoor-style baseline.
+    Static,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Launch geometry and host parallelism.
+    pub device: DeviceConfig,
+    /// Device-time model used to convert counters into milliseconds.
+    pub model: DeviceModel,
+    /// Total samples across the launch.
+    pub samples: u64,
+    /// Base RNG seed (runs are deterministic in the seed and geometry).
+    pub seed: u64,
+    /// Synchronization discipline.
+    pub sync: SyncMode,
+    /// Sample distribution mode.
+    pub pool: PoolMode,
+    /// Enable sample inheritance (Algorithm 2) — the O1 optimization.
+    pub inheritance: bool,
+    /// Enable warp streaming (Algorithm 3) — the O2 optimization.
+    pub streaming: bool,
+}
+
+impl EngineConfig {
+    fn base(samples: u64) -> Self {
+        EngineConfig {
+            device: DeviceConfig::default(),
+            model: DeviceModel::default(),
+            samples,
+            seed: 0x5D0D,
+            sync: SyncMode::SampleSync,
+            pool: PoolMode::BlockPool,
+            inheritance: false,
+            streaming: false,
+        }
+    }
+
+    /// Full gSWORD: block pool + sample sync + inheritance + streaming.
+    pub fn gsword(samples: u64) -> Self {
+        EngineConfig {
+            inheritance: true,
+            streaming: true,
+            ..Self::base(samples)
+        }
+    }
+
+    /// The NextDoor-style GPU baseline: static assignment, iteration
+    /// synchronization (the discipline common to GPU sampling frameworks —
+    /// a thread starts its next sample the moment the current one ends;
+    /// Section 3.2), and no warp optimizations.
+    pub fn gpu_baseline(samples: u64) -> Self {
+        EngineConfig {
+            pool: PoolMode::Static,
+            sync: SyncMode::IterationSync,
+            ..Self::base(samples)
+        }
+    }
+
+    /// Ablation O0: gSWORD framework with both warp optimizations off.
+    pub fn o0(samples: u64) -> Self {
+        Self::base(samples)
+    }
+
+    /// Ablation O1: sample inheritance only.
+    pub fn o1(samples: u64) -> Self {
+        EngineConfig {
+            inheritance: true,
+            ..Self::base(samples)
+        }
+    }
+
+    /// Ablation O2: sample inheritance + warp streaming (= full gSWORD).
+    pub fn o2(samples: u64) -> Self {
+        Self::gsword(samples)
+    }
+
+    /// The iteration-synchronization variant of the micro-benchmark
+    /// (Figure 5).
+    pub fn iteration_sync(samples: u64) -> Self {
+        EngineConfig {
+            sync: SyncMode::IterationSync,
+            ..Self::base(samples)
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style device override.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+}
+
+/// Outcome of one engine launch.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineReport {
+    /// Aggregated HT estimate (denominator = fetched initial samples).
+    pub estimate: Estimate,
+    /// Samples collected in the paper's accounting: fetched initial samples
+    /// plus inherited continuations (Algorithm 2 keeps idle lanes
+    /// productive, so a launch "collects more samples while executing the
+    /// same number of iterations").
+    pub samples_collected: u64,
+    /// Merged execution counters of all blocks.
+    pub counters: KernelCounters,
+    /// Modeled device milliseconds (see `DeviceModel`).
+    pub modeled_ms: f64,
+    /// Host wall-clock milliseconds of the functional simulation (not the
+    /// reproduction target; reported for transparency).
+    pub wall_ms: f64,
+}
+
+impl EngineReport {
+    /// Convenience: the estimated subgraph count.
+    pub fn value(&self) -> f64 {
+        self.estimate.value()
+    }
+
+    /// Modeled device milliseconds normalized to a per-collected-sample
+    /// budget of `n` samples — the runtime metric of Table 2 and Figure 12
+    /// (a kernel that inherits aggressively completes a fixed sample budget
+    /// in proportionally fewer launches).
+    pub fn modeled_ms_for_samples(&self, n: u64) -> f64 {
+        if self.samples_collected == 0 {
+            return self.modeled_ms;
+        }
+        self.modeled_ms * n as f64 / self.samples_collected as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_wire_flags() {
+        let g = EngineConfig::gsword(100);
+        assert!(g.inheritance && g.streaming);
+        assert_eq!(g.pool, PoolMode::BlockPool);
+        assert_eq!(g.sync, SyncMode::SampleSync);
+
+        let b = EngineConfig::gpu_baseline(100);
+        assert!(!b.inheritance && !b.streaming);
+        assert_eq!(b.pool, PoolMode::Static);
+        assert_eq!(b.sync, SyncMode::IterationSync);
+
+        let o1 = EngineConfig::o1(100);
+        assert!(o1.inheritance && !o1.streaming);
+
+        let it = EngineConfig::iteration_sync(100);
+        assert_eq!(it.sync, SyncMode::IterationSync);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = EngineConfig::gsword(10).with_seed(99);
+        assert_eq!(c.seed, 99);
+    }
+}

@@ -1,0 +1,1094 @@
+//! The warp-level RSV kernels (Algorithms 1–3) and the launch driver.
+//!
+//! Kernels are written at warp granularity: every "instruction" is a loop
+//! over the 32-lane arrays, cross-lane communication goes through the warp
+//! primitives, and every candidate-graph access is charged to the
+//! coalescing memory model. Functional results (the HT estimate) are exact;
+//! counters drive the modeled device time.
+
+use std::time::Instant;
+
+use gsword_estimators::{Estimate, Estimator, QueryCtx, SampleState, Segment};
+use gsword_graph::VertexId;
+use gsword_simt::memory::{warp_load, warp_scan, LaneAddr};
+use gsword_simt::warp::{self, Lanes, WarpMask};
+use gsword_simt::{Device, KernelCounters, Region, SamplePool, WARP_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{EngineConfig, EngineReport, PoolMode, SyncMode};
+
+/// Run the configured kernel for one query and return the aggregated
+/// report. Deterministic in `(cfg.seed, cfg.device, cfg.samples)`.
+pub fn run_engine<E: Estimator + ?Sized>(
+    ctx: &QueryCtx<'_>,
+    est: &E,
+    cfg: &EngineConfig,
+) -> EngineReport {
+    let t0 = Instant::now();
+    let device = Device::new(cfg.device);
+    let nb = cfg.device.num_blocks as u64;
+    let per_block = cfg.samples / nb;
+    let remainder = cfg.samples % nb;
+
+    let block_results: Vec<(Estimate, KernelCounters, u64)> = device.launch(|block| {
+        let block_samples = per_block + u64::from((block as u64) < remainder);
+        run_block(ctx, est, cfg, block, block_samples)
+    });
+
+    let mut estimate = Estimate::default();
+    let mut counters = KernelCounters::default();
+    let mut inherited = 0u64;
+    for (e, c, inh) in &block_results {
+        estimate.merge(e);
+        counters.merge(c);
+        inherited += inh;
+    }
+    EngineReport {
+        samples_collected: estimate.samples + inherited,
+        estimate,
+        counters,
+        modeled_ms: cfg.model.modeled_ms(&counters),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn run_block<E: Estimator + ?Sized>(
+    ctx: &QueryCtx<'_>,
+    est: &E,
+    cfg: &EngineConfig,
+    block: usize,
+    block_samples: u64,
+) -> (Estimate, KernelCounters, u64) {
+    let warps = cfg.device.warps_per_block();
+    let pool = SamplePool::new(block_samples);
+    let mut estimate = Estimate::default();
+    let mut counters = KernelCounters::default();
+    let mut inherited = 0u64;
+
+    // Static mode: pre-split the block's share across warps (and lanes
+    // inside the warp executor) — the NextDoor-style assignment.
+    let per_warp = block_samples / warps as u64;
+    let warp_remainder = block_samples % warps as u64;
+
+    for w in 0..warps {
+        let mut exec = WarpExec::new(ctx, est, cfg, block, w);
+        match cfg.pool {
+            PoolMode::BlockPool => exec.run(Tasks::pool(&pool)),
+            PoolMode::Static => {
+                let quota = per_warp + u64::from((w as u64) < warp_remainder);
+                exec.run(Tasks::static_split(quota));
+            }
+        }
+        estimate.merge(&exec.finish_estimate());
+        counters.merge(&exec.ctr);
+        inherited += exec.inherited;
+    }
+    (estimate, counters, inherited)
+}
+
+/// Task source for a warp: the block pool or static per-lane quotas.
+#[allow(clippy::large_enum_variant)] // short-lived, one per warp execution
+enum Tasks<'p> {
+    Pool(&'p SamplePool),
+    Static { remaining: [u64; WARP_SIZE] },
+}
+
+impl<'p> Tasks<'p> {
+    fn pool(p: &'p SamplePool) -> Self {
+        Tasks::Pool(p)
+    }
+
+    fn static_split(quota: u64) -> Self {
+        let per_lane = quota / WARP_SIZE as u64;
+        let rem = (quota % WARP_SIZE as u64) as usize;
+        let mut remaining = [per_lane; WARP_SIZE];
+        for slot in remaining.iter_mut().take(rem) {
+            *slot += 1;
+        }
+        Tasks::Static { remaining }
+    }
+
+    /// Try to hand lane `lane` a new sample task.
+    fn fetch(&mut self, lane: usize) -> bool {
+        match self {
+            Tasks::Pool(p) => p.fetch().is_some(),
+            Tasks::Static { remaining } => {
+                if remaining[lane] > 0 {
+                    remaining[lane] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Iterate the set lane indices of a mask.
+#[inline]
+fn lanes_of(mask: WarpMask) -> impl Iterator<Item = usize> {
+    (0..WARP_SIZE).filter(move |&i| mask & (1 << i) != 0)
+}
+
+/// Per-iteration candidate information of one lane.
+#[derive(Clone, Copy)]
+struct LaneCand<'a> {
+    cand: &'a [VertexId],
+    addr: usize,
+    region: Region,
+}
+
+/// Warp executor: owns lane RNGs, scratch, and counter state for one warp.
+struct WarpExec<'e, 'c, E: ?Sized> {
+    ctx: &'e QueryCtx<'c>,
+    est: &'e E,
+    cfg: &'e EngineConfig,
+    rng: Vec<SmallRng>,
+    ctr: KernelCounters,
+    weight_sum: f64,
+    weight_sq_sum: f64,
+    leaves: u64,
+    fetched: u64,
+    /// Inherited continuations started (Algorithm 2 events × idle lanes) —
+    /// the paper counts these as collected samples.
+    inherited: u64,
+    /// Per-lane refined-candidate buffers (device "scratch" memory).
+    scratch: Vec<Vec<VertexId>>,
+    /// Per-lane backward segments, resolved once per iteration.
+    segs: Vec<Vec<Segment<'c>>>,
+}
+
+impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
+    fn new(ctx: &'e QueryCtx<'c>, est: &'e E, cfg: &'e EngineConfig, block: usize, warp: usize) -> Self {
+        let rng = (0..WARP_SIZE)
+            .map(|lane| {
+                let stream = (block as u64) << 32 | (warp as u64) << 8 | lane as u64;
+                SmallRng::seed_from_u64(cfg.seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+            })
+            .collect();
+        WarpExec {
+            ctx,
+            est,
+            cfg,
+            rng,
+            ctr: KernelCounters::default(),
+            weight_sum: 0.0,
+            weight_sq_sum: 0.0,
+            leaves: 0,
+            fetched: 0,
+            inherited: 0,
+            scratch: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
+            segs: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn finish_estimate(&self) -> Estimate {
+        Estimate {
+            weight_sum: self.weight_sum,
+            weight_sq_sum: self.weight_sq_sum,
+            samples: self.fetched,
+            valid: self.leaves,
+        }
+    }
+
+    fn run(&mut self, mut tasks: Tasks<'_>) {
+        match self.cfg.sync {
+            SyncMode::SampleSync => self.run_sample_sync(&mut tasks),
+            SyncMode::IterationSync => self.run_iteration_sync(&mut tasks),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sample synchronization (Algorithm 1; + Algorithms 2 and 3 when the
+    // inheritance/streaming flags are on).
+    // ------------------------------------------------------------------
+    fn run_sample_sync(&mut self, tasks: &mut Tasks<'_>) {
+        loop {
+            let mut s: Lanes<SampleState> = [SampleState::new(); WARP_SIZE];
+            let mut mask: WarpMask = 0;
+            for lane in 0..WARP_SIZE {
+                if tasks.fetch(lane) {
+                    mask |= 1 << lane;
+                    self.fetched += 1;
+                }
+            }
+            if mask == 0 {
+                break;
+            }
+            self.ctr.warp_instruction(mask); // the FetchSampleTask atomic
+
+            for d in 0..self.ctx.len() {
+                if mask == 0 {
+                    break;
+                }
+                mask = self.rsv_iteration(&mut s, mask, d);
+            }
+            for lane in lanes_of(mask) {
+                let w = s[lane].ht_weight();
+                self.weight_sum += w;
+                self.weight_sq_sum += w * w;
+                self.leaves += 1;
+            }
+        }
+    }
+
+    /// One lockstep RSV iteration for all active lanes at position `d`.
+    /// Returns the mask of lanes still alive afterwards.
+    fn rsv_iteration(&mut self, s: &mut Lanes<SampleState>, mask: WarpMask, d: usize) -> WarpMask {
+        // --- GetMinCandidate: resolve backward segments per lane ---------
+        let mut cand: Lanes<Option<LaneCand<'c>>> = [None; WARP_SIZE];
+        for lane in lanes_of(mask) {
+            self.segs[lane].clear();
+            // Work around simultaneous &mut self.segs[lane] and &self.ctx.
+            let mut seg_buf = std::mem::take(&mut self.segs[lane]);
+            self.ctx.backward_segments(s[lane].prefix(), d, &mut seg_buf);
+            let lc = if d == 0 {
+                let (set, addr) = self.ctx.root_candidates();
+                LaneCand {
+                    cand: set,
+                    addr,
+                    region: Region::GLOBAL,
+                }
+            } else {
+                let (set, addr) = QueryCtx::min_of_segments(&seg_buf);
+                LaneCand {
+                    cand: set,
+                    addr,
+                    region: Region::LOCAL,
+                }
+            };
+            self.segs[lane] = seg_buf;
+            cand[lane] = Some(lc);
+        }
+        self.charge_get_min(mask, d);
+
+        // --- Refine + Sample ---------------------------------------------
+        // Positions without backward constraints (the root) have an
+        // identity Refine: sample straight from the candidate set.
+        let mut chosen: Lanes<Option<(VertexId, f64)>> = [None; WARP_SIZE];
+        if self.est.needs_refine() && !self.ctx.backward(d).is_empty() {
+            if self.cfg.streaming {
+                self.streaming_refine_sample(mask, d, &cand, &mut chosen);
+            } else {
+                self.serial_refine_sample(mask, d, &cand, &mut chosen);
+            }
+        } else {
+            self.direct_sample(mask, &cand, &mut chosen);
+        }
+
+        // --- Validate ------------------------------------------------------
+        let mut valid = [false; WARP_SIZE];
+        for lane in lanes_of(mask) {
+            if let Some((v, _)) = chosen[lane] {
+                valid[lane] = self.est.validate(&self.segs[lane], &s[lane], v);
+            }
+        }
+        self.charge_validate(mask, d);
+        for lane in lanes_of(mask) {
+            if valid[lane] {
+                let (v, p) = chosen[lane].expect("valid lane has a sampled vertex");
+                s[lane].push(v, p);
+            }
+        }
+
+        // --- Sample inheritance (Algorithm 2) -----------------------------
+        let valid_ballot = warp::ballot(&mut self.ctr, mask, &valid);
+        if self.cfg.inheritance && valid_ballot != 0 && valid_ballot != mask {
+            let parent = warp::first_lane(valid_ballot).expect("non-empty ballot");
+            let idle = (mask & !valid_ballot).count_ones();
+            // Recursive-estimator adjustment: idle+1 lanes continue from the
+            // parent's partial instance, so each continuation is averaged
+            // (the paper's Algorithm 2 line 5; see DESIGN.md for the
+            // direction of the adjustment).
+            s[parent].prob *= f64::from(idle + 1);
+            self.inherited += u64::from(idle);
+            let ps = warp::shfl(&mut self.ctr, mask, s, parent);
+            for lane in lanes_of(mask & !valid_ballot) {
+                s[lane] = ps;
+            }
+            mask
+        } else {
+            valid_ballot
+        }
+    }
+
+    /// WanderJoin's Sample step: uniform draw from the minimum candidate
+    /// set, one element load per lane.
+    fn direct_sample(
+        &mut self,
+        mask: WarpMask,
+        cand: &Lanes<Option<LaneCand<'c>>>,
+        chosen: &mut Lanes<Option<(VertexId, f64)>>,
+    ) {
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for lane in lanes_of(mask) {
+            let lc = cand[lane].expect("active lane has candidates resolved");
+            if lc.cand.is_empty() {
+                continue;
+            }
+            let idx = self.rng[lane].gen_range(0..lc.cand.len());
+            chosen[lane] = Some((lc.cand[idx], 1.0 / lc.cand.len() as f64));
+            addrs[lane] = Some((lc.region, lc.addr + idx));
+        }
+        warp_load(&mut self.ctr, &addrs);
+    }
+
+    /// Alley's Refine without streaming: every lane scans its own candidate
+    /// array serially; the warp advances in lockstep, so lanes with short
+    /// arrays idle until the longest lane finishes (refine imbalance).
+    fn serial_refine_sample(
+        &mut self,
+        mask: WarpMask,
+        d: usize,
+        cand: &Lanes<Option<LaneCand<'c>>>,
+        chosen: &mut Lanes<Option<(VertexId, f64)>>,
+    ) {
+        let probes = self.ctx.backward(d).len();
+        let max_clen = lanes_of(mask)
+            .map(|lane| cand[lane].map_or(0, |c| c.cand.len()))
+            .max()
+            .unwrap_or(0);
+        for lane in lanes_of(mask) {
+            self.scratch[lane].clear();
+        }
+        for t in 0..max_clen {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            let mut step_mask: WarpMask = 0;
+            for lane in lanes_of(mask) {
+                let lc = cand[lane].expect("active lane");
+                if t < lc.cand.len() {
+                    step_mask |= 1 << lane;
+                    addrs[lane] = Some((lc.region, lc.addr + t));
+                }
+            }
+            if step_mask == 0 {
+                break;
+            }
+            warp_load(&mut self.ctr, &addrs);
+            self.charge_probe_loads(step_mask, d, probes, t);
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                let v = lc.cand[t];
+                // Functional refine: engine scratch keeps survivors.
+                let mut scratch = std::mem::take(&mut self.scratch[lane]);
+                if self.est.refine_one(&self.segs[lane], v) {
+                    scratch.push(v);
+                }
+                self.scratch[lane] = scratch;
+            }
+        }
+        for lane in lanes_of(mask) {
+            let refined = &self.scratch[lane];
+            if !refined.is_empty() {
+                let idx = self.rng[lane].gen_range(0..refined.len());
+                chosen[lane] = Some((refined[idx], 1.0 / refined.len() as f64));
+            }
+        }
+    }
+
+    /// Warp streaming (Algorithm 3): collaborative phase streams any lane's
+    /// ≥32-candidate workload across the whole warp feeding an A-Res
+    /// weighted reservoir; the independent phase drains the rest per lane.
+    fn streaming_refine_sample(
+        &mut self,
+        mask: WarpMask,
+        d: usize,
+        cand: &Lanes<Option<LaneCand<'c>>>,
+        chosen: &mut Lanes<Option<(VertexId, f64)>>,
+    ) {
+        let probes = self.ctx.backward(d).len();
+        let mut cur_iter = [0usize; WARP_SIZE];
+        let mut cur_v: Lanes<Option<VertexId>> = [None; WARP_SIZE];
+        let mut cur_total = [0.0f64; WARP_SIZE];
+
+        let clen = |lane: usize| cand[lane].map_or(0, |c| c.cand.len());
+
+        // --- Collaborative phase -------------------------------------------
+        loop {
+            let mut pred = [false; WARP_SIZE];
+            for lane in lanes_of(mask) {
+                pred[lane] = clen(lane) - cur_iter[lane] >= WARP_SIZE;
+            }
+            if !warp::any(&mut self.ctr, mask, &pred) {
+                break;
+            }
+            let leader = warp::first_lane(warp::ballot(&mut self.ctr, mask, &pred))
+                .expect("any() guaranteed a qualifying lane");
+            let lc = cand[leader].expect("leader is active");
+            let base = cur_iter[leader];
+
+            // All 32 physical lanes serve as workers on the leader's chunk
+            // (shfl of the leader's sample and candidate pointer).
+            self.ctr.warp_instruction(u32::MAX); // the two shfl broadcasts
+            warp_scan(&mut self.ctr, u32::MAX, lc.region, lc.addr + base, WARP_SIZE);
+            self.charge_streaming_probes(d, probes);
+
+            let mut keys = [0.0f64; WARP_SIZE];
+            let mut pass = [false; WARP_SIZE];
+            for t in 0..WARP_SIZE {
+                let v = lc.cand[base + t];
+                if self.est.refine_one(&self.segs[leader], v) {
+                    pass[t] = true;
+                    // A-Res key for unit weight: r^(1/1) = r.
+                    keys[t] = self.rng[t].gen::<f64>();
+                }
+            }
+            let total_w = f64::from(warp::reduce_count(&mut self.ctr, u32::MAX, &pass));
+            if total_w > 0.0 {
+                let winner = warp::reduce_max_by_key(&mut self.ctr, u32::MAX, &keys)
+                    .expect("full mask reduction");
+                let v_star = lc.cand[base + winner];
+                cur_total[leader] += total_w;
+                if self.rng[leader].gen::<f64>() < total_w / cur_total[leader] {
+                    cur_v[leader] = Some(v_star);
+                }
+            } else {
+                self.ctr.warp_instruction(u32::MAX);
+            }
+            cur_iter[leader] = base + WARP_SIZE;
+        }
+
+        // --- Independent phase ---------------------------------------------
+        loop {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            let mut step_mask: WarpMask = 0;
+            for lane in lanes_of(mask) {
+                if cur_iter[lane] < clen(lane) {
+                    step_mask |= 1 << lane;
+                    let lc = cand[lane].expect("active lane");
+                    addrs[lane] = Some((lc.region, lc.addr + cur_iter[lane]));
+                }
+            }
+            if step_mask == 0 {
+                break;
+            }
+            warp_load(&mut self.ctr, &addrs);
+            self.charge_probe_loads(step_mask, d, probes, 0);
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                let v = lc.cand[cur_iter[lane]];
+                if self.est.refine_one(&self.segs[lane], v) {
+                    cur_total[lane] += 1.0;
+                    if self.rng[lane].gen::<f64>() < 1.0 / cur_total[lane] {
+                        cur_v[lane] = Some(v);
+                    }
+                }
+                cur_iter[lane] += 1;
+            }
+        }
+
+        for lane in lanes_of(mask) {
+            if let Some(v) = cur_v[lane] {
+                debug_assert!(cur_total[lane] >= 1.0);
+                chosen[lane] = Some((v, 1.0 / cur_total[lane]));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration synchronization (the Section 3.2 alternative): lanes
+    // refill individually the moment their sample dies, so a warp mixes
+    // depths — better utilization, scattered accesses.
+    // ------------------------------------------------------------------
+    fn run_iteration_sync(&mut self, tasks: &mut Tasks<'_>) {
+        let mut s: Lanes<SampleState> = [SampleState::new(); WARP_SIZE];
+        let mut depth = [0usize; WARP_SIZE];
+        let mut mask: WarpMask = 0;
+        loop {
+            // Refill dead lanes.
+            for lane in 0..WARP_SIZE {
+                if mask & (1 << lane) == 0 && tasks.fetch(lane) {
+                    s[lane] = SampleState::new();
+                    depth[lane] = 0;
+                    mask |= 1 << lane;
+                    self.fetched += 1;
+                }
+            }
+            if mask == 0 {
+                break;
+            }
+            self.ctr.warp_instruction(mask);
+            mask = self.mixed_depth_iteration(&mut s, &mut depth, mask);
+        }
+    }
+
+    /// One lockstep iteration where each lane works at its own depth.
+    fn mixed_depth_iteration(
+        &mut self,
+        s: &mut Lanes<SampleState>,
+        depth: &mut [usize; WARP_SIZE],
+        mask: WarpMask,
+    ) -> WarpMask {
+        // Resolve candidates per lane — segments now come from *different*
+        // order positions, so the loads scatter across the candidate graph.
+        let mut cand: Lanes<Option<LaneCand<'c>>> = [None; WARP_SIZE];
+        for lane in lanes_of(mask) {
+            let d = depth[lane];
+            let mut seg_buf = std::mem::take(&mut self.segs[lane]);
+            seg_buf.clear();
+            self.ctx.backward_segments(s[lane].prefix(), d, &mut seg_buf);
+            let lc = if d == 0 {
+                let (set, addr) = self.ctx.root_candidates();
+                LaneCand {
+                    cand: set,
+                    addr,
+                    region: Region::GLOBAL,
+                }
+            } else {
+                let (set, addr) = QueryCtx::min_of_segments(&seg_buf);
+                LaneCand {
+                    cand: set,
+                    addr,
+                    region: Region::LOCAL,
+                }
+            };
+            self.segs[lane] = seg_buf;
+            cand[lane] = Some(lc);
+        }
+        let max_bw = lanes_of(mask)
+            .map(|lane| self.ctx.backward(depth[lane]).len())
+            .max()
+            .unwrap_or(0);
+        for step in 0..max_bw {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for lane in lanes_of(mask) {
+                if step < self.ctx.backward(depth[lane]).len() {
+                    let (_, addr) = self.segs[lane][step];
+                    addrs[lane] = Some((Region::LOCAL, addr));
+                }
+            }
+            warp_load(&mut self.ctr, &addrs);
+        }
+
+        // Refine + sample per lane (serial scans, mixed lengths).
+        let mut chosen: Lanes<Option<(VertexId, f64)>> = [None; WARP_SIZE];
+        let any_backward = lanes_of(mask).any(|lane| !self.ctx.backward(depth[lane]).is_empty());
+        if self.est.needs_refine() && any_backward {
+            self.serial_refine_sample_mixed(mask, depth, &cand, &mut chosen);
+        } else {
+            self.direct_sample(mask, &cand, &mut chosen);
+        }
+
+        // Validate per lane.
+        let mut next_mask = mask;
+        for lane in lanes_of(mask) {
+            let ok = match chosen[lane] {
+                Some((v, p)) if self.est.validate(&self.segs[lane], &s[lane], v) => {
+                    s[lane].push(v, p);
+                    depth[lane] += 1;
+                    if depth[lane] == self.ctx.len() {
+                        let w = s[lane].ht_weight();
+                        self.weight_sum += w;
+                        self.weight_sq_sum += w * w;
+                        self.leaves += 1;
+                        false // completed; lane frees for a refill
+                    } else {
+                        true
+                    }
+                }
+                _ => false,
+            };
+            if !ok {
+                next_mask &= !(1 << lane);
+            }
+        }
+        self.ctr.warp_instruction(mask);
+        next_mask
+    }
+
+    /// Serial refine scan where each lane may be at a different depth.
+    /// Lanes without backward constraints (position 0) sample directly
+    /// under predication instead of scanning.
+    fn serial_refine_sample_mixed(
+        &mut self,
+        mask: WarpMask,
+        depth: &[usize; WARP_SIZE],
+        cand: &Lanes<Option<LaneCand<'c>>>,
+        chosen: &mut Lanes<Option<(VertexId, f64)>>,
+    ) {
+        let mut direct: WarpMask = 0;
+        for lane in lanes_of(mask) {
+            if self.segs[lane].is_empty() {
+                direct |= 1 << lane;
+            }
+        }
+        if direct != 0 {
+            self.direct_sample(direct, cand, chosen);
+        }
+        let mask = mask & !direct;
+        let max_clen = lanes_of(mask)
+            .map(|lane| cand[lane].map_or(0, |c| c.cand.len()))
+            .max()
+            .unwrap_or(0);
+        for lane in lanes_of(mask) {
+            self.scratch[lane].clear();
+        }
+        for t in 0..max_clen {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            let mut step_mask: WarpMask = 0;
+            for lane in lanes_of(mask) {
+                let lc = cand[lane].expect("active lane");
+                if t < lc.cand.len() {
+                    step_mask |= 1 << lane;
+                    addrs[lane] = Some((lc.region, lc.addr + t));
+                }
+            }
+            if step_mask == 0 {
+                break;
+            }
+            warp_load(&mut self.ctr, &addrs);
+            // Probe loads at each lane's own depth.
+            let max_probes = lanes_of(step_mask)
+                .map(|lane| self.ctx.backward(depth[lane]).len())
+                .max()
+                .unwrap_or(0);
+            for p in 0..max_probes {
+                let mut paddrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+                for lane in lanes_of(step_mask) {
+                    if p < self.segs[lane].len() {
+                        let (seg, base) = self.segs[lane][p];
+                        paddrs[lane] = Some((Region::LOCAL, base + probe_offset(seg.len(), t)));
+                    }
+                }
+                warp_load(&mut self.ctr, &paddrs);
+            }
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                let v = lc.cand[t];
+                let mut scratch = std::mem::take(&mut self.scratch[lane]);
+                if self.est.refine_one(&self.segs[lane], v) {
+                    scratch.push(v);
+                }
+                self.scratch[lane] = scratch;
+            }
+        }
+        for lane in lanes_of(mask) {
+            let refined = &self.scratch[lane];
+            if !refined.is_empty() {
+                let idx = self.rng[lane].gen_range(0..refined.len());
+                chosen[lane] = Some((refined[idx], 1.0 / refined.len() as f64));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cost charging helpers.
+    // ------------------------------------------------------------------
+
+    /// GetMinCandidate loads: resolving each backward segment reads the
+    /// per-edge candidate CSR (one lookup per backward edge, scattered
+    /// across lanes because partial instances differ).
+    fn charge_get_min(&mut self, mask: WarpMask, d: usize) {
+        let k = self.ctx.backward(d).len();
+        if k == 0 {
+            self.ctr.warp_instruction(mask);
+            return;
+        }
+        for step in 0..k {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for lane in lanes_of(mask) {
+                if step < self.segs[lane].len() {
+                    let (_, base) = self.segs[lane][step];
+                    addrs[lane] = Some((Region::CAND, base));
+                }
+            }
+            warp_load(&mut self.ctr, &addrs);
+        }
+    }
+
+    /// Membership probes of a refine step: binary searches into every
+    /// backward segment beyond the minimum one the candidate came from.
+    /// Each search costs ~log2(len) line touches, scattered across lanes
+    /// (every lane probes a different partial instance's segments).
+    fn charge_probe_loads(&mut self, step_mask: WarpMask, _d: usize, probes: usize, t: usize) {
+        for p in 0..probes.saturating_sub(1) {
+            let max_lines = lanes_of(step_mask)
+                .map(|lane| {
+                    self.segs[lane]
+                        .get(p)
+                        .map_or(0, |(seg, _)| probe_line_count(seg.len()))
+                })
+                .max()
+                .unwrap_or(0);
+            for step in 0..max_lines {
+                let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+                for lane in lanes_of(step_mask) {
+                    if let Some(&(seg, base)) = self.segs[lane].get(p) {
+                        if step < probe_line_count(seg.len()) {
+                            addrs[lane] =
+                                Some((Region::LOCAL, base + probe_offset(seg.len(), t + step * 37)));
+                        }
+                    }
+                }
+                warp_load(&mut self.ctr, &addrs);
+            }
+        }
+    }
+
+    /// Streaming-phase probes: all lanes probe the *leader's* backward
+    /// segments — shared segments, coalesced within each.
+    fn charge_streaming_probes(&mut self, _d: usize, probes: usize) {
+        let k = probes.saturating_sub(1);
+        for _ in 0..k {
+            // 32 binary searches into one shared segment: the touched lines
+            // cluster inside that segment. Model as a scan of 32 words.
+            self.ctr.warp_load(WARP_SIZE as u32, 4);
+        }
+    }
+
+    /// Validate loads: WanderJoin probes every backward segment; Alley's
+    /// validate is a register-only duplicate check.
+    fn charge_validate(&mut self, mask: WarpMask, d: usize) {
+        if self.est.needs_refine() {
+            self.ctr.warp_instruction(mask);
+            return;
+        }
+        let probes = self.ctx.backward(d).len();
+        for p in 0..probes {
+            let max_lines = lanes_of(mask)
+                .map(|lane| {
+                    self.segs[lane]
+                        .get(p)
+                        .map_or(0, |(seg, _)| probe_line_count(seg.len()))
+                })
+                .max()
+                .unwrap_or(0);
+            for step in 0..max_lines {
+                let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+                for lane in lanes_of(mask) {
+                    if let Some(&(seg, base)) = self.segs[lane].get(p) {
+                        if step < probe_line_count(seg.len()) {
+                            addrs[lane] =
+                                Some((Region::LOCAL, base + probe_offset(seg.len(), step * 41)));
+                        }
+                    }
+                }
+                warp_load(&mut self.ctr, &addrs);
+            }
+        }
+        self.ctr.warp_instruction(mask);
+    }
+}
+
+/// Number of 128-byte lines a binary search over a sorted segment of
+/// `len` u32 elements touches: probes within one line are free after the
+/// first, so the cost is ~1 + log2(len / LINE_WORDS).
+#[inline]
+fn probe_line_count(len: usize) -> usize {
+    if len <= 32 {
+        1
+    } else {
+        1 + (usize::BITS - (len / 32).leading_zeros()) as usize
+    }
+}
+
+/// Representative element offset for the `t`-th binary-search probe into a
+/// segment of length `len` (the memory model needs plausible line indices,
+/// not exact search paths).
+#[inline]
+fn probe_offset(len: usize, t: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (t * 31 + len / 2) % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_candidate::{build_candidate_graph, BuildConfig, CandidateGraph};
+    use gsword_estimators::{Alley, WanderJoin};
+    use gsword_graph::{gen, GraphBuilder};
+    use gsword_query::{quicksi_order, MatchingOrder, QueryGraph};
+    use gsword_simt::DeviceConfig;
+
+    fn small_device() -> DeviceConfig {
+        DeviceConfig {
+            num_blocks: 2,
+            threads_per_block: 64,
+            host_threads: 2,
+        }
+    }
+
+    fn triangle_fixture() -> (CandidateGraph, QueryGraph) {
+        let mut b = GraphBuilder::with_vertices(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let q = QueryGraph::new(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        (cg, q)
+    }
+
+    fn run(cfg: EngineConfig, alley: bool) -> EngineReport {
+        let (cg, q) = triangle_fixture();
+        let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        if alley {
+            run_engine(&ctx, &Alley, &cfg)
+        } else {
+            run_engine(&ctx, &WanderJoin, &cfg)
+        }
+    }
+
+    #[test]
+    fn all_configs_estimate_triangles() {
+        // Ground truth: 12 embeddings.
+        for (name, cfg) in [
+            ("baseline", EngineConfig::gpu_baseline(40_000)),
+            ("o0", EngineConfig::o0(40_000)),
+            ("o1", EngineConfig::o1(40_000)),
+            ("o2", EngineConfig::o2(40_000)),
+            ("itersync", EngineConfig::iteration_sync(40_000)),
+        ] {
+            for alley in [false, true] {
+                let cfg = EngineConfig {
+                    device: small_device(),
+                    ..cfg
+                };
+                let rep = run(cfg, alley);
+                let v = rep.value();
+                assert!(
+                    (10.0..14.5).contains(&v),
+                    "{name}/alley={alley}: estimate {v} should be near 12"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_counts_match_request() {
+        let cfg = EngineConfig {
+            device: small_device(),
+            ..EngineConfig::o0(10_001)
+        };
+        let rep = run(cfg, true);
+        assert_eq!(rep.estimate.samples, 10_001);
+        let cfg = EngineConfig {
+            device: small_device(),
+            ..EngineConfig::gpu_baseline(10_001)
+        };
+        let rep = run(cfg, true);
+        assert_eq!(rep.estimate.samples, 10_001);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = EngineConfig {
+            device: small_device(),
+            ..EngineConfig::gsword(5_000)
+        };
+        let a = run(cfg, true);
+        let b = run(cfg, true);
+        assert_eq!(a.estimate.weight_sum, b.estimate.weight_sum);
+        assert_eq!(a.counters, b.counters);
+        let c = run(
+            EngineConfig {
+                device: small_device(),
+                ..EngineConfig::gsword(5_000).with_seed(1234)
+            },
+            true,
+        );
+        assert_ne!(a.estimate.weight_sum, c.estimate.weight_sum);
+    }
+
+    #[test]
+    fn inheritance_improves_warp_efficiency() {
+        let g = gen::barabasi_albert(800, 6, gen::zipf_labels(800, 6, 0.9, 4), 4);
+        let q = QueryGraph::extract(&g, 6, 11).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let dev = small_device();
+        let o0 = run_engine(
+            &ctx,
+            &WanderJoin,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o0(20_000)
+            },
+        );
+        let o1 = run_engine(
+            &ctx,
+            &WanderJoin,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o1(20_000)
+            },
+        );
+        assert!(
+            o1.counters.warp_efficiency() > o0.counters.warp_efficiency(),
+            "inheritance should raise efficiency: O0 {:.3} vs O1 {:.3}",
+            o0.counters.warp_efficiency(),
+            o1.counters.warp_efficiency()
+        );
+    }
+
+    #[test]
+    fn inheritance_estimate_remains_unbiased() {
+        // Skewed graph where samples die often — the regime inheritance
+        // reweighting must keep unbiased.
+        let g = gen::barabasi_albert(300, 4, gen::zipf_labels(300, 4, 0.8, 9), 9);
+        let q = QueryGraph::extract(&g, 4, 21).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let truth = gsword_enumeration::count_instances(
+            &ctx,
+            gsword_enumeration::EnumLimits::unlimited(),
+        )
+        .count as f64;
+        assert!(truth > 0.0);
+        let rep = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: small_device(),
+                ..EngineConfig::o1(120_000)
+            },
+        );
+        let rel = (rep.value() - truth).abs() / truth;
+        assert!(
+            rel < 0.25,
+            "inherited estimate {} vs truth {truth} (rel {rel:.3})",
+            rep.value()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_serial_distribution() {
+        // Streaming must keep the estimate unbiased too.
+        let g = gen::barabasi_albert(500, 20, gen::zipf_labels(500, 3, 0.5, 2), 2);
+        let q = QueryGraph::extract(&g, 4, 5).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let truth = gsword_enumeration::count_instances(
+            &ctx,
+            gsword_enumeration::EnumLimits::unlimited(),
+        )
+        .count as f64;
+        assert!(truth > 0.0);
+        let o2 = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: small_device(),
+                ..EngineConfig::o2(60_000)
+            },
+        );
+        let rel = (o2.value() - truth).abs() / truth;
+        assert!(rel < 0.3, "streaming estimate {} vs {truth} (rel {rel:.3})", o2.value());
+    }
+
+    #[test]
+    fn streaming_reduces_modeled_time_for_alley_on_skewed_graphs() {
+        let g = gen::barabasi_albert(2_000, 24, gen::zipf_labels(2_000, 3, 0.4, 7), 7);
+        let q = QueryGraph::extract(&g, 5, 3).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let dev = small_device();
+        let o1 = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o1(10_000)
+            },
+        );
+        let o2 = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o2(10_000)
+            },
+        );
+        assert!(
+            o2.modeled_ms < o1.modeled_ms,
+            "streaming should cut modeled time: O1 {:.3}ms vs O2 {:.3}ms",
+            o1.modeled_ms,
+            o2.modeled_ms
+        );
+    }
+
+    #[test]
+    fn iteration_sync_costs_more_memory() {
+        let g = gen::barabasi_albert(1_000, 8, gen::zipf_labels(1_000, 5, 0.8, 3), 3);
+        let q = QueryGraph::extract(&g, 6, 17).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let dev = small_device();
+        let ss = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o0(20_000)
+            },
+        );
+        let is = run_engine(
+            &ctx,
+            &Alley,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::iteration_sync(20_000)
+            },
+        );
+        // The paper's Figure 5 headline: iteration sync pays more memory
+        // stalls per sample and loses overall despite better utilization.
+        let ss_long = ss.counters.stall_long() as f64 / ss.estimate.samples as f64;
+        let is_long = is.counters.stall_long() as f64 / is.estimate.samples as f64;
+        assert!(
+            is_long > ss_long,
+            "iteration sync should cost more memory stalls: {is_long:.1} vs {ss_long:.1}"
+        );
+        let ss_ms = ss.modeled_ms / ss.estimate.samples as f64;
+        let is_ms = is.modeled_ms / is.estimate.samples as f64;
+        assert!(
+            is_ms > ss_ms,
+            "iteration sync should be slower end to end: {is_ms:.6} vs {ss_ms:.6}"
+        );
+    }
+
+    #[test]
+    fn inheritance_collects_more_samples_per_launch() {
+        let g = gen::barabasi_albert(1_000, 8, gen::zipf_labels(1_000, 5, 0.8, 3), 3);
+        let q = QueryGraph::extract(&g, 6, 17).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let dev = small_device();
+        let o0 = run_engine(
+            &ctx,
+            &WanderJoin,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o0(20_000)
+            },
+        );
+        let o1 = run_engine(
+            &ctx,
+            &WanderJoin,
+            &EngineConfig {
+                device: dev,
+                ..EngineConfig::o1(20_000)
+            },
+        );
+        assert_eq!(o0.samples_collected, o0.estimate.samples, "no inheritance, no extras");
+        assert!(
+            o1.samples_collected > o1.estimate.samples,
+            "inheritance should add collected samples"
+        );
+        // The Figure 12 metric: modeled time per fixed sample budget drops.
+        assert!(
+            o1.modeled_ms_for_samples(1_000_000) < o0.modeled_ms_for_samples(1_000_000),
+            "O1 should beat O0 per collected sample"
+        );
+    }
+}

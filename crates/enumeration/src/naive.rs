@@ -1,0 +1,85 @@
+//! Brute-force embedding counter straight on the data graph.
+//!
+//! Exponential and oblivious to candidate graphs and matching orders — by
+//! design. It is the independent oracle the rest of the workspace tests
+//! against, so it must share as little code as possible with the optimized
+//! paths. Only use on tiny inputs.
+
+use gsword_graph::{Graph, VertexId};
+use gsword_query::{QueryGraph, QueryVertex};
+
+/// Count injective, label- and edge-preserving mappings of `query` into
+/// `data` (embeddings — the quantity the HT estimators approximate).
+pub fn count_embeddings(data: &Graph, query: &QueryGraph) -> u64 {
+    let mut partial: Vec<VertexId> = Vec::with_capacity(query.num_vertices());
+    let mut count = 0u64;
+    recurse(data, query, &mut partial, &mut count);
+    count
+}
+
+fn recurse(data: &Graph, query: &QueryGraph, partial: &mut Vec<VertexId>, count: &mut u64) {
+    let d = partial.len();
+    if d == query.num_vertices() {
+        *count += 1;
+        return;
+    }
+    let u = d as QueryVertex;
+    for v in 0..data.num_vertices() as VertexId {
+        if data.label(v) != query.label(u) || partial.contains(&v) {
+            continue;
+        }
+        let consistent = (0..d).all(|j| {
+            !query.has_edge(j as QueryVertex, u) || data.has_edge(partial[j], v)
+        });
+        if consistent {
+            partial.push(v);
+            recurse(data, query, partial, count);
+            partial.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_graph::GraphBuilder;
+
+    #[test]
+    fn single_edge_query() {
+        // Path 0-1-2, all labels equal: edge query has 4 embeddings
+        // (2 edges × 2 directions).
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let q = QueryGraph::new(vec![0, 0], &[(0, 1)]).unwrap();
+        assert_eq!(count_embeddings(&g, &q), 4);
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        // Query edge with labels (0,1): two embeddings (0→1 and 0→2).
+        let q = QueryGraph::new(vec![0, 1], &[(0, 1)]).unwrap();
+        assert_eq!(count_embeddings(&g, &q), 2);
+        // Label 1 – label 1 edge: (1,2) and (2,1).
+        let q2 = QueryGraph::new(vec![1, 1], &[(0, 1)]).unwrap();
+        assert_eq!(count_embeddings(&g, &q2), 2);
+    }
+
+    #[test]
+    fn no_match_returns_zero() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let q = QueryGraph::new(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(count_embeddings(&g, &q), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-query execution context: candidate graph + matching order with
+//! precomputed backward-edge tables, and `GetMinCandidate`.
+
+use gsword_candidate::CandidateGraph;
+use gsword_graph::VertexId;
+use gsword_query::{MatchingOrder, QueryVertex};
+
+use crate::sample::SampleState;
+
+/// A backward constraint of an order position: the earlier position `pos`
+/// and the directed candidate-graph edge index `edge` from that position's
+/// query vertex to the current one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackwardEdge {
+    /// Earlier matching-order position.
+    pub pos: u8,
+    /// Directed edge index `φ[pos] → φ[i]` in the candidate graph.
+    pub edge: u32,
+}
+
+/// A resolved backward constraint at sampling time: the local candidate
+/// set (`C(u', u, v')`) plus its element offset inside the backing array
+/// (for the SIMT memory model).
+pub type Segment<'a> = (&'a [VertexId], usize);
+
+/// Everything a sampler needs to execute one query: the candidate graph,
+/// the matching order, and per-position backward edges resolved to
+/// candidate-graph edge indices.
+#[derive(Debug, Clone)]
+pub struct QueryCtx<'a> {
+    /// The candidate graph being sampled.
+    pub cg: &'a CandidateGraph,
+    /// The matching order `φ`.
+    pub order: &'a MatchingOrder,
+    backward: Vec<Vec<BackwardEdge>>,
+}
+
+impl<'a> QueryCtx<'a> {
+    /// Build the context. Panics if `order` and `cg` disagree on the query
+    /// (an edge of the order's query is missing from the candidate graph).
+    pub fn new(cg: &'a CandidateGraph, order: &'a MatchingOrder) -> Self {
+        assert_eq!(cg.num_query_vertices(), order.len());
+        let backward = (0..order.len())
+            .map(|i| {
+                order
+                    .backward_positions(i)
+                    .iter()
+                    .map(|&j| {
+                        let u_from = order.vertex_at(j as usize);
+                        let u_to = order.vertex_at(i);
+                        let edge = cg
+                            .edge_index(u_from, u_to)
+                            .expect("order edge must exist in candidate graph")
+                            as u32;
+                        BackwardEdge { pos: j, edge }
+                    })
+                    .collect()
+            })
+            .collect();
+        QueryCtx { cg, order, backward }
+    }
+
+    /// Number of matching-order positions (query vertices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the query is empty (never for valid queries).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Query vertex at position `i`.
+    #[inline]
+    pub fn vertex_at(&self, i: usize) -> QueryVertex {
+        self.order.vertex_at(i)
+    }
+
+    /// The backward constraints of position `i`.
+    #[inline]
+    pub fn backward(&self, i: usize) -> &[BackwardEdge] {
+        &self.backward[i]
+    }
+
+    /// Resolve the backward constraints of position `d` against a matched
+    /// prefix into local candidate segments, appended to `out` in
+    /// [`QueryCtx::backward`] order. Empty for `d == 0`.
+    #[inline]
+    pub fn backward_segments(&self, prefix: &[VertexId], d: usize, out: &mut Vec<Segment<'a>>) {
+        for be in &self.backward[d] {
+            out.push(self.cg.local_with_addr(be.edge as usize, prefix[be.pos as usize]));
+        }
+    }
+
+    /// The global candidate segment of the root position (`d == 0`).
+    #[inline]
+    pub fn root_candidates(&self) -> Segment<'a> {
+        self.cg.global_with_addr(self.vertex_at(0))
+    }
+
+    /// `GetMinCandidate` (Algorithm 1, line 8): the smallest candidate set
+    /// for extending `s` at position `d`, together with the element offset
+    /// of the set inside its backing array and whether it is a global set
+    /// (`d == 0`) or a local one.
+    ///
+    /// Returns an empty slice when some backward constraint has no
+    /// compatible neighbors — the sample is then invalid.
+    pub fn min_candidate(&self, s: &SampleState, d: usize) -> (&'a [VertexId], usize, bool) {
+        self.min_candidate_prefix(s.prefix(), d)
+    }
+
+    /// [`QueryCtx::min_candidate`] over a bare matched prefix (used by the
+    /// exact enumerator, which carries no probability state).
+    pub fn min_candidate_prefix(&self, prefix: &[VertexId], d: usize) -> (&'a [VertexId], usize, bool) {
+        if d == 0 {
+            let (set, addr) = self.root_candidates();
+            return (set, addr, true);
+        }
+        let mut best: Option<Segment<'a>> = None;
+        for be in &self.backward[d] {
+            let v = prefix[be.pos as usize];
+            let (set, addr) = self.cg.local_with_addr(be.edge as usize, v);
+            match best {
+                Some((b, _)) if b.len() <= set.len() => {}
+                _ => best = Some((set, addr)),
+            }
+            if set.is_empty() {
+                break; // cannot do better than empty
+            }
+        }
+        let (set, addr) = best.expect("every position d ≥ 1 has a backward edge");
+        (set, addr, false)
+    }
+
+    /// Pick the minimum segment out of resolved backward segments (the
+    /// engine resolves segments once and reuses them for Refine and
+    /// Validate).
+    pub fn min_of_segments<'s>(segs: &'s [Segment<'a>]) -> Segment<'a> {
+        *segs
+            .iter()
+            .min_by_key(|(seg, _)| seg.len())
+            .expect("positions d ≥ 1 always have a backward segment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_candidate::{build_candidate_graph, BuildConfig};
+    use gsword_graph::{Graph, GraphBuilder};
+    use gsword_query::QueryGraph;
+
+    fn setup() -> (Graph, QueryGraph) {
+        // Two triangles sharing an edge: 0-1-2, 1-2-3; labels all 0.
+        let mut b = GraphBuilder::with_vertices(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        let q = QueryGraph::new(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn backward_edges_resolve() {
+        let (g, q) = setup();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        assert_eq!(ctx.backward(0).len(), 0);
+        assert_eq!(ctx.backward(1).len(), 1);
+        assert_eq!(ctx.backward(2).len(), 2);
+        assert_eq!(ctx.backward(1)[0].pos, 0);
+    }
+
+    #[test]
+    fn min_candidate_global_at_root() {
+        let (g, q) = setup();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        let s = SampleState::new();
+        let (set, _, is_global) = ctx.min_candidate(&s, 0);
+        assert!(is_global);
+        assert_eq!(set, cg.global(0));
+    }
+
+    #[test]
+    fn min_candidate_picks_smallest_local() {
+        let (g, q) = setup();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        let mut s = SampleState::new();
+        s.push(0, 1.0); // match φ[0]=u0 → v0
+        s.push(1, 1.0); // match φ[1]=u1 → v1
+        let (set, _, is_global) = ctx.min_candidate(&s, 2);
+        assert!(!is_global);
+        assert!(set.len() <= 2, "min candidate should pick the smaller set");
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn segments_match_min_candidate() {
+        let (g, q) = setup();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        let mut s = SampleState::new();
+        s.push(0, 1.0);
+        s.push(1, 1.0);
+        let mut segs = Vec::new();
+        ctx.backward_segments(s.prefix(), 2, &mut segs);
+        assert_eq!(segs.len(), 2);
+        let (min_seg, _) = QueryCtx::min_of_segments(&segs);
+        let (direct, _, _) = ctx.min_candidate(&s, 2);
+        assert_eq!(min_seg.len(), direct.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Horvitz–Thompson aggregation (Equation 1), with variance tracking.
+
+/// Accumulated Horvitz–Thompson estimate over a set of samples.
+///
+/// Each completed sample contributes its HT weight `1/ℙ(s)`; invalid
+/// samples contribute 0 but still count toward `n`. The estimate of the
+/// subgraph count is the mean contribution. The sum of squared
+/// contributions is tracked so callers can derive sampling variance and
+/// confidence intervals (an extension over the paper, which reports
+/// point estimates; the CI is exact for independent samples and a
+/// heuristic under sample inheritance, where leaf contributions within a
+/// warp round are correlated).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Estimate {
+    /// Sum of HT weights of valid samples.
+    pub weight_sum: f64,
+    /// Sum of squared HT weights of valid samples.
+    pub weight_sq_sum: f64,
+    /// Total samples executed (valid + invalid).
+    pub samples: u64,
+    /// Samples that completed a full instance.
+    pub valid: u64,
+}
+
+impl Estimate {
+    /// Record one completed (valid) sample with HT weight `w`.
+    #[inline]
+    pub fn record_valid(&mut self, w: f64) {
+        self.weight_sum += w;
+        self.weight_sq_sum += w * w;
+        self.samples += 1;
+        self.valid += 1;
+    }
+
+    /// Record one invalid sample (indicator 0).
+    #[inline]
+    pub fn record_invalid(&mut self) {
+        self.samples += 1;
+    }
+
+    /// The HT estimate `Σ wᵢ / n` (0 when no samples ran).
+    pub fn value(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.weight_sum / self.samples as f64
+        }
+    }
+
+    /// Unbiased sample variance of the per-sample contribution
+    /// (`Σwᵢ²/n − mean²`, Bessel-corrected). 0 with fewer than 2 samples.
+    pub fn variance(&self) -> f64 {
+        if self.samples < 2 {
+            return 0.0;
+        }
+        let n = self.samples as f64;
+        let mean = self.value();
+        ((self.weight_sq_sum / n) - mean * mean).max(0.0) * n / (n - 1.0)
+    }
+
+    /// Standard error of the estimate (`√(variance/n)`).
+    pub fn std_error(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.variance() / self.samples as f64).sqrt()
+        }
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval,
+    /// relative to the estimate. `f64::INFINITY` when the estimate is 0.
+    pub fn rel_ci95(&self) -> f64 {
+        let v = self.value();
+        if v <= 0.0 {
+            return f64::INFINITY;
+        }
+        1.96 * self.std_error() / v
+    }
+
+    /// Fraction of samples that found a full instance (Figure 14's
+    /// "sample success ratio").
+    pub fn success_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.valid as f64 / self.samples as f64
+        }
+    }
+
+    /// Merge a partial estimate from another thread/block.
+    pub fn merge(&mut self, other: &Estimate) {
+        self.weight_sum += other.weight_sum;
+        self.weight_sq_sum += other.weight_sq_sum;
+        self.samples += other.samples;
+        self.valid += other.valid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimate_is_zero() {
+        let e = Estimate::default();
+        assert_eq!(e.value(), 0.0);
+        assert_eq!(e.success_ratio(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        assert_eq!(e.std_error(), 0.0);
+        assert_eq!(e.rel_ci95(), f64::INFINITY);
+    }
+
+    #[test]
+    fn mean_of_contributions() {
+        let mut e = Estimate::default();
+        e.record_valid(24.0);
+        e.record_invalid();
+        // The paper's Example 2: one valid (weight 24) + one invalid → 12.
+        assert_eq!(e.value(), 12.0);
+        assert_eq!(e.success_ratio(), 0.5);
+    }
+
+    #[test]
+    fn variance_of_known_sample() {
+        let mut e = Estimate::default();
+        e.record_valid(2.0);
+        e.record_valid(4.0);
+        // Sample variance of {2,4} with Bessel correction = 2.
+        assert!((e.variance() - 2.0).abs() < 1e-12);
+        assert!((e.std_error() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_contributions_have_zero_variance() {
+        let mut e = Estimate::default();
+        for _ in 0..10 {
+            e.record_valid(5.0);
+        }
+        assert!(e.variance().abs() < 1e-9);
+        assert!(e.rel_ci95().abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Estimate::default();
+        let mut large = Estimate::default();
+        for i in 0..20u64 {
+            let w = if i % 2 == 0 { 10.0 } else { 0.0 };
+            if w > 0.0 {
+                small.record_valid(w);
+            } else {
+                small.record_invalid();
+            }
+        }
+        for i in 0..2000u64 {
+            let w = if i % 2 == 0 { 10.0 } else { 0.0 };
+            if w > 0.0 {
+                large.record_valid(w);
+            } else {
+                large.record_invalid();
+            }
+        }
+        assert!(large.rel_ci95() < small.rel_ci95());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = Estimate::default();
+        a.record_valid(10.0);
+        a.record_invalid();
+        let mut b = Estimate::default();
+        b.record_valid(20.0);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.samples, 3);
+        assert_eq!(merged.valid, 2);
+        assert_eq!(merged.value(), 10.0);
+        assert_eq!(merged.weight_sq_sum, 100.0 + 400.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! RW estimators for subgraph counting: the Refine–Sample–Validate (RSV)
+//! abstraction, WanderJoin, Alley, and the Horvitz–Thompson aggregation.
+//!
+//! A sample grows a partial instance one data vertex per iteration along a
+//! matching order. At each iteration (Section 3.1):
+//!
+//! 1. **Refine** — prune the minimum local candidate set,
+//! 2. **Sample** — draw a vertex uniformly from the refined set, extending
+//!    the inclusion probability,
+//! 3. **Validate** — check the grown instance is still a valid partial
+//!    embedding; otherwise the sample terminates with indicator 0.
+//!
+//! A completed sample contributes `1/ℙ(s)` to the Horvitz–Thompson
+//! estimator (Equation 1). WanderJoin and Alley differ only in how much
+//! work Refine does versus Validate (Figure 19), which is exactly the
+//! degree of freedom the RSV abstraction exposes.
+
+pub mod branching;
+pub mod ctx;
+pub mod estimate;
+pub mod estimators;
+pub mod order_select;
+pub mod qerror;
+pub mod runner;
+pub mod sample;
+
+pub use branching::{run_branching, BranchingConfig, BranchingStats};
+pub use ctx::{BackwardEdge, QueryCtx, Segment};
+pub use estimate::Estimate;
+pub use estimators::{with_estimator, Alley, Estimator, EstimatorKind, WanderJoin};
+pub use order_select::{select_order, OrderScore, OrderSelectConfig};
+pub use qerror::{q_error, signed_q_error};
+pub use runner::{run_one_sample, run_parallel_cpu, run_partial_sample, run_sequential, CpuRunReport};
+pub use sample::{SampleState, MAX_QUERY};

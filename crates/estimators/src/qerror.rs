@@ -1,0 +1,52 @@
+//! The q-error metric (Section 6.4).
+
+/// q-error between an estimate and the ground truth:
+/// `max(max(1,c)/max(1,ĉ), max(1,ĉ)/max(1,c))`. Always ≥ 1; 1 is exact.
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let c = truth.max(1.0);
+    let e = estimate.max(1.0);
+    (c / e).max(e / c)
+}
+
+/// Signed q-error for the paper's up/down plots (Figure 13): positive for
+/// overestimation, negative for underestimation, magnitude = q-error.
+pub fn signed_q_error(estimate: f64, truth: f64) -> f64 {
+    let q = q_error(estimate, truth);
+    if estimate.max(1.0) >= truth.max(1.0) {
+        q
+    } else {
+        -q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_is_one() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(signed_q_error(100.0, 100.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_ratio() {
+        assert_eq!(q_error(50.0, 100.0), 2.0);
+        assert_eq!(q_error(200.0, 100.0), 2.0);
+        assert_eq!(signed_q_error(50.0, 100.0), -2.0);
+        assert_eq!(signed_q_error(200.0, 100.0), 2.0);
+    }
+
+    #[test]
+    fn zero_estimate_clamps_to_one() {
+        // The empty-estimate case of WordNet: q-error = truth.
+        assert_eq!(q_error(0.0, 1e6), 1e6);
+        assert_eq!(signed_q_error(0.0, 1e6), -1e6);
+    }
+
+    #[test]
+    fn zero_truth_clamps_to_one() {
+        assert_eq!(q_error(5.0, 0.0), 5.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+}

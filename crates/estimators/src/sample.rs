@@ -1,0 +1,101 @@
+//! Per-sample state: the partial instance and its inclusion probability.
+
+use gsword_graph::VertexId;
+
+/// Maximum query size supported by the fixed-size sample state. Matches
+/// [`gsword_query::QueryGraph::MAX_VERTICES`]; fixed sizing keeps the state
+/// `Copy` — the property that makes warp-level `_shfl` inheritance cheap
+/// (static memory management, Section 4.1's discussion).
+pub const MAX_QUERY: usize = 32;
+
+/// A partial instance under construction: the data vertices matched at each
+/// matching-order position, the current depth, and the accumulated
+/// inclusion probability `ℙ(s) = ∏ 1/|Cᵢ|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleState {
+    /// `ins[i]` = data vertex matched at order position `i` (`i < depth`).
+    pub ins: [VertexId; MAX_QUERY],
+    /// Number of matched positions.
+    pub depth: u8,
+    /// Inclusion probability of the partial instance so far.
+    pub prob: f64,
+}
+
+impl Default for SampleState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleState {
+    /// Fresh sample: empty instance, probability 1.
+    #[inline]
+    pub fn new() -> Self {
+        SampleState {
+            ins: [0; MAX_QUERY],
+            depth: 0,
+            prob: 1.0,
+        }
+    }
+
+    /// The matched prefix as a slice.
+    #[inline]
+    pub fn prefix(&self) -> &[VertexId] {
+        &self.ins[..self.depth as usize]
+    }
+
+    /// Whether `v` already appears in the prefix (`DupCheck` of Fig. 19 —
+    /// embeddings are injective).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.prefix().contains(&v)
+    }
+
+    /// Extend with `v`, multiplying the inclusion probability by
+    /// `step_prob` (the probability of drawing `v` at this iteration).
+    #[inline]
+    pub fn push(&mut self, v: VertexId, step_prob: f64) {
+        debug_assert!((self.depth as usize) < MAX_QUERY);
+        self.ins[self.depth as usize] = v;
+        self.depth += 1;
+        self.prob *= step_prob;
+    }
+
+    /// Horvitz–Thompson weight of a *completed* sample: `1/ℙ(s)`.
+    #[inline]
+    pub fn ht_weight(&self) -> f64 {
+        1.0 / self.prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_depth_and_prob() {
+        let mut s = SampleState::new();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.prob, 1.0);
+        s.push(7, 0.5);
+        s.push(9, 1.0 / 3.0);
+        assert_eq!(s.prefix(), &[7, 9]);
+        assert!((s.prob - 1.0 / 6.0).abs() < 1e-15);
+        assert!((s.ht_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_checks_prefix_only() {
+        let mut s = SampleState::new();
+        s.push(3, 1.0);
+        assert!(s.contains(3));
+        assert!(!s.contains(0), "untouched slots must not leak");
+    }
+
+    #[test]
+    fn state_is_copy_for_shfl() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<SampleState>();
+        assert!(std::mem::size_of::<SampleState>() <= 160);
+    }
+}

@@ -1,0 +1,348 @@
+//! Compressed sparse row storage for undirected, vertex-labeled graphs.
+
+use crate::{GraphError, Label, VertexId};
+
+/// An undirected, vertex-labeled graph in CSR form.
+///
+/// Both directions of every edge are stored, adjacency lists are sorted, and
+/// the structure is immutable after construction — the access pattern the
+/// sampling kernels rely on (contiguous neighbor slices, binary-search edge
+/// probes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    labels: Vec<Label>,
+    /// Number of undirected edges (each counted once).
+    num_edges: usize,
+    /// Largest label value + 1.
+    label_count: usize,
+    /// Vertices grouped by label: `label_index[label_offsets[l]..label_offsets[l+1]]`.
+    label_offsets: Vec<usize>,
+    label_index: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of distinct label values the graph can hold (max label + 1).
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// The label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The sorted neighbor list of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Probe the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree (`2|E|/|V|`), as reported in Table 1.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges as f64 / self.num_vertices() as f64
+    }
+
+    /// Vertices carrying label `l`, sorted by id.
+    #[inline]
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        let l = l as usize;
+        if l + 1 >= self.label_offsets.len() {
+            return &[];
+        }
+        &self.label_index[self.label_offsets[l]..self.label_offsets[l + 1]]
+    }
+
+    /// Number of distinct labels that actually occur.
+    pub fn distinct_labels(&self) -> usize {
+        (0..self.label_count)
+            .filter(|&l| !self.vertices_with_label(l as Label).is_empty())
+            .count()
+    }
+
+    /// Iterator over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Approximate heap footprint in bytes — used to model candidate-graph
+    /// transfer costs.
+    pub fn byte_size(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.labels.len() * std::mem::size_of::<Label>()
+            + self.label_offsets.len() * std::mem::size_of::<usize>()
+            + self.label_index.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Self-loops are dropped and duplicate edges are deduplicated at
+/// [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Create a builder with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder pre-sized for `n` vertices, all labeled `0`.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder {
+            labels: vec![0; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Append a vertex with the given label, returning its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = self.labels.len() as VertexId;
+        self.labels.push(label);
+        id
+    }
+
+    /// Set the label of an existing vertex.
+    pub fn set_label(&mut self, v: VertexId, label: Label) {
+        self.labels[v as usize] = label;
+    }
+
+    /// Current number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Record an undirected edge. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u != v {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+    }
+
+    /// Whether an edge has been recorded (linear scan; intended for small
+    /// builders such as query extraction, not bulk loads).
+    pub fn has_edge_slow(&self, u: VertexId, v: VertexId) -> bool {
+        let key = (u.min(v), u.max(v));
+        self.edges.contains(&key)
+    }
+
+    /// Finalize into an immutable CSR [`Graph`].
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        let n = self.labels.len();
+        for &(u, v) in &self.edges {
+            let hi = u.max(v) as u64;
+            if hi >= n as u64 {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: hi,
+                    num_vertices: n as u64,
+                });
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut neighbors = vec![0 as VertexId; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        let label_count = self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut label_counts = vec![0usize; label_count];
+        for &l in &self.labels {
+            label_counts[l as usize] += 1;
+        }
+        let mut label_offsets = Vec::with_capacity(label_count + 1);
+        label_offsets.push(0usize);
+        for c in &label_counts {
+            label_offsets.push(label_offsets.last().unwrap() + c);
+        }
+        let mut label_index = vec![0 as VertexId; n];
+        let mut lcursor = label_offsets.clone();
+        for (v, &l) in self.labels.iter().enumerate() {
+            label_index[lcursor[l as usize]] = v as VertexId;
+            lcursor[l as usize] += 1;
+        }
+
+        Ok(Graph {
+            offsets,
+            neighbors,
+            num_edges: self.edges.len(),
+            labels: self.labels,
+            label_count,
+            label_offsets,
+            label_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 0-2, 1-2, 1-3, 2-3 with labels 0,1,1,2
+        let mut b = GraphBuilder::new();
+        for l in [0, 1, 1, 2] {
+            b.add_vertex(l);
+        }
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = diamond();
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        for u in 0..4u32 {
+            for &v in g.neighbors(u) {
+                assert!(g.has_edge(v, u), "edge ({u},{v}) not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_probes() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_collapse() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn label_index_groups_vertices() {
+        let g = diamond();
+        assert_eq!(g.vertices_with_label(1), &[1, 2]);
+        assert_eq!(g.vertices_with_label(0), &[0]);
+        assert_eq!(g.vertices_with_label(7), &[] as &[VertexId]);
+        assert_eq!(g.distinct_labels(), 3);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::with_vertices(2);
+        b.add_edge(0, 5);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The eight-dataset suite mirroring Table 1 of the paper at reduced scale.
+//!
+//! | Paper dataset | Category | Paper |V| / |E| / d / L | Suite |V| (scale) |
+//! |---|---|---|---|
+//! | Yeast    | Biology  | 3,112 / 12,519 / 8.0 / 71     | 3,112 (1×)    |
+//! | HPRD     | Biology  | 9,460 / 34,998 / 7.4 / 307    | 9,460 (1×)    |
+//! | WordNet  | Lexical  | 76,853 / 120,399 / 3.1 / 5    | 19,213 (4×)   |
+//! | Patents  | Citation | 3.77M / 16.5M / 8.8 / 20      | 37,747 (100×) |
+//! | DBLP     | Citation | 317,080 / 1.05M / 6.6 / 15    | 31,708 (10×)  |
+//! | Orkut    | Social   | 3.07M / 117M / 38.1 / 150     | 30,724 (100×) |
+//! | eu2005   | Web      | 862,664 / 16.1M / 37.4 / 40   | 21,566 (40×)  |
+//! | uk2002   | Web      | 18.5M / 298M / 16.1 / 200     | 46,301 (400×) |
+//!
+//! The biology graphs are generated at full scale; the rest are scaled down
+//! so the complete experiment suite runs on a laptop. Average degree, label
+//! count, and degree-distribution family (near-uniform for biology,
+//! power-law for citation/social/web, sparse tree-like for lexical) match
+//! the originals — these are the properties that determine sampling
+//! behaviour. See DESIGN.md §1 for the substitution argument.
+
+use crate::gen::{barabasi_albert, erdos_renyi, sparse_lexical, zipf_labels};
+use crate::Graph;
+
+/// Degree-distribution family used for a suite dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Near-uniform degrees (Erdős–Rényi) — biology graphs.
+    Uniform,
+    /// Power-law degrees (Barabási–Albert) — citation/social/web graphs.
+    PowerLaw,
+    /// Sparse, label-poor, tree-like — the WordNet regime.
+    Lexical,
+}
+
+/// Static description of one suite dataset.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DatasetSpec {
+    /// Suite name (lowercase paper name).
+    pub name: &'static str,
+    /// Category column of Table 1.
+    pub category: &'static str,
+    /// Generator family.
+    pub family: Family,
+    /// Suite vertex count.
+    pub num_vertices: usize,
+    /// Target undirected edge count (`Uniform`) or attachment count (`PowerLaw`).
+    pub edge_param: usize,
+    /// Number of distinct labels (Table 1's `L`).
+    pub label_count: usize,
+    /// Zipf skew of the label distribution.
+    pub label_skew: f64,
+    /// Scale-down factor relative to the paper's graph.
+    pub scale: u32,
+    /// Paper's |V|, |E|, avg degree for EXPERIMENTS.md cross-referencing.
+    pub paper_vertices: u64,
+    /// Paper's edge count.
+    pub paper_edges: u64,
+    /// Paper's average degree.
+    pub paper_avg_degree: f64,
+}
+
+/// All eight specs, in Table 1 order.
+pub const SPECS: [DatasetSpec; 8] = [
+    DatasetSpec {
+        name: "yeast",
+        category: "Biology",
+        family: Family::Uniform,
+        num_vertices: 3_112,
+        edge_param: 12_519,
+        label_count: 71,
+        label_skew: 0.8,
+        scale: 1,
+        paper_vertices: 3_112,
+        paper_edges: 12_519,
+        paper_avg_degree: 8.0,
+    },
+    DatasetSpec {
+        name: "hprd",
+        category: "Biology",
+        family: Family::Uniform,
+        num_vertices: 9_460,
+        edge_param: 34_998,
+        label_count: 307,
+        label_skew: 0.8,
+        scale: 1,
+        paper_vertices: 9_460,
+        paper_edges: 34_998,
+        paper_avg_degree: 7.4,
+    },
+    DatasetSpec {
+        name: "wordnet",
+        category: "Lexical",
+        family: Family::Lexical,
+        num_vertices: 19_213,
+        edge_param: 0,
+        label_count: 5,
+        label_skew: 0.8,
+        scale: 4,
+        paper_vertices: 76_853,
+        paper_edges: 120_399,
+        paper_avg_degree: 3.1,
+    },
+    DatasetSpec {
+        name: "patents",
+        category: "Citation",
+        family: Family::PowerLaw,
+        num_vertices: 37_747,
+        edge_param: 4,
+        label_count: 20,
+        label_skew: 1.0,
+        scale: 100,
+        paper_vertices: 3_774_768,
+        paper_edges: 16_518_947,
+        paper_avg_degree: 8.8,
+    },
+    DatasetSpec {
+        name: "dblp",
+        category: "Citation",
+        family: Family::PowerLaw,
+        num_vertices: 31_708,
+        edge_param: 3,
+        label_count: 15,
+        label_skew: 1.0,
+        scale: 10,
+        paper_vertices: 317_080,
+        paper_edges: 1_049_866,
+        paper_avg_degree: 6.6,
+    },
+    DatasetSpec {
+        name: "orkut",
+        category: "Social",
+        family: Family::PowerLaw,
+        num_vertices: 30_724,
+        edge_param: 19,
+        label_count: 150,
+        label_skew: 1.0,
+        scale: 100,
+        paper_vertices: 3_072_441,
+        paper_edges: 117_185_083,
+        paper_avg_degree: 38.14,
+    },
+    DatasetSpec {
+        name: "eu2005",
+        category: "Web",
+        family: Family::PowerLaw,
+        num_vertices: 21_566,
+        edge_param: 19,
+        label_count: 40,
+        label_skew: 1.1,
+        scale: 40,
+        paper_vertices: 862_664,
+        paper_edges: 16_138_468,
+        paper_avg_degree: 37.4,
+    },
+    DatasetSpec {
+        name: "uk2002",
+        category: "Web",
+        family: Family::PowerLaw,
+        num_vertices: 46_301,
+        edge_param: 8,
+        label_count: 200,
+        label_skew: 1.1,
+        scale: 400,
+        paper_vertices: 18_520_486,
+        paper_edges: 298_113_762,
+        paper_avg_degree: 16.1,
+    },
+];
+
+impl DatasetSpec {
+    /// Generate the suite graph for this spec (deterministic).
+    pub fn generate(&self) -> Graph {
+        let seed = fxhash_name(self.name);
+        match self.family {
+            Family::Uniform => {
+                let labels = zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
+                erdos_renyi(self.num_vertices, self.edge_param, labels, seed ^ 0xE1)
+            }
+            Family::PowerLaw => {
+                let labels = zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
+                barabasi_albert(self.num_vertices, self.edge_param, labels, seed ^ 0xBA)
+            }
+            Family::Lexical => sparse_lexical(self.num_vertices, self.label_count, seed ^ 0x1E),
+        }
+    }
+}
+
+/// Stable per-name seed so every dataset is reproducible independently.
+fn fxhash_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Look up a dataset spec by suite name.
+pub fn spec(name: &str) -> Option<&'static DatasetSpec> {
+    SPECS.iter().find(|s| s.name == name)
+}
+
+/// Generate a suite dataset by name. Panics on unknown names (the suite is a
+/// fixed eight-element registry; see [`dataset_names`]).
+pub fn dataset(name: &str) -> Graph {
+    spec(name)
+        .unwrap_or_else(|| panic!("unknown dataset '{name}'; expected one of {:?}", dataset_names()))
+        .generate()
+}
+
+/// The eight suite names in Table 1 order.
+pub fn dataset_names() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_eight_names() {
+        assert_eq!(
+            dataset_names(),
+            vec!["yeast", "hprd", "wordnet", "patents", "dblp", "orkut", "eu2005", "uk2002"]
+        );
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = dataset("yeast");
+        let b = dataset("yeast");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn yeast_matches_paper_scale() {
+        let g = dataset("yeast");
+        assert_eq!(g.num_vertices(), 3_112);
+        let d = g.avg_degree();
+        assert!((6.5..9.5).contains(&d), "avg degree {d}");
+    }
+
+    #[test]
+    fn wordnet_is_sparse_and_label_poor() {
+        let g = dataset("wordnet");
+        assert!(g.avg_degree() < 4.5);
+        assert!(g.label_count() <= 5);
+    }
+
+    #[test]
+    fn web_graphs_are_skewed() {
+        for name in ["eu2005", "orkut"] {
+            let g = dataset(name);
+            assert!(
+                (g.max_degree() as f64) > 5.0 * g.avg_degree(),
+                "{name} should be heavy-tailed"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_degrees_track_paper() {
+        for s in &SPECS {
+            let g = s.generate();
+            let d = g.avg_degree();
+            let target = s.paper_avg_degree;
+            assert!(
+                d > target * 0.55 && d < target * 1.45,
+                "{}: suite avg degree {d:.1} vs paper {target:.1}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        dataset("livejournal");
+    }
+}

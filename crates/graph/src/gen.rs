@@ -1,0 +1,206 @@
+//! Seeded synthetic graph generators.
+//!
+//! The dataset suite ([`crate::datasets`]) combines these primitives to
+//! reproduce the *shape* of the paper's eight evaluation graphs: degree
+//! skew, density, and label selectivity are the properties that drive the
+//! sampling behaviour studied in the paper.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Graph, GraphBuilder, Label, VertexId};
+
+/// Draw labels for `n` vertices from a Zipf-like distribution over
+/// `label_count` labels with exponent `skew` (0 = uniform).
+///
+/// Real labeled graphs have highly non-uniform label frequencies; the label
+/// distribution controls global candidate-set sizes and is therefore central
+/// to sampling difficulty.
+pub fn zipf_labels(n: usize, label_count: usize, skew: f64, seed: u64) -> Vec<Label> {
+    assert!(label_count > 0, "label_count must be positive");
+    assert!(label_count <= Label::MAX as usize + 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Precompute the CDF of p(l) ∝ 1/(l+1)^skew.
+    let mut cdf = Vec::with_capacity(label_count);
+    let mut acc = 0.0f64;
+    for l in 0..label_count {
+        acc += 1.0 / ((l + 1) as f64).powf(skew);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < x);
+            idx.min(label_count - 1) as Label
+        })
+        .collect()
+}
+
+/// Erdős–Rényi `G(n, m)` with the given labels.
+///
+/// Produces near-uniform degrees — the regime of the biology graphs (Yeast,
+/// HPRD) where warp workloads are naturally balanced.
+pub fn erdos_renyi(n: usize, m: usize, labels: Vec<Label>, seed: u64) -> Graph {
+    assert_eq!(labels.len(), n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for (v, &l) in labels.iter().enumerate() {
+        b.set_label(v as VertexId, l);
+    }
+    if n < 2 {
+        return b.build().expect("generator edges are in range");
+    }
+    // Sample edges with replacement; duplicates are deduplicated by the
+    // builder, so overshoot slightly to land near m distinct edges.
+    let attempts = m + m / 8 + 8;
+    for _ in 0..attempts {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        b.add_edge(u, v);
+    }
+    b.build().expect("generator edges are in range")
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+///
+/// Produces the power-law degree skew of the web/social graphs (eu2005,
+/// Orkut, uk2002) that drives the paper's refine-imbalance problem.
+pub fn barabasi_albert(n: usize, m_attach: usize, labels: Vec<Label>, seed: u64) -> Graph {
+    assert_eq!(labels.len(), n);
+    assert!(m_attach >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(n);
+    for (v, &l) in labels.iter().enumerate() {
+        b.set_label(v as VertexId, l);
+    }
+    if n < 2 {
+        return b.build().expect("generator edges are in range");
+    }
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is preferential attachment.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    let seed_vertices = (m_attach + 1).min(n);
+    for u in 0..seed_vertices {
+        for v in 0..u {
+            b.add_edge(u as VertexId, v as VertexId);
+            targets.push(u as VertexId);
+            targets.push(v as VertexId);
+        }
+    }
+    for u in seed_vertices..n {
+        for _ in 0..m_attach {
+            let v = targets[rng.gen_range(0..targets.len())];
+            b.add_edge(u as VertexId, v);
+            targets.push(u as VertexId);
+            targets.push(v);
+        }
+    }
+    b.build().expect("generator edges are in range")
+}
+
+/// Sparse "lexical"-style generator: a forest of shallow hub trees with a few
+/// cross links, mimicking WordNet (avg degree ≈ 3, very few labels, long
+/// chains). Matching large queries here is extremely unlikely — the
+/// underestimation regime of Section 5.
+pub fn sparse_lexical(n: usize, label_count: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Heavily skewed labels (~70% mass on the top label), like WordNet's
+    // part-of-speech tags: large-query instance counts are then huge while
+    // any individual sample still dies in the sparse structure — the
+    // underestimation regime of Section 5.
+    let labels = zipf_labels(n, label_count, 2.2, seed ^ 0x5EED);
+    let mut b = GraphBuilder::with_vertices(n);
+    for (v, &l) in labels.iter().enumerate() {
+        b.set_label(v as VertexId, l);
+    }
+    if n < 2 {
+        return b.build().expect("generator edges are in range");
+    }
+    // Chain/tree backbone: each vertex links to a close predecessor, giving
+    // depth and low degree.
+    for v in 1..n {
+        let window = 16.min(v);
+        let u = v - 1 - rng.gen_range(0..window);
+        b.add_edge(u as VertexId, v as VertexId);
+    }
+    // Sparse random cross links (~0.55 per vertex) to reach avg degree ≈ 3.1.
+    let extra = n.saturating_mul(11) / 20;
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        b.add_edge(u, v);
+    }
+    b.build().expect("generator edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_labels_in_range_and_skewed() {
+        let labels = zipf_labels(20_000, 10, 1.2, 7);
+        assert!(labels.iter().all(|&l| l < 10));
+        let count0 = labels.iter().filter(|&&l| l == 0).count();
+        let count9 = labels.iter().filter(|&&l| l == 9).count();
+        assert!(
+            count0 > 4 * count9.max(1),
+            "label 0 ({count0}) should dominate label 9 ({count9})"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let labels = zipf_labels(50_000, 5, 0.0, 3);
+        for l in 0..5 {
+            let c = labels.iter().filter(|&&x| x == l).count();
+            assert!((8_000..12_000).contains(&c), "label {l} count {c}");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_shape() {
+        let g = erdos_renyi(1000, 5000, zipf_labels(1000, 8, 1.0, 1), 42);
+        assert_eq!(g.num_vertices(), 1000);
+        // Deduplication loses a few; should land close to the target.
+        assert!(g.num_edges() > 4500 && g.num_edges() < 5700, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let l = zipf_labels(500, 4, 1.0, 9);
+        let g1 = erdos_renyi(500, 2000, l.clone(), 11);
+        let g2 = erdos_renyi(500, 2000, l, 11);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn barabasi_albert_is_skewed() {
+        let g = barabasi_albert(2000, 4, vec![0; 2000], 5);
+        assert_eq!(g.num_vertices(), 2000);
+        let max_d = g.max_degree() as f64;
+        let avg_d = g.avg_degree();
+        assert!(
+            max_d > 8.0 * avg_d,
+            "power-law graph should have heavy hubs: max {max_d}, avg {avg_d}"
+        );
+    }
+
+    #[test]
+    fn sparse_lexical_shape() {
+        let g = sparse_lexical(10_000, 5, 17);
+        let avg = g.avg_degree();
+        assert!((2.0..4.5).contains(&avg), "avg degree {avg}");
+        assert!(g.label_count() <= 5);
+    }
+
+    #[test]
+    fn generators_handle_tiny_inputs() {
+        assert_eq!(erdos_renyi(1, 10, vec![0], 0).num_edges(), 0);
+        assert_eq!(barabasi_albert(1, 3, vec![0], 0).num_edges(), 0);
+        assert_eq!(sparse_lexical(1, 3, 0).num_edges(), 0);
+        assert_eq!(sparse_lexical(0, 3, 0).num_vertices(), 0);
+    }
+}

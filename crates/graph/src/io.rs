@@ -1,0 +1,273 @@
+//! Text-format readers and writers.
+//!
+//! The format is the one used across the subgraph-matching literature
+//! (CECI, GuP, the in-depth study of Sun & Luo, the original gSWORD
+//! artifacts):
+//!
+//! ```text
+//! t <num_vertices> <num_edges>
+//! v <id> <label> <degree>
+//! ...
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! The degree column on `v` lines is informational and ignored on load.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, GraphBuilder, GraphError, Label, VertexId};
+
+/// Parse a graph from a reader in `t/v/e` text format.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder: Option<GraphBuilder> = None;
+    let mut line_no = 0usize;
+
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let tag = it.next().unwrap();
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no,
+            message: message.to_string(),
+        };
+        match tag {
+            "t" => {
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing vertex count"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad vertex count"))?;
+                builder = Some(GraphBuilder::with_vertices(n));
+            }
+            "v" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err("'v' record before 't' header"))?;
+                let id: VertexId = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing vertex id"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad vertex id"))?;
+                let label: Label = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing label"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad label"))?;
+                if (id as usize) >= b.num_vertices() {
+                    return Err(parse_err("vertex id exceeds declared count"));
+                }
+                b.set_label(id, label);
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err("'e' record before 't' header"))?;
+                let u: VertexId = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge endpoint"))?;
+                let v: VertexId = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge endpoint"))?;
+                b.add_edge(u, v);
+            }
+            _ => return Err(parse_err("unknown record tag")),
+        }
+    }
+    builder
+        .ok_or(GraphError::Parse {
+            line: line_no,
+            message: "empty input (no 't' header)".to_string(),
+        })?
+        .build()
+}
+
+/// Load a graph from a file in `t/v/e` text format.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+/// Serialize a graph to a writer in `t/v/e` text format.
+pub fn write_graph<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "t {} {}", graph.num_vertices(), graph.num_edges())?;
+    for v in 0..graph.num_vertices() as VertexId {
+        writeln!(w, "v {} {} {}", v, graph.label(v), graph.degree(v))?;
+    }
+    for (u, v) in graph.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Save a graph to a file in `t/v/e` text format.
+pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    write_graph(graph, std::fs::File::create(path)?)
+}
+
+/// Parse a SNAP-style whitespace edge list (`u v` per line, `#`/`%`
+/// comments). Vertex ids may be sparse; they are compacted to `0..n`.
+/// All vertices receive label 0 — assign labels afterwards (e.g. via
+/// [`crate::gen::zipf_labels`] and [`relabel`]), matching the paper's
+/// treatment of unlabeled datasets.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut id_map: std::collections::HashMap<u64, VertexId> = std::collections::HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing endpoint"))?
+            .parse()
+            .map_err(|_| parse_err("bad endpoint"))?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing endpoint"))?
+            .parse()
+            .map_err(|_| parse_err("bad endpoint"))?;
+        let mut intern = |x: u64| -> VertexId {
+            let next = id_map.len() as VertexId;
+            *id_map.entry(x).or_insert(next)
+        };
+        let (a, b) = (intern(u), intern(v));
+        edges.push((a, b));
+    }
+    let mut builder = GraphBuilder::with_vertices(id_map.len());
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    builder.build()
+}
+
+/// Load a SNAP-style edge list from a file. See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Rebuild a graph with new vertex labels (same structure).
+pub fn relabel(graph: &Graph, labels: &[Label]) -> Result<Graph, GraphError> {
+    if labels.len() != graph.num_vertices() {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "label count {} does not match vertex count {}",
+                labels.len(),
+                graph.num_vertices()
+            ),
+        });
+    }
+    let mut b = GraphBuilder::with_vertices(graph.num_vertices());
+    for (v, &l) in labels.iter().enumerate() {
+        b.set_label(v as VertexId, l);
+    }
+    for (u, v) in graph.edges() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment
+t 4 5
+v 0 0 2
+v 1 1 3
+v 2 1 3
+v 3 2 2
+e 0 1
+e 0 2
+e 1 2
+e 1 3
+e 2 3
+";
+
+    #[test]
+    fn parse_sample() {
+        let g = read_graph(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.label(1), 1);
+        assert!(g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = read_graph(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_graph("v 0 1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_vertex_id() {
+        let err = read_graph("t 1 0\nv 9 0 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let err = read_graph("t 1 0\nx 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_graph("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_compacts_sparse_ids() {
+        let g = read_edge_list("# snap header\n10 20\n20 30\n10 30\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("1 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = read_edge_list("0 1\n1 2\n".as_bytes()).unwrap();
+        let g2 = relabel(&g, &[5, 6, 7]).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.label(1), 6);
+        assert!(relabel(&g, &[1]).is_err());
+    }
+}

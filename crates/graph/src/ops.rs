@@ -1,0 +1,177 @@
+//! Structural graph operations: components, induced subgraphs, histograms.
+//!
+//! Real-world loaders (SNAP edge lists) produce disconnected graphs; query
+//! extraction and sampling want the giant component. These helpers cover
+//! the preprocessing a downstream user needs before counting.
+
+use crate::{Graph, GraphBuilder, VertexId};
+
+/// Connected-component labeling: returns one component id per vertex and
+/// the number of components.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    const UNSET: u32 = u32::MAX;
+    let mut comp = vec![UNSET; g.num_vertices()];
+    let mut next = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in 0..g.num_vertices() as VertexId {
+        if comp[start as usize] != UNSET {
+            continue;
+        }
+        comp[start as usize] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == UNSET {
+                    comp[w as usize] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Extract the largest connected component (vertices renumbered, labels
+/// kept). Returns the original vertex id of each new vertex alongside.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
+    let (comp, count) = connected_components(g);
+    if count <= 1 {
+        let ids = (0..g.num_vertices() as VertexId).collect();
+        return (g.clone(), ids);
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| comp[v as usize] == best)
+        .collect();
+    (induced_subgraph(g, &keep), keep)
+}
+
+/// Induced subgraph over `vertices` (must be distinct), renumbered to
+/// `0..vertices.len()` in the given order.
+pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Graph {
+    let mut index = std::collections::HashMap::with_capacity(vertices.len());
+    for (new, &old) in vertices.iter().enumerate() {
+        let prev = index.insert(old, new as VertexId);
+        assert!(prev.is_none(), "duplicate vertex {old} in induced set");
+    }
+    let mut b = GraphBuilder::with_vertices(vertices.len());
+    for (new, &old) in vertices.iter().enumerate() {
+        b.set_label(new as VertexId, g.label(old));
+        for &w in g.neighbors(old) {
+            if let Some(&nw) = index.get(&w) {
+                b.add_edge(new as VertexId, nw);
+            }
+        }
+    }
+    b.build().expect("induced edges are in range")
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() as VertexId {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Label histogram: `hist[l]` = number of vertices with label `l`.
+pub fn label_histogram(g: &Graph) -> Vec<usize> {
+    (0..g.label_count())
+        .map(|l| g.vertices_with_label(l as crate::Label).len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        // Components {0,1,2} and {3,4,5}.
+        let mut b = GraphBuilder::with_vertices(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        for v in 3..6 {
+            b.set_label(v, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = two_triangles();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn components_count_isolated_vertices() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn largest_component_breaks_ties_deterministically() {
+        let g = two_triangles();
+        let (lc, ids) = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 3);
+        assert_eq!(lc.num_edges(), 3);
+        // Equal sizes: max_by_key keeps the last max → component 1 ({3,4,5}).
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert_eq!(lc.label(0), 1, "labels preserved");
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build().unwrap();
+        let (lc, ids) = largest_component(&g);
+        assert_eq!(lc, g);
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = two_triangles();
+        let sub = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 1); // only 0-1 survives
+        assert_eq!(sub.label(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = two_triangles();
+        induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn histograms() {
+        let g = two_triangles();
+        let dh = degree_histogram(&g);
+        assert_eq!(dh, vec![0, 0, 6]); // all degree 2
+        let lh = label_histogram(&g);
+        assert_eq!(lh, vec![3, 3]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Graph statistics — the columns of Table 1.
+
+use crate::{Graph, VertexId};
+
+/// Summary statistics of a data graph (Table 1's columns plus the degree
+/// extremes the workload-imbalance discussion depends on).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GraphStats {
+    /// |V|.
+    pub num_vertices: usize,
+    /// |E| (undirected, counted once).
+    pub num_edges: usize,
+    /// Average degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of distinct labels that occur.
+    pub labels: usize,
+    /// Coefficient of variation of the degree distribution (stddev/mean) —
+    /// the skew proxy behind refine imbalance.
+    pub degree_cv: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+        let mean = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+        let var = if n == 0 {
+            0.0
+        } else {
+            degrees
+                .iter()
+                .map(|&d| {
+                    let x = d as f64 - mean;
+                    x * x
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            labels: g.distinct_labels(),
+            degree_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} d={:.1} dmax={} L={} cv={:.2}",
+            self.num_vertices, self.num_edges, self.avg_degree, self.max_degree, self.labels, self.degree_cv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_triangle() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let s = GraphStats::of(&b.build().unwrap());
+        assert_eq!(s.num_vertices, 3);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.labels, 1);
+        assert!(s.degree_cv.abs() < 1e-12, "regular graph has zero cv");
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = GraphStats::of(&GraphBuilder::new().build().unwrap());
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.degree_cv, 0.0);
+    }
+
+    #[test]
+    fn skew_increases_cv() {
+        // Star graph: one hub of degree 9, nine leaves of degree 1.
+        let mut b = GraphBuilder::with_vertices(10);
+        for v in 1..10 {
+            b.add_edge(0, v);
+        }
+        let s = GraphStats::of(&b.build().unwrap());
+        assert!(s.degree_cv > 1.0, "star cv {}", s.degree_cv);
+    }
+}

@@ -1,0 +1,26 @@
+//! The trawling strategy (Algorithm 4) and the CPU–GPU co-processing
+//! pipeline (Section 5).
+//!
+//! RW estimators underestimate badly when valid samples are rare (the
+//! WordNet regime: success ratios below 1e-7). Trawling samples only a
+//! *prefix* of `d` vertices — cheap to obtain even in skewed spaces — and
+//! *enumerates* all completions of that prefix exactly. The estimator
+//!
+//! ```text
+//! T = (∏_{j≤d} |C_ij|) · ℂ(s(d))      (0 when the prefix sampling fails)
+//! ```
+//!
+//! is unbiased for the subgraph count for *any* distribution over `d`
+//! (Appendix theorem); the paper draws `d` from a truncated geometric
+//! distribution `P(d=j) ∝ 2⁻ʲ, j ∈ [3, |V_q|]`.
+//!
+//! The co-processing pipeline overlaps the expensive enumeration with GPU
+//! sampling: samples are produced in batches, each batch hands `t` trawl
+//! tasks to a CPU worker pool, and the pool is preempted when the next GPU
+//! batch completes — only tasks that finished enumeration count.
+
+pub mod report;
+pub mod trawl;
+
+pub use report::PipelineReport;
+pub use trawl::{run_coprocessing, trawl_once, DepthDist, TrawlConfig};

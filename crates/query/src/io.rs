@@ -1,0 +1,137 @@
+//! Query graph serialization in the same `t/v/e` text format as data
+//! graphs — query workloads can be saved and replayed across runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use gsword_graph::{GraphError, Label};
+
+use crate::query::{QueryGraph, QueryVertex};
+
+/// Parse a query graph from `t/v/e` text.
+pub fn read_query<R: Read>(reader: R) -> Result<QueryGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut labels: Vec<Label> = Vec::new();
+    let mut edges: Vec<(QueryVertex, QueryVertex)> = Vec::new();
+    let mut declared = 0usize;
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no,
+            message: message.to_string(),
+        };
+        match it.next().unwrap() {
+            "t" => {
+                declared = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing vertex count"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad vertex count"))?;
+                if declared > QueryGraph::MAX_VERTICES {
+                    return Err(parse_err("query too large"));
+                }
+                labels = vec![0; declared];
+            }
+            "v" => {
+                let id: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing id"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad id"))?;
+                let label: Label = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing label"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad label"))?;
+                if id >= declared {
+                    return Err(parse_err("vertex id exceeds declared count"));
+                }
+                labels[id] = label;
+            }
+            "e" => {
+                let u: QueryVertex = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad endpoint"))?;
+                let v: QueryVertex = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing endpoint"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad endpoint"))?;
+                edges.push((u, v));
+            }
+            _ => return Err(parse_err("unknown record tag")),
+        }
+    }
+    QueryGraph::new(labels, &edges).ok_or(GraphError::Parse {
+        line: line_no,
+        message: "query is empty, disconnected, or has bad edges".to_string(),
+    })
+}
+
+/// Serialize a query graph to `t/v/e` text.
+pub fn write_query<W: Write>(query: &QueryGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = std::io::BufWriter::new(writer);
+    writeln!(w, "t {} {}", query.num_vertices(), query.num_edges())?;
+    for u in 0..query.num_vertices() as QueryVertex {
+        writeln!(w, "v {} {} {}", u, query.label(u), query.degree(u))?;
+    }
+    for (u, v) in query.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a query graph from a file.
+pub fn load_query<P: AsRef<Path>>(path: P) -> Result<QueryGraph, GraphError> {
+    read_query(std::fs::File::open(path)?)
+}
+
+/// Save a query graph to a file.
+pub fn save_query<P: AsRef<Path>>(query: &QueryGraph, path: P) -> Result<(), GraphError> {
+    write_query(query, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motifs;
+
+    #[test]
+    fn round_trip() {
+        let q = motifs::cycle(&[0, 1, 2, 1]);
+        let mut buf = Vec::new();
+        write_query(&q, &mut buf).unwrap();
+        let q2 = read_query(&buf[..]).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let text = "t 3 1\nv 0 0 1\nv 1 0 1\nv 2 0 0\ne 0 1\n";
+        assert!(read_query(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let text = "t 99 0\n";
+        assert!(read_query(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parses_hand_written() {
+        let text = "# triangle\nt 3 3\nv 0 5 2\nv 1 5 2\nv 2 5 2\ne 0 1\ne 1 2\ne 0 2\n";
+        let q = read_query(text.as_bytes()).unwrap();
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.label(0), 5);
+    }
+}

@@ -1,0 +1,16 @@
+//! Query graphs, random-walk query extraction, and matching orders.
+//!
+//! Queries in the paper are connected, vertex-labeled graphs with 4, 8, or
+//! 16 vertices, extracted from the data graph by random walks; *sparse*
+//! queries have maximum degree < 3 (paths), *dense* queries are induced
+//! subgraphs. The matching order (Definition 2) is the permutation of query
+//! vertices the sampler follows; every position after the first must have at
+//! least one backward neighbor so partial instances stay connected.
+
+pub mod io;
+pub mod motifs;
+pub mod order;
+pub mod query;
+
+pub use order::{gcare_order, make_order, quicksi_order, MatchingOrder, OrderKind};
+pub use query::{QueryClass, QueryGraph, QueryVertex};

@@ -1,0 +1,137 @@
+//! Standard motif constructors — the query shapes of graph-kernel and
+//! motif-census workloads (the paper's motivating applications).
+
+use gsword_graph::Label;
+
+use crate::query::{QueryGraph, QueryVertex};
+
+/// A path `v0 − v1 − … − v(k−1)` (the paper's *sparse* query shape).
+pub fn path(labels: &[Label]) -> QueryGraph {
+    assert!(labels.len() >= 2, "a path needs at least 2 vertices");
+    let edges: Vec<(QueryVertex, QueryVertex)> = (1..labels.len())
+        .map(|i| ((i - 1) as QueryVertex, i as QueryVertex))
+        .collect();
+    QueryGraph::new(labels.to_vec(), &edges).expect("paths are connected")
+}
+
+/// A cycle over `labels.len() ≥ 3` vertices.
+pub fn cycle(labels: &[Label]) -> QueryGraph {
+    let k = labels.len();
+    assert!(k >= 3, "a cycle needs at least 3 vertices");
+    let mut edges: Vec<(QueryVertex, QueryVertex)> = (1..k)
+        .map(|i| ((i - 1) as QueryVertex, i as QueryVertex))
+        .collect();
+    edges.push((0, (k - 1) as QueryVertex));
+    QueryGraph::new(labels.to_vec(), &edges).expect("cycles are connected")
+}
+
+/// A star: `labels[0]` is the hub, the rest are leaves.
+pub fn star(labels: &[Label]) -> QueryGraph {
+    assert!(labels.len() >= 2, "a star needs at least 2 vertices");
+    let edges: Vec<(QueryVertex, QueryVertex)> =
+        (1..labels.len()).map(|i| (0, i as QueryVertex)).collect();
+    QueryGraph::new(labels.to_vec(), &edges).expect("stars are connected")
+}
+
+/// A clique over all vertices.
+pub fn clique(labels: &[Label]) -> QueryGraph {
+    let k = labels.len();
+    assert!(k >= 2, "a clique needs at least 2 vertices");
+    let mut edges = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in i + 1..k {
+            edges.push((i as QueryVertex, j as QueryVertex));
+        }
+    }
+    QueryGraph::new(labels.to_vec(), &edges).expect("cliques are connected")
+}
+
+/// The triangle (3-clique) with uniform label.
+pub fn triangle(label: Label) -> QueryGraph {
+    clique(&[label; 3])
+}
+
+/// All classic small motifs with a uniform label, tagged with their
+/// conventional names — convenient for census applications.
+pub fn census_motifs(label: Label) -> Vec<(&'static str, QueryGraph)> {
+    vec![
+        ("edge", path(&[label; 2])),
+        ("path-3", path(&[label; 3])),
+        ("triangle", triangle(label)),
+        ("path-4", path(&[label; 4])),
+        ("star-4", star(&[label; 4])),
+        ("cycle-4", cycle(&[label; 4])),
+        ("tailed-triangle", {
+            QueryGraph::new(vec![label; 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]).expect("connected")
+        }),
+        ("diamond", {
+            QueryGraph::new(vec![label; 4], &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+                .expect("connected")
+        }),
+        ("clique-4", clique(&[label; 4])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryClass;
+
+    #[test]
+    fn path_shape() {
+        let p = path(&[0, 1, 2, 3]);
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.max_degree(), 2);
+        assert_eq!(p.class(), QueryClass::Sparse);
+        assert_eq!(p.label(2), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c = cycle(&[0; 5]);
+        assert_eq!(c.num_edges(), 5);
+        assert!(c.has_edge(0, 4));
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(&[7, 1, 1, 1, 1]);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.degree(0), 4);
+        assert_eq!(s.class(), QueryClass::Dense);
+        assert_eq!(s.label(0), 7);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let k = clique(&[0; 5]);
+        assert_eq!(k.num_edges(), 10);
+        assert_eq!(k.max_degree(), 4);
+    }
+
+    #[test]
+    fn census_list_is_distinct_and_connected() {
+        let motifs = census_motifs(3);
+        assert_eq!(motifs.len(), 9);
+        for (name, m) in &motifs {
+            assert!(m.num_vertices() >= 2, "{name}");
+            assert!(m.label(0) == 3, "{name}");
+        }
+        // Edge counts distinguish the 4-vertex motifs.
+        let by_name: std::collections::HashMap<_, _> = motifs
+            .iter()
+            .map(|(n, m)| (*n, (m.num_vertices(), m.num_edges())))
+            .collect();
+        assert_eq!(by_name["diamond"], (4, 5));
+        assert_eq!(by_name["clique-4"], (4, 6));
+        assert_eq!(by_name["tailed-triangle"], (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        cycle(&[0, 1]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Matching orders (Definition 2) and their backward-neighbor tables.
+
+use gsword_graph::Graph;
+
+use crate::query::{QueryGraph, QueryVertex};
+
+/// Which ordering heuristic produced a [`MatchingOrder`] — compared in the
+/// paper's appendix (Figures 20–25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderKind {
+    /// QuickSI-style: greedy by label selectivity and constraint count (the
+    /// paper's default).
+    QuickSi,
+    /// G-CARE-style: BFS from the highest-degree query vertex.
+    GCare,
+}
+
+/// A permutation `φ` of query vertices with connected prefixes, plus the
+/// precomputed backward-neighbor table the samplers iterate over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOrder {
+    phi: Vec<QueryVertex>,
+    pos: Vec<u8>,
+    /// `backward[i]` = positions `j < i` such that `e(φ[j], φ[i])` is a
+    /// query edge. Non-empty for every `i ≥ 1` (connected prefixes).
+    backward: Vec<Vec<u8>>,
+}
+
+impl MatchingOrder {
+    /// Build from an explicit permutation. Returns `None` when `phi` is not
+    /// a permutation of the query vertices or some prefix is disconnected.
+    pub fn new(query: &QueryGraph, phi: Vec<QueryVertex>) -> Option<Self> {
+        let n = query.num_vertices();
+        if phi.len() != n {
+            return None;
+        }
+        let mut pos = vec![u8::MAX; n];
+        for (i, &u) in phi.iter().enumerate() {
+            if u as usize >= n || pos[u as usize] != u8::MAX {
+                return None;
+            }
+            pos[u as usize] = i as u8;
+        }
+        let mut backward = Vec::with_capacity(n);
+        for i in 0..n {
+            let bw: Vec<u8> = (0..i)
+                .filter(|&j| query.has_edge(phi[j], phi[i]))
+                .map(|j| j as u8)
+                .collect();
+            if i > 0 && bw.is_empty() {
+                return None; // disconnected prefix
+            }
+            backward.push(bw);
+        }
+        Some(MatchingOrder { phi, pos, backward })
+    }
+
+    /// Number of positions (= query vertices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Whether the order is empty (never true for valid queries).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.phi.is_empty()
+    }
+
+    /// The query vertex matched at position `i` (`φ[i]`).
+    #[inline]
+    pub fn vertex_at(&self, i: usize) -> QueryVertex {
+        self.phi[i]
+    }
+
+    /// The position at which query vertex `u` is matched.
+    #[inline]
+    pub fn position_of(&self, u: QueryVertex) -> usize {
+        self.pos[u as usize] as usize
+    }
+
+    /// Positions `j < i` whose query vertices are adjacent to `φ[i]`.
+    #[inline]
+    pub fn backward_positions(&self, i: usize) -> &[u8] {
+        &self.backward[i]
+    }
+
+    /// The full permutation.
+    #[inline]
+    pub fn phi(&self) -> &[QueryVertex] {
+        &self.phi
+    }
+}
+
+/// QuickSI-style order: start from the most selective labeled vertex, then
+/// greedily extend with the neighbor that is most constrained (most backward
+/// edges) and most selective (rarest label in the data graph).
+pub fn quicksi_order(query: &QueryGraph, data: &Graph) -> MatchingOrder {
+    let n = query.num_vertices();
+    let freq = |u: QueryVertex| data.vertices_with_label(query.label(u)).len() as f64;
+
+    let start = (0..n as QueryVertex)
+        .min_by(|&a, &b| {
+            let sa = freq(a) / (query.degree(a).max(1) as f64);
+            let sb = freq(b) / (query.degree(b).max(1) as f64);
+            sa.partial_cmp(&sb).unwrap()
+        })
+        .expect("non-empty query");
+
+    greedy_order(query, start, |u, backward_edges| {
+        // Lower is better: selective labels first, more constraints first.
+        freq(u) / (backward_edges as f64)
+    })
+}
+
+/// G-CARE-style order: BFS from the highest-degree query vertex.
+pub fn gcare_order(query: &QueryGraph, _data: &Graph) -> MatchingOrder {
+    let n = query.num_vertices();
+    let start = (0..n as QueryVertex)
+        .max_by_key(|&u| query.degree(u))
+        .expect("non-empty query");
+    greedy_order(query, start, |u, _backward_edges| {
+        // BFS flavor: prefer high-degree vertices, no data-graph knowledge.
+        -(query.degree(u) as f64)
+    })
+}
+
+/// Build an order by repeatedly appending the connected vertex minimizing
+/// `score(vertex, #backward_edges_into_prefix)`.
+fn greedy_order<F: Fn(QueryVertex, usize) -> f64>(
+    query: &QueryGraph,
+    start: QueryVertex,
+    score: F,
+) -> MatchingOrder {
+    let n = query.num_vertices();
+    let mut phi = vec![start];
+    let mut in_order = 1u32 << start;
+    while phi.len() < n {
+        let next = (0..n as QueryVertex)
+            .filter(|&u| in_order & (1 << u) == 0)
+            .filter(|&u| query.adjacency_mask(u) & in_order != 0)
+            .min_by(|&a, &b| {
+                let ba = (query.adjacency_mask(a) & in_order).count_ones() as usize;
+                let bb = (query.adjacency_mask(b) & in_order).count_ones() as usize;
+                score(a, ba).partial_cmp(&score(b, bb)).unwrap().then(a.cmp(&b))
+            })
+            .expect("query is connected, so a frontier vertex always exists");
+        phi.push(next);
+        in_order |= 1 << next;
+    }
+    MatchingOrder::new(query, phi).expect("greedy construction keeps prefixes connected")
+}
+
+/// Convenience dispatcher over [`OrderKind`].
+pub fn make_order(kind: OrderKind, query: &QueryGraph, data: &Graph) -> MatchingOrder {
+    match kind {
+        OrderKind::QuickSi => quicksi_order(query, data),
+        OrderKind::GCare => gcare_order(query, data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_graph::GraphBuilder;
+
+    fn path_query() -> QueryGraph {
+        QueryGraph::new(vec![0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    fn small_data() -> Graph {
+        let mut b = GraphBuilder::new();
+        for l in [0, 1, 2, 1, 0, 1] {
+            b.add_vertex(l);
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explicit_order_validates_permutation() {
+        let q = path_query();
+        assert!(MatchingOrder::new(&q, vec![0, 1, 2, 3]).is_some());
+        assert!(MatchingOrder::new(&q, vec![0, 1, 1, 3]).is_none()); // dup
+        assert!(MatchingOrder::new(&q, vec![0, 1, 2]).is_none()); // short
+        assert!(MatchingOrder::new(&q, vec![0, 2, 1, 3]).is_none()); // prefix (0,2) disconnected
+    }
+
+    #[test]
+    fn backward_positions_match_query_edges() {
+        let q = path_query();
+        let o = MatchingOrder::new(&q, vec![1, 0, 2, 3]).unwrap();
+        assert_eq!(o.backward_positions(0), &[] as &[u8]);
+        assert_eq!(o.backward_positions(1), &[0]); // 0 adj 1
+        assert_eq!(o.backward_positions(2), &[0]); // 2 adj 1
+        assert_eq!(o.backward_positions(3), &[2]); // 3 adj 2
+        assert_eq!(o.position_of(2), 2);
+        assert_eq!(o.vertex_at(2), 2);
+    }
+
+    #[test]
+    fn quicksi_order_is_valid_and_deterministic() {
+        let q = path_query();
+        let g = small_data();
+        let o1 = quicksi_order(&q, &g);
+        let o2 = quicksi_order(&q, &g);
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), 4);
+        for i in 1..o1.len() {
+            assert!(!o1.backward_positions(i).is_empty(), "prefix {i} connected");
+        }
+    }
+
+    #[test]
+    fn quicksi_starts_selective() {
+        let q = path_query();
+        let g = small_data();
+        let o = quicksi_order(&q, &g);
+        // Label 2 occurs once in the data graph — query vertex 2 is the most
+        // selective start.
+        assert_eq!(o.vertex_at(0), 2);
+    }
+
+    #[test]
+    fn gcare_starts_at_max_degree() {
+        let q = QueryGraph::new(vec![0; 4], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let g = small_data();
+        let o = gcare_order(&q, &g);
+        assert_eq!(o.vertex_at(0), 0);
+        for i in 1..4 {
+            assert!(!o.backward_positions(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn orders_cover_all_vertices() {
+        let q = QueryGraph::new(
+            vec![0, 1, 0, 1, 0],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)],
+        )
+        .unwrap();
+        let g = small_data();
+        for kind in [OrderKind::QuickSi, OrderKind::GCare] {
+            let o = make_order(kind, &q, &g);
+            let mut seen: Vec<_> = o.phi().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4], "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Connected, vertex-labeled query graphs and their random-walk extraction.
+
+use gsword_graph::{Graph, Label, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a query vertex. Queries hold at most [`QueryGraph::MAX_VERTICES`]
+/// vertices, so `u8` is ample and keeps per-sample state tiny.
+pub type QueryVertex = u8;
+
+/// Sparse vs dense classification used by the evaluation (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Maximum degree < 3 (the paper's definition of a sparse query).
+    Sparse,
+    /// Maximum degree ≥ 3.
+    Dense,
+}
+
+/// A connected, vertex-labeled query graph.
+///
+/// Adjacency is stored as one bitmask per vertex (queries never exceed 32
+/// vertices), giving `O(1)` edge probes and trivially cheap copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryGraph {
+    labels: Vec<Label>,
+    adj: Vec<u32>,
+}
+
+impl QueryGraph {
+    /// Upper bound on query size (the paper evaluates up to 16; the bitmask
+    /// representation supports 32).
+    pub const MAX_VERTICES: usize = 32;
+
+    /// Build a query graph from labels and an undirected edge list.
+    ///
+    /// Returns `None` if the graph is empty, too large, has out-of-range or
+    /// self-loop edges, or is not connected.
+    pub fn new(labels: Vec<Label>, edges: &[(QueryVertex, QueryVertex)]) -> Option<Self> {
+        let n = labels.len();
+        if n == 0 || n > Self::MAX_VERTICES {
+            return None;
+        }
+        let mut adj = vec![0u32; n];
+        for &(u, v) in edges {
+            if u as usize >= n || v as usize >= n || u == v {
+                return None;
+            }
+            adj[u as usize] |= 1 << v;
+            adj[v as usize] |= 1 << u;
+        }
+        let q = QueryGraph { labels, adj };
+        q.is_connected().then_some(q)
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of query edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Label of query vertex `u`.
+    #[inline]
+    pub fn label(&self, u: QueryVertex) -> Label {
+        self.labels[u as usize]
+    }
+
+    /// Degree of query vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: QueryVertex) -> usize {
+        self.adj[u as usize].count_ones() as usize
+    }
+
+    /// Whether the query edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: QueryVertex, v: QueryVertex) -> bool {
+        self.adj[u as usize] & (1 << v) != 0
+    }
+
+    /// Adjacency bitmask of `u` (bit `v` set ⇔ edge `(u, v)`).
+    #[inline]
+    pub fn adjacency_mask(&self, u: QueryVertex) -> u32 {
+        self.adj[u as usize]
+    }
+
+    /// Iterator over the neighbors of `u`.
+    pub fn neighbors(&self, u: QueryVertex) -> impl Iterator<Item = QueryVertex> + '_ {
+        let mask = self.adj[u as usize];
+        (0..self.num_vertices() as QueryVertex).filter(move |&v| mask & (1 << v) != 0)
+    }
+
+    /// Iterator over undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (QueryVertex, QueryVertex)> + '_ {
+        (0..self.num_vertices() as QueryVertex)
+            .flat_map(move |u| self.neighbors(u).filter(move |&v| u < v).map(move |v| (u, v)))
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as QueryVertex)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sparse/dense classification per the paper (max degree < 3 ⇒ sparse).
+    pub fn class(&self) -> QueryClass {
+        if self.max_degree() < 3 {
+            QueryClass::Sparse
+        } else {
+            QueryClass::Dense
+        }
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        let mut seen = 1u32;
+        let mut stack = vec![0 as QueryVertex];
+        while let Some(u) = stack.pop() {
+            let fresh = self.adj[u as usize] & !seen;
+            seen |= fresh;
+            for v in 0..n as QueryVertex {
+                if fresh & (1 << v) != 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.count_ones() as usize == n
+    }
+
+    /// Extract a *dense* query with `k` vertices from `data` by random walk:
+    /// collect `k` distinct vertices along a walk and take the induced
+    /// subgraph (the paper's extraction method). Returns `None` if `data`
+    /// has no component with `k` vertices reachable in the attempt budget.
+    pub fn extract(data: &Graph, k: usize, seed: u64) -> Option<Self> {
+        Self::extract_class(data, k, seed, None)
+    }
+
+    /// Extract a *sparse* query (a path, max degree 2) with `k` vertices via
+    /// a self-avoiding walk, keeping only the walk edges.
+    pub fn extract_sparse(data: &Graph, k: usize, seed: u64) -> Option<Self> {
+        assert!((2..=Self::MAX_VERTICES).contains(&k));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        'attempt: for _ in 0..512 {
+            let mut walk: Vec<VertexId> = Vec::with_capacity(k);
+            let start = rng.gen_range(0..data.num_vertices() as VertexId);
+            walk.push(start);
+            while walk.len() < k {
+                let cur = *walk.last().unwrap();
+                let nbrs = data.neighbors(cur);
+                if nbrs.is_empty() {
+                    continue 'attempt;
+                }
+                // A few tries to step to an unvisited neighbor.
+                let mut stepped = false;
+                for _ in 0..8 {
+                    let v = nbrs[rng.gen_range(0..nbrs.len())];
+                    if !walk.contains(&v) {
+                        walk.push(v);
+                        stepped = true;
+                        break;
+                    }
+                }
+                if !stepped {
+                    continue 'attempt;
+                }
+            }
+            let labels: Vec<Label> = walk.iter().map(|&v| data.label(v)).collect();
+            let edges: Vec<(QueryVertex, QueryVertex)> = (1..k)
+                .map(|i| ((i - 1) as QueryVertex, i as QueryVertex))
+                .collect();
+            if let Some(q) = QueryGraph::new(labels, &edges) {
+                return Some(q);
+            }
+        }
+        None
+    }
+
+    /// Extract a query and insist on the given class (retrying extraction
+    /// until the induced subgraph matches). `None` target accepts anything.
+    pub fn extract_class(data: &Graph, k: usize, seed: u64, want: Option<QueryClass>) -> Option<Self> {
+        assert!((2..=Self::MAX_VERTICES).contains(&k));
+        if data.num_vertices() < k {
+            return None;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        'attempt: for _ in 0..1024 {
+            // Random walk collecting k distinct vertices (with restarts when
+            // stuck at a visited pocket).
+            let mut verts: Vec<VertexId> = Vec::with_capacity(k);
+            let start = rng.gen_range(0..data.num_vertices() as VertexId);
+            verts.push(start);
+            let mut cur = start;
+            let mut stuck = 0;
+            while verts.len() < k {
+                let nbrs = data.neighbors(cur);
+                if nbrs.is_empty() {
+                    continue 'attempt;
+                }
+                let v = nbrs[rng.gen_range(0..nbrs.len())];
+                if !verts.contains(&v) {
+                    verts.push(v);
+                    stuck = 0;
+                } else {
+                    stuck += 1;
+                    if stuck > 32 {
+                        continue 'attempt;
+                    }
+                }
+                cur = v;
+            }
+            // Induced subgraph.
+            let labels: Vec<Label> = verts.iter().map(|&v| data.label(v)).collect();
+            let mut edges = Vec::new();
+            for i in 0..k {
+                for j in i + 1..k {
+                    if data.has_edge(verts[i], verts[j]) {
+                        edges.push((i as QueryVertex, j as QueryVertex));
+                    }
+                }
+            }
+            if let Some(q) = QueryGraph::new(labels, &edges) {
+                if want.is_none() || want == Some(q.class()) {
+                    return Some(q);
+                }
+            }
+        }
+        None
+    }
+
+    /// Generate the paper's per-dataset query workload: `count` queries of
+    /// `k` vertices. For `k ≥ 8`, half are sparse and half dense (Section
+    /// 6.1); for `k = 4` the class is unconstrained.
+    pub fn workload(data: &Graph, k: usize, count: usize, seed: u64) -> Vec<Self> {
+        let mut out = Vec::with_capacity(count);
+        let mut attempt_seed = seed;
+        while out.len() < count {
+            let idx = out.len();
+            let q = if k >= 8 {
+                if idx % 2 == 0 {
+                    QueryGraph::extract_sparse(data, k, attempt_seed)
+                        .or_else(|| QueryGraph::extract(data, k, attempt_seed ^ 0xABCD))
+                } else {
+                    QueryGraph::extract_class(data, k, attempt_seed, Some(QueryClass::Dense))
+                        .or_else(|| QueryGraph::extract(data, k, attempt_seed ^ 0xABCD))
+                }
+            } else {
+                QueryGraph::extract(data, k, attempt_seed)
+            };
+            match q {
+                Some(q) => out.push(q),
+                None => {
+                    // Pathological data graph for this size; give up rather
+                    // than loop forever. Callers treat shorter workloads as
+                    // "dataset cannot host queries of this size".
+                    break;
+                }
+            }
+            attempt_seed = attempt_seed.wrapping_add(0x9E3779B97F4A7C15);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_graph::GraphBuilder;
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_vertices(n);
+        for v in 0..n {
+            b.add_edge(v as VertexId, ((v + 1) % n) as VertexId);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_rejects_disconnected() {
+        assert!(QueryGraph::new(vec![0, 0, 0], &[(0, 1)]).is_none());
+        assert!(QueryGraph::new(vec![0, 0, 0], &[(0, 1), (1, 2)]).is_some());
+    }
+
+    #[test]
+    fn new_rejects_self_loops_and_out_of_range() {
+        assert!(QueryGraph::new(vec![0, 0], &[(0, 0)]).is_none());
+        assert!(QueryGraph::new(vec![0, 0], &[(0, 5)]).is_none());
+        assert!(QueryGraph::new(vec![], &[]).is_none());
+    }
+
+    #[test]
+    fn triangle_properties() {
+        let q = QueryGraph::new(vec![1, 2, 3], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.degree(0), 2);
+        assert!(q.has_edge(2, 0));
+        assert_eq!(q.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(q.class(), QueryClass::Sparse); // max degree 2
+    }
+
+    #[test]
+    fn star_is_dense() {
+        let q = QueryGraph::new(vec![0; 4], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(q.class(), QueryClass::Dense);
+    }
+
+    #[test]
+    fn extract_is_connected_and_label_consistent() {
+        let g = ring(64);
+        let q = QueryGraph::extract(&g, 5, 42).unwrap();
+        assert_eq!(q.num_vertices(), 5);
+        // Ring has one label per construction default (0).
+        assert!(q.edges().count() >= 4);
+    }
+
+    #[test]
+    fn extract_sparse_is_path() {
+        let g = gsword_graph::gen::barabasi_albert(500, 4, vec![0; 500], 3);
+        let q = QueryGraph::extract_sparse(&g, 8, 9).unwrap();
+        assert_eq!(q.num_vertices(), 8);
+        assert_eq!(q.num_edges(), 7);
+        assert!(q.max_degree() <= 2);
+        assert_eq!(q.class(), QueryClass::Sparse);
+    }
+
+    #[test]
+    fn extract_fails_gracefully_on_tiny_graph() {
+        let g = ring(3);
+        assert!(QueryGraph::extract(&g, 8, 1).is_none());
+    }
+
+    #[test]
+    fn workload_mixes_classes_for_large_queries() {
+        let g = gsword_graph::gen::barabasi_albert(2000, 6, vec![0; 2000], 5);
+        let w = QueryGraph::workload(&g, 8, 10, 77);
+        assert_eq!(w.len(), 10);
+        let sparse = w.iter().filter(|q| q.class() == QueryClass::Sparse).count();
+        assert!(sparse >= 3, "expected a sparse share, got {sparse}/10");
+        assert!(sparse <= 7, "expected a dense share, got {}/10", 10 - sparse);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let g = gsword_graph::gen::erdos_renyi(300, 1200, vec![0; 300], 8);
+        assert_eq!(QueryGraph::extract(&g, 6, 5), QueryGraph::extract(&g, 6, 5));
+    }
+}

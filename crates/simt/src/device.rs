@@ -1,0 +1,262 @@
+//! Device launch harness and the device-time model.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::counters::KernelCounters;
+
+/// Kernel launch geometry plus host execution parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Thread blocks per launch.
+    pub num_blocks: usize,
+    /// Threads per block; must be a multiple of 32.
+    pub threads_per_block: usize,
+    /// Host threads used to execute blocks (functional simulation speed
+    /// only; does not affect results or modeled time).
+    pub host_threads: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            num_blocks: 46,
+            threads_per_block: 256,
+            host_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block / 32
+    }
+
+    /// Total device threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.num_blocks * self.threads_per_block
+    }
+}
+
+/// The software device: executes kernels block-parallel on host threads.
+#[derive(Debug, Clone, Default)]
+pub struct Device {
+    /// Launch configuration.
+    pub config: DeviceConfig,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.threads_per_block.is_multiple_of(32), "block size must be a multiple of 32");
+        assert!(config.num_blocks > 0 && config.threads_per_block > 0);
+        Device { config }
+    }
+
+    /// Launch a kernel: `body(block_id)` runs once per block, blocks are
+    /// distributed over host threads, and results are returned in block
+    /// order. The body typically returns partial estimates plus
+    /// [`KernelCounters`].
+    pub fn launch<R, F>(&self, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let nb = self.config.num_blocks;
+        let mut results: Vec<Option<R>> = (0..nb).map(|_| None).collect();
+        let workers = self.config.host_threads.clamp(1, nb);
+        if workers == 1 {
+            for (b, slot) in results.iter_mut().enumerate() {
+                *slot = Some(body(b));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<parking_slot::Slot<R>> = (0..nb).map(|_| parking_slot::Slot::new()).collect();
+            crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= nb {
+                            break;
+                        }
+                        slots[b].put(body(b));
+                    });
+                }
+            })
+            .expect("kernel block panicked");
+            for (slot, out) in slots.into_iter().zip(results.iter_mut()) {
+                *out = slot.take();
+            }
+        }
+        results.into_iter().map(|r| r.expect("all blocks executed")).collect()
+    }
+}
+
+/// Minimal one-shot cell so block results can be written from worker
+/// threads without locking (each slot written exactly once).
+mod parking_slot {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub struct Slot<T> {
+        set: AtomicBool,
+        val: UnsafeCell<Option<T>>,
+    }
+
+    // SAFETY: `put` is called at most once per slot (unique block ids) and
+    // `take` only after all writers joined.
+    unsafe impl<T: Send> Sync for Slot<T> {}
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Slot {
+                set: AtomicBool::new(false),
+                val: UnsafeCell::new(None),
+            }
+        }
+
+        pub fn put(&self, v: T) {
+            // SAFETY: each block id is claimed by exactly one worker, so no
+            // concurrent writes to the same slot.
+            unsafe { *self.val.get() = Some(v) };
+            self.set.store(true, Ordering::Release);
+        }
+
+        pub fn take(self) -> Option<T> {
+            self.val.into_inner()
+        }
+    }
+}
+
+/// Analytic device-time model converting [`KernelCounters`] into estimated
+/// kernel milliseconds on an RTX 2080 Ti-class GPU.
+///
+/// The model is deliberately simple: the kernel is issue-bound or
+/// bandwidth-bound, whichever is worse, plus a fixed launch overhead.
+/// Divergence replays consume issue slots. Absolute values are indicative;
+/// *ratios* between kernel variants (which share the model) are the
+/// reproduction target. See DESIGN.md §1.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceModel {
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// Warp instructions each SM can issue per cycle.
+    pub issue_per_sm_per_cycle: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Fixed launch overhead in milliseconds.
+    pub launch_overhead_ms: f64,
+    /// Average issue cycles per warp instruction (pipeline + dependency
+    /// stalls not otherwise modeled).
+    pub cycles_per_instruction: f64,
+}
+
+impl Default for DeviceModel {
+    /// RTX 2080 Ti: 68 SMs, 1.35 GHz, 616 GB/s.
+    fn default() -> Self {
+        DeviceModel {
+            num_sms: 68,
+            issue_per_sm_per_cycle: 1.0,
+            clock_ghz: 1.35,
+            dram_gbps: 616.0,
+            launch_overhead_ms: 0.03,
+            cycles_per_instruction: 6.0,
+        }
+    }
+}
+
+impl DeviceModel {
+    /// Modeled kernel time in milliseconds for the merged counters of one
+    /// launch.
+    pub fn modeled_ms(&self, c: &KernelCounters) -> f64 {
+        let instructions = (c.alu_instructions + c.mem_instructions + c.divergent_replays) as f64;
+        let issue_rate_per_ms =
+            self.num_sms as f64 * self.issue_per_sm_per_cycle * self.clock_ghz * 1e6
+                / self.cycles_per_instruction;
+        let compute_ms = instructions / issue_rate_per_ms;
+        let bytes = c.mem_transactions as f64 * 128.0;
+        let mem_ms = bytes / (self.dram_gbps * 1e6);
+        self.launch_overhead_ms + compute_ms.max(mem_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let dev = Device::new(DeviceConfig {
+            num_blocks: 17,
+            threads_per_block: 64,
+            host_threads: 4,
+        });
+        let out = dev.launch(|b| b * 2);
+        assert_eq!(out, (0..17).map(|b| b * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn launch_single_threaded_path() {
+        let dev = Device::new(DeviceConfig {
+            num_blocks: 3,
+            threads_per_block: 32,
+            host_threads: 1,
+        });
+        assert_eq!(dev.launch(|b| b), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn rejects_ragged_blocks() {
+        Device::new(DeviceConfig {
+            num_blocks: 1,
+            threads_per_block: 33,
+            host_threads: 1,
+        });
+    }
+
+    #[test]
+    fn model_monotonic_in_transactions() {
+        let m = DeviceModel::default();
+        let mut a = KernelCounters::default();
+        let mut b = KernelCounters::default();
+        for _ in 0..1000 {
+            a.warp_load(32, 2);
+            b.warp_load(32, 30);
+        }
+        assert!(m.modeled_ms(&b) > m.modeled_ms(&a));
+    }
+
+    #[test]
+    fn model_monotonic_in_instructions() {
+        let m = DeviceModel::default();
+        let mut a = KernelCounters::default();
+        let mut b = KernelCounters::default();
+        for _ in 0..10_000 {
+            a.warp_instruction(u32::MAX);
+            b.warp_instruction(u32::MAX);
+            b.warp_instruction(u32::MAX);
+        }
+        assert!(m.modeled_ms(&b) > m.modeled_ms(&a));
+    }
+
+    #[test]
+    fn model_includes_launch_overhead() {
+        let m = DeviceModel::default();
+        let c = KernelCounters::default();
+        assert!((m.modeled_ms(&c) - m.launch_overhead_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = DeviceConfig {
+            num_blocks: 4,
+            threads_per_block: 128,
+            host_threads: 2,
+        };
+        assert_eq!(c.warps_per_block(), 4);
+        assert_eq!(c.total_threads(), 512);
+    }
+}

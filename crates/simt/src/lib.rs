@@ -1,0 +1,39 @@
+//! A software SIMT device: the GPU substitute substrate of this
+//! reproduction.
+//!
+//! The paper's contributions — sample inheritance, warp streaming,
+//! sample-vs-iteration synchronization, block-shared sample pools — are
+//! algorithms over the *SIMT execution model*: 32-lane warps executing in
+//! lockstep, warp-level register exchange primitives, and a memory system
+//! whose throughput depends on how well a warp's 32 concurrent addresses
+//! coalesce into cache lines.
+//!
+//! This crate implements that model in software:
+//!
+//! * [`warp`] — lockstep lane arrays and the warp primitives used by
+//!   Algorithms 2 and 3 (`_any`, `_ballot`, `_shfl`, `_reduce_sum`,
+//!   `_reduce_max`), each charging execution counters.
+//! * [`memory`] — a coalescing model: one warp-wide load is split into
+//!   128-byte line transactions; scattered accesses cost more transactions
+//!   (the mechanism behind the paper's Figure 5/6 observation).
+//! * [`counters`] — per-kernel counters including the `StallLong` /
+//!   `StallWait` proxies profiled in the paper's micro-benchmark.
+//! * [`pool`] — the per-block atomic sample pool of Algorithm 1.
+//! * [`device`] — a block-parallel launch harness (blocks run on host
+//!   threads) plus a [`device::DeviceModel`] that converts counters into
+//!   modeled device milliseconds.
+//!
+//! Functional behaviour (the estimates) is exact; device time is *modeled*
+//! from the counters. DESIGN.md §1 documents the substitution.
+
+pub mod counters;
+pub mod device;
+pub mod memory;
+pub mod pool;
+pub mod warp;
+
+pub use counters::KernelCounters;
+pub use device::{Device, DeviceConfig, DeviceModel};
+pub use memory::Region;
+pub use pool::SamplePool;
+pub use warp::{Lanes, WarpMask, WARP_SIZE};

@@ -1,0 +1,142 @@
+//! The coalescing memory model.
+//!
+//! When a warp issues a load, the 32 lane addresses are grouped into
+//! 128-byte line transactions. If all lanes read consecutive elements of
+//! one array the warp pays ~4 transactions; if each lane reads a different
+//! region the warp pays up to 32. This difference is exactly the paper's
+//! explanation (Example 4, Figures 5–6) for why iteration synchronization
+//! loses to sample synchronization despite better instruction-level
+//! parallelism.
+
+use crate::counters::KernelCounters;
+use crate::warp::{Lanes, WarpMask, WARP_SIZE};
+
+/// Words (4-byte elements) per 128-byte line.
+pub const LINE_WORDS: usize = 32;
+
+/// A distinct array/address-space a lane address can point into. Candidate
+/// graph arrays, per-thread buffers, and the data graph live in different
+/// regions; a single transaction never spans regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region(pub u32);
+
+impl Region {
+    /// Global candidate array of the candidate graph.
+    pub const GLOBAL: Region = Region(0);
+    /// Per-edge candidate array (second CSR).
+    pub const CAND: Region = Region(1);
+    /// Local candidate lists (third CSR).
+    pub const LOCAL: Region = Region(2);
+    /// Data-graph adjacency (direct sampling mode).
+    pub const ADJ: Region = Region(3);
+    /// Per-thread scratch (refine buffers) — modeled as thread-private and
+    /// always coalesced.
+    pub const SCRATCH: Region = Region(4);
+}
+
+/// One lane's address for a warp-wide load: a `(region, element offset)`
+/// pair, or `None` when the lane is inactive for this load.
+pub type LaneAddr = Option<(Region, usize)>;
+
+/// Issue a warp-wide load of `count` consecutive elements per lane starting
+/// at each lane's address, and charge the coalesced transaction count.
+///
+/// Returns the number of line transactions generated (useful for tests).
+pub fn warp_load(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>) -> u64 {
+    let mut lines = [0u64; WARP_SIZE];
+    let mut n = 0usize;
+    let mut active = 0u32;
+    for (region, off) in addrs.iter().flatten() {
+        active += 1;
+        let line = ((region.0 as u64) << 48) | (off / LINE_WORDS) as u64;
+        lines[n] = line;
+        n += 1;
+    }
+    let tx = distinct(&mut lines[..n]);
+    ctr.warp_load(active, tx);
+    tx
+}
+
+/// Charge a warp-wide *sequential* scan: every lane reads `len` consecutive
+/// elements starting at `base` (broadcast access, e.g. the leader's shared
+/// candidate array in warp streaming). Consecutive elements coalesce
+/// perfectly: `ceil(len / LINE_WORDS)` transactions regardless of lane
+/// count.
+pub fn warp_scan(ctr: &mut KernelCounters, mask: WarpMask, _region: Region, base: usize, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let first = base / LINE_WORDS;
+    let last = (base + len - 1) / LINE_WORDS;
+    ctr.warp_load(mask.count_ones(), (last - first + 1) as u64);
+}
+
+fn distinct(lines: &mut [u64]) -> u64 {
+    if lines.is_empty() {
+        return 0;
+    }
+    lines.sort_unstable();
+    let mut tx = 1u64;
+    for i in 1..lines.len() {
+        if lines[i] != lines[i - 1] {
+            tx += 1;
+        }
+    }
+    tx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_access_is_cheap() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::CAND, 1000 + i)); // 32 consecutive words
+        }
+        let tx = warp_load(&mut c, &addrs);
+        assert!(tx <= 2, "consecutive words should need ≤2 lines, got {tx}");
+    }
+
+    #[test]
+    fn scattered_access_is_expensive() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::CAND, i * 10_000)); // one line each
+        }
+        assert_eq!(warp_load(&mut c, &addrs), 32);
+        assert_eq!(c.stall_long(), 32 * crate::counters::MEM_LATENCY_CYCLES);
+    }
+
+    #[test]
+    fn regions_never_share_lines() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        addrs[0] = Some((Region::GLOBAL, 0));
+        addrs[1] = Some((Region::LOCAL, 0));
+        assert_eq!(warp_load(&mut c, &addrs), 2);
+    }
+
+    #[test]
+    fn inactive_lanes_cost_nothing() {
+        let mut c = KernelCounters::default();
+        let addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        assert_eq!(warp_load(&mut c, &addrs), 0);
+        assert_eq!(c.mem_instructions, 1);
+        assert_eq!(c.active_lane_ops, 0);
+    }
+
+    #[test]
+    fn scan_transactions_round_up() {
+        let mut c = KernelCounters::default();
+        warp_scan(&mut c, u32::MAX, Region::LOCAL, 0, 1);
+        assert_eq!(c.mem_transactions, 1);
+        warp_scan(&mut c, u32::MAX, Region::LOCAL, 30, 4); // crosses a line
+        assert_eq!(c.mem_transactions, 3);
+        warp_scan(&mut c, u32::MAX, Region::LOCAL, 0, 0); // empty: free
+        assert_eq!(c.mem_instructions, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! The block-shared sample pool of Algorithm 1.
+//!
+//! Threads of a block draw sample tasks from a shared pool via an atomic
+//! fetch (`FetchSampleTask`), so fast threads absorb the tail of slow ones
+//! instead of idling — the block-level load-balancing layer beneath the
+//! warp-level optimizations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomic pool of `total` sample tasks.
+#[derive(Debug)]
+pub struct SamplePool {
+    next: AtomicU64,
+    total: u64,
+}
+
+impl SamplePool {
+    /// Create a pool holding `total` tasks.
+    pub fn new(total: u64) -> Self {
+        SamplePool {
+            next: AtomicU64::new(0),
+            total,
+        }
+    }
+
+    /// Fetch the next task id, or `None` when the pool is drained.
+    ///
+    /// Models the shared-memory atomic increment of Algorithm 1 line 5.
+    #[inline]
+    pub fn fetch(&self) -> Option<u64> {
+        // Relaxed is enough: ids only need to be unique, and the caller
+        // joins all worker threads before reading results.
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        (id < self.total).then_some(id)
+    }
+
+    /// Fetch up to `n` task ids at once (batch variant used when a warp
+    /// refills all lanes together). Returns the first id and how many were
+    /// actually granted.
+    pub fn fetch_many(&self, n: u64) -> Option<(u64, u64)> {
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        if start >= self.total {
+            return None;
+        }
+        Some((start, n.min(self.total - start)))
+    }
+
+    /// Total tasks the pool was created with.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether all tasks have been handed out.
+    pub fn is_drained(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_hands_out_each_task_once() {
+        let p = SamplePool::new(5);
+        let mut ids: Vec<u64> = std::iter::from_fn(|| p.fetch()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(p.fetch().is_none());
+        assert!(p.is_drained());
+    }
+
+    #[test]
+    fn fetch_many_clamps_to_remaining() {
+        let p = SamplePool::new(10);
+        assert_eq!(p.fetch_many(8), Some((0, 8)));
+        assert_eq!(p.fetch_many(8), Some((8, 2)));
+        assert_eq!(p.fetch_many(8), None);
+    }
+
+    #[test]
+    fn concurrent_fetch_is_exact() {
+        let p = SamplePool::new(10_000);
+        let count = std::sync::atomic::AtomicU64::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    while p.fetch().is_some() {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let p = SamplePool::new(0);
+        assert!(p.fetch().is_none());
+        assert!(p.fetch_many(4).is_none());
+        assert!(p.is_drained());
+    }
+}

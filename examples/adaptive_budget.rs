@@ -1,0 +1,75 @@
+//! Adaptive sampling: run until the estimate's 95% confidence interval is
+//! tight enough, instead of fixing a sample count up front — the
+//! "accuracy improves with more samples in a time budget" workflow of
+//! Section 3.1, closed into a stopping rule.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_budget
+//! ```
+
+use gsword::prelude::*;
+
+fn main() {
+    let data = gsword::datasets::dataset("yeast");
+    let engine = EngineConfig::gsword(0).with_seed(0xADAB);
+
+    println!(
+        "{:<8} {:>12} {:>10} {:>9} {:>10} {:>10}",
+        "query", "estimate", "±95% CI", "batches", "samples", "converged"
+    );
+    for seed in 0..4u64 {
+        let Some(query) = QueryGraph::extract(&data, 6, seed) else {
+            continue;
+        };
+        let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+        let order = quicksi_order(&query, &data);
+        let ctx = QueryCtx::new(&cg, &order);
+        let report = run_adaptive(
+            &ctx,
+            &Alley,
+            &engine,
+            &AdaptiveConfig {
+                target_rel_ci: 0.05, // ±5%
+                batch: 25_000,
+                max_samples: 2_000_000,
+                max_wall_ms: 0.0,
+            },
+        );
+        println!(
+            "q{seed:<7} {:>12.1} {:>9.1}% {:>9} {:>10} {:>10}",
+            report.estimate.value(),
+            report.estimate.rel_ci95() * 100.0,
+            report.batches,
+            report.estimate.samples,
+            report.converged,
+        );
+    }
+    // A hard case for contrast: a large query on the WordNet-like graph
+    // exhausts its budget instead of converging.
+    let wordnet = gsword::datasets::dataset("wordnet");
+    if let Some(query) = QueryGraph::extract(&wordnet, 14, 2) {
+        let (cg, _) = build_candidate_graph(&wordnet, &query, &BuildConfig::default());
+        let order = quicksi_order(&query, &wordnet);
+        let ctx = QueryCtx::new(&cg, &order);
+        let report = run_adaptive(
+            &ctx,
+            &Alley,
+            &engine,
+            &AdaptiveConfig {
+                target_rel_ci: 0.05,
+                batch: 25_000,
+                max_samples: 500_000,
+                max_wall_ms: 0.0,
+            },
+        );
+        println!(
+            "wordnet-14 {:>11.1} {:>9.1}% {:>9} {:>10} {:>10}",
+            report.estimate.value(),
+            report.estimate.rel_ci95() * 100.0,
+            report.batches,
+            report.estimate.samples,
+            report.converged,
+        );
+    }
+    println!("\nhard queries exhaust the budget instead of converging — the signal to\nswitch on the trawling pipeline (see examples/trawling_rescue.rs).");
+}

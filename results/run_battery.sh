@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+export GSWORD_QUERIES=3
+export GSWORD_SAMPLES=20000
+BIN=results/bin
+for exp in table01 fig13 fig14 table02 fig12 fig10 fig11 fig05 fig06 fig01 fig15 fig16 fig17 fig18 fig20_25 table03 fig26_28 ext_branching; do
+  echo "=== RUNNING $exp at $(date +%H:%M:%S) ==="
+  timeout 3000 $BIN/$exp > results/$exp.txt 2>&1
+  echo "=== DONE $exp (exit $?) at $(date +%H:%M:%S) ==="
+done
+echo BATTERY_COMPLETE

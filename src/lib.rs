@@ -1,0 +1,21 @@
+//! # gSWORD — GPU-style sampling for subgraph counting (reproduction)
+//!
+//! Facade crate re-exporting the full public API of the workspace. See the
+//! repository README for the architecture overview and `gsword_core` for the
+//! high-level builder API.
+//!
+//! ```
+//! use gsword::prelude::*;
+//!
+//! let data = gsword::datasets::dataset("yeast");
+//! let query = QueryGraph::extract(&data, 4, 0xC0FFEE).expect("extractable");
+//! let report = Gsword::builder(&data, &query)
+//!     .samples(10_000)
+//!     .estimator(EstimatorKind::Alley)
+//!     .seed(7)
+//!     .run()
+//!     .expect("runs");
+//! assert!(report.estimate.is_finite());
+//! ```
+
+pub use gsword_core::*;

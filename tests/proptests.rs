@@ -1,0 +1,131 @@
+//! Property-based tests on the core data structures and estimator
+//! invariants, using random graphs and queries.
+
+use gsword::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Random small labeled graph strategy: (n, edge pairs, labels).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (4usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let labels = gsword::graph::gen::zipf_labels(n, 4, 0.8, seed);
+        gsword::graph::gen::erdos_renyi(n, n * 3, labels, seed ^ 0xE)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_adjacency_is_symmetric_and_sorted(g in graph_strategy()) {
+        for u in 0..g.num_vertices() as VertexId {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for &v in nbrs {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+        let degree_sum: usize = (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn graph_io_round_trips(g in graph_strategy()) {
+        let mut buf = Vec::new();
+        gsword::graph::io::write_graph(&g, &mut buf).unwrap();
+        let g2 = gsword::graph::io::read_graph(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn candidate_graph_is_sound(g in graph_strategy(), qseed in any::<u64>()) {
+        // Every embedding found by the naive oracle must be representable
+        // in the candidate graph.
+        let Some(q) = QueryGraph::extract(&g, 3, qseed) else { return Ok(()); };
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        cg.validate_invariants().map_err(TestCaseError::fail)?;
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let exact = count_instances(&ctx, EnumLimits::unlimited()).count;
+        let naive = gsword::enumeration::naive::count_embeddings(&g, &q);
+        prop_assert_eq!(exact, naive, "candidate-graph enumeration vs naive oracle");
+    }
+
+    #[test]
+    fn matching_orders_have_connected_prefixes(g in graph_strategy(), qseed in any::<u64>()) {
+        let Some(q) = QueryGraph::extract(&g, 4, qseed) else { return Ok(()); };
+        for kind in [OrderKind::QuickSi, OrderKind::GCare] {
+            let order = gsword::query::make_order(kind, &q, &g);
+            prop_assert_eq!(order.len(), q.num_vertices());
+            for i in 1..order.len() {
+                prop_assert!(!order.backward_positions(i).is_empty(), "{:?} position {}", kind, i);
+            }
+            // The backward table must agree with the query's edges.
+            for i in 0..order.len() {
+                for &j in order.backward_positions(i) {
+                    prop_assert!(q.has_edge(order.vertex_at(j as usize), order.vertex_at(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_estimators_are_unbiased(g in graph_strategy(), qseed in any::<u64>()) {
+        let Some(q) = QueryGraph::extract(&g, 3, qseed) else { return Ok(()); };
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let truth = count_instances(&ctx, EnumLimits::unlimited()).count as f64;
+        for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
+            let est = gsword::estimators::with_estimator(kind, |e| {
+                gsword::estimators::run_sequential(&ctx, e, 30_000, qseed ^ 0x5A).estimate
+            });
+            // Generous tolerance: 30k samples on tiny graphs.
+            let err = (est.value() - truth).abs();
+            let tol = (truth * 0.35).max(3.0);
+            prop_assert!(err <= tol, "{:?}: {} vs {}", kind, est.value(), truth);
+        }
+    }
+
+    #[test]
+    fn trawling_is_unbiased_for_any_depth_distribution(
+        g in graph_strategy(),
+        qseed in any::<u64>(),
+        min_depth in 1usize..4,
+    ) {
+        let Some(q) = QueryGraph::extract(&g, 4, qseed) else { return Ok(()); };
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+        let order = quicksi_order(&q, &g);
+        let ctx = QueryCtx::new(&cg, &order);
+        let truth = count_instances(&ctx, EnumLimits::unlimited()).count as f64;
+        let dist = DepthDist::new(min_depth, ctx.len());
+        let mut rng = SmallRng::seed_from_u64(qseed);
+        let n = 3_000;
+        let mean: f64 = (0..n)
+            .map(|_| gsword::pipeline::trawl_once(&ctx, &Alley, &dist, &mut rng))
+            .sum::<f64>() / n as f64;
+        let tol = (truth * 0.4).max(3.0);
+        prop_assert!((mean - truth).abs() <= tol, "trawl mean {} vs truth {}", mean, truth);
+    }
+
+    #[test]
+    fn q_error_properties(est in 0.0f64..1e9, truth in 0.0f64..1e9) {
+        let q = q_error(est, truth);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q_error(truth, est) - q).abs() < 1e-9, "symmetric");
+        let s = signed_q_error(est, truth);
+        prop_assert!((s.abs() - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_dist_stays_in_support(min_depth in 1usize..6, qlen in 1usize..16, seed in any::<u64>()) {
+        let dist = DepthDist::new(min_depth, qlen);
+        let lo = min_depth.min(qlen).max(1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let d = dist.sample(&mut rng);
+            prop_assert!(d >= lo && d <= qlen);
+        }
+    }
+}
