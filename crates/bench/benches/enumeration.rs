@@ -16,9 +16,11 @@ fn bench_enumeration(c: &mut Criterion) {
     let mut group = c.benchmark_group("enumeration");
     group.sample_size(20);
     for threads in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("count_instances", threads), &threads, |b, &t| {
-            b.iter(|| count_instances_parallel(&ctx, EnumLimits::unlimited(), t).count)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("count_instances", threads),
+            &threads,
+            |b, &t| b.iter(|| count_instances_parallel(&ctx, EnumLimits::unlimited(), t).count),
+        );
     }
     group.bench_function("trawl_once", |b| {
         let dist = DepthDist::new(3, ctx.len());

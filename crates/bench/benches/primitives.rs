@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gsword_core::simt::memory::{warp_load, LaneAddr};
 use gsword_core::simt::warp;
+use gsword_core::simt::WarpSanitizer;
 use gsword_core::simt::{KernelCounters, Region, WARP_SIZE};
 
 fn bench_primitives(c: &mut Criterion) {
@@ -12,37 +13,41 @@ fn bench_primitives(c: &mut Criterion) {
 
     group.bench_function("ballot", |b| {
         let mut ctr = KernelCounters::default();
+        let san = WarpSanitizer::disabled();
         let mut pred = [false; WARP_SIZE];
         pred[7] = true;
         pred[21] = true;
-        b.iter(|| warp::ballot(&mut ctr, u32::MAX, &pred))
+        b.iter(|| warp::ballot(&mut ctr, &san, u32::MAX, &pred))
     });
 
     group.bench_function("reduce_max_by_key", |b| {
         let mut ctr = KernelCounters::default();
+        let san = WarpSanitizer::disabled();
         let mut keys = [0.0f64; WARP_SIZE];
         for (i, k) in keys.iter_mut().enumerate() {
             *k = (i as f64 * 0.37) % 1.0;
         }
-        b.iter(|| warp::reduce_max_by_key(&mut ctr, u32::MAX, &keys))
+        b.iter(|| warp::reduce_max_by_key(&mut ctr, &san, u32::MAX, &keys))
     });
 
     group.bench_function("warp_load_coalesced", |b| {
         let mut ctr = KernelCounters::default();
+        let san = WarpSanitizer::disabled();
         let mut addrs: [LaneAddr; WARP_SIZE] = [None; WARP_SIZE];
         for (i, a) in addrs.iter_mut().enumerate() {
             *a = Some((Region::LOCAL, 4096 + i));
         }
-        b.iter(|| warp_load(&mut ctr, &addrs))
+        b.iter(|| warp_load(&mut ctr, &san, &addrs))
     });
 
     group.bench_function("warp_load_scattered", |b| {
         let mut ctr = KernelCounters::default();
+        let san = WarpSanitizer::disabled();
         let mut addrs: [LaneAddr; WARP_SIZE] = [None; WARP_SIZE];
         for (i, a) in addrs.iter_mut().enumerate() {
             *a = Some((Region::LOCAL, i * 131_072));
         }
-        b.iter(|| warp_load(&mut ctr, &addrs))
+        b.iter(|| warp_load(&mut ctr, &san, &addrs))
     });
 
     group.finish();

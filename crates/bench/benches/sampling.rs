@@ -17,17 +17,15 @@ fn bench_sampling(c: &mut Criterion) {
         let order = quicksi_order(&query, &data);
         let ctx = QueryCtx::new(&cg, &order);
         for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.short(), name),
-                &ctx,
-                |b, ctx| {
-                    b.iter(|| {
-                        gsword_core::estimators::with_estimator(kind, |est| {
-                            gsword_core::estimators::run_sequential(ctx, est, N, 7).estimate.value()
-                        })
+            group.bench_with_input(BenchmarkId::new(kind.short(), name), &ctx, |b, ctx| {
+                b.iter(|| {
+                    gsword_core::estimators::with_estimator(kind, |est| {
+                        gsword_core::estimators::run_sequential(ctx, est, N, 7)
+                            .estimate
+                            .value()
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

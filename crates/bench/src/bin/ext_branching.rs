@@ -14,9 +14,17 @@ use gsword_core::estimators::{run_branching, run_sequential, BranchingConfig};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("ext_branching", "Alley branching (CPU) vs flat sampling — extension beyond the paper");
+    banner(
+        "ext_branching",
+        "Alley branching (CPU) vs flat sampling — extension beyond the paper",
+    );
     let mut t = Table::new(&[
-        "dataset", "mode", "paths", "refines/path", "wall ms", "q-error",
+        "dataset",
+        "mode",
+        "paths",
+        "refines/path",
+        "wall ms",
+        "q-error",
     ]);
     for name in ["yeast", "dblp", "eu2005"] {
         let w = Workload::load(name);

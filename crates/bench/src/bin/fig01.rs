@@ -10,7 +10,10 @@ use gsword_bench::{banner, cpu_threads, opt_cell, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig01", "q-error & CPU runtime vs #samples (8-vertex query)");
+    banner(
+        "fig01",
+        "q-error & CPU runtime vs #samples (8-vertex query)",
+    );
     let sweep: Vec<u64> = {
         let top = samples() * 10;
         let mut s = vec![top / 1000, top / 100, top / 10, top];
@@ -48,7 +51,11 @@ fn main() {
             println!("[{name}] no 8-vertex query with computable ground truth; skipping");
             continue;
         };
-        println!("[{name}] query: {} vertices / {} edges, exact = {truth}", query.num_vertices(), query.num_edges());
+        println!(
+            "[{name}] query: {} vertices / {} edges, exact = {truth}",
+            query.num_vertices(),
+            query.num_edges()
+        );
         let mut t = Table::new(&["samples", "WJ q-error", "WJ ms", "AL q-error", "AL ms"]);
         for &n in &sweep {
             let mut cells = vec![n.to_string()];

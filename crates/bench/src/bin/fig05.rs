@@ -11,7 +11,10 @@ use gsword_bench::{banner, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig05", "sample vs iteration synchronization stall factors (Alley)");
+    banner(
+        "fig05",
+        "sample vs iteration synchronization stall factors (Alley)",
+    );
     let mut t = Table::new(&[
         "dataset",
         "sync",
@@ -41,7 +44,9 @@ fn main() {
         let per = |r: &Report, f: &dyn Fn(&KernelCounters) -> u64| {
             f(&r.counters.unwrap()) as f64 / r.sampler.samples as f64
         };
-        let ms = |r: &Report| r.modeled_ms.unwrap() * gsword_bench::PAPER_SAMPLES as f64 / r.sampler.samples as f64;
+        let ms = |r: &Report| {
+            r.modeled_ms.unwrap() * gsword_bench::PAPER_SAMPLES as f64 / r.sampler.samples as f64
+        };
         let slowdown = ms(&is) / ms(&ss);
         slowdowns.push(slowdown);
         for (label, r, slow) in [("sample", &ss, 1.0), ("iteration", &is, slowdown)] {

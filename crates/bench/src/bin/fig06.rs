@@ -11,9 +11,16 @@ use gsword_bench::{banner, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig06", "per-load transaction histograms: sample vs iteration sync (Alley)");
+    banner(
+        "fig06",
+        "per-load transaction histograms: sample vs iteration sync (Alley)",
+    );
     let mut t = Table::new(&[
-        "dataset", "sync", "loads/sample", "tx/sample", "B/useful word",
+        "dataset",
+        "sync",
+        "loads/sample",
+        "tx/sample",
+        "B/useful word",
     ]);
     for name in ["wordnet", "dblp", "eu2005"] {
         let w = Workload::load(name);

@@ -24,12 +24,17 @@ fn speedup(w: &Workload, query: &QueryGraph, kind: EstimatorKind, seed: u64) -> 
 
 fn main() {
     banner("fig10", "gSWORD speedup over GPU baseline vs query size");
-    let mut t = Table::new(&["dataset", "WJ k=4", "WJ k=8", "WJ k=16", "AL k=4", "AL k=8", "AL k=16"]);
+    let mut t = Table::new(&[
+        "dataset", "WJ k=4", "WJ k=8", "WJ k=16", "AL k=4", "AL k=8", "AL k=16",
+    ]);
     let mut by_size: [Vec<f64>; 6] = Default::default();
     for name in gsword_bench::dataset_names() {
         let w = Workload::load(name);
         let mut cells = vec![name.to_string()];
-        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley]
+            .into_iter()
+            .enumerate()
+        {
             for (j, k) in [4usize, 8, 16].into_iter().enumerate() {
                 let queries = w.queries(k);
                 let sp: Vec<f64> = queries
@@ -39,7 +44,11 @@ fn main() {
                     .collect();
                 let g = geomean(&sp);
                 by_size[i * 3 + j].push(g);
-                cells.push(if g.is_nan() { "-".into() } else { format!("{g:.1}x") });
+                cells.push(if g.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{g:.1}x")
+                });
             }
         }
         t.row(cells);

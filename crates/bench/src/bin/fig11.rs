@@ -8,15 +8,24 @@ use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig11", "speedup over GPU baseline: dense vs sparse 16-vertex queries");
+    banner(
+        "fig11",
+        "speedup over GPU baseline: dense vs sparse 16-vertex queries",
+    );
     let mut t = Table::new(&["dataset", "WJ sparse", "WJ dense", "AL sparse", "AL dense"]);
     let mut totals: [Vec<f64>; 4] = Default::default();
     for name in gsword_bench::dataset_names() {
         let w = Workload::load(name);
         let queries = w.queries(16);
         let mut cells = vec![name.to_string()];
-        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
-            for (j, class) in [QueryClass::Sparse, QueryClass::Dense].into_iter().enumerate() {
+        for (i, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley]
+            .into_iter()
+            .enumerate()
+        {
+            for (j, class) in [QueryClass::Sparse, QueryClass::Dense]
+                .into_iter()
+                .enumerate()
+            {
                 let sp: Vec<f64> = queries
                     .iter()
                     .enumerate()
@@ -30,14 +39,19 @@ fn main() {
                                 .seed(0xF11 + qi as u64)
                                 .run()
                                 .expect("run");
-                            r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64
+                            r.modeled_ms.unwrap() * PAPER_SAMPLES as f64
+                                / r.samples_collected as f64
                         };
                         per(Backend::GpuBaseline) / per(Backend::Gsword)
                     })
                     .collect();
                 let g = geomean(&sp);
                 totals[i * 2 + j].push(g);
-                cells.push(if g.is_nan() { "-".into() } else { format!("{g:.1}x") });
+                cells.push(if g.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{g:.1}x")
+                });
             }
         }
         t.row(cells);

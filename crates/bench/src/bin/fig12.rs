@@ -11,7 +11,10 @@ use gsword_bench::{banner, geomean, samples, Table, Workload, PAPER_SAMPLES};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig12", "ablation: O0 / O1 (inheritance) / O2 (+streaming), ms @ 1e6 samples");
+    banner(
+        "fig12",
+        "ablation: O0 / O1 (inheritance) / O2 (+streaming), ms @ 1e6 samples",
+    );
     let mut t = Table::new(&[
         "dataset", "WJ O0", "WJ O1", "WJ O2", "AL O0", "AL O1", "AL O2",
     ]);
@@ -24,7 +27,10 @@ fn main() {
             continue;
         }
         let mut cells = vec![name.to_string()];
-        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley]
+            .into_iter()
+            .enumerate()
+        {
             let run = |cfg: EngineConfig, seed: u64| {
                 let r = Gsword::builder(&w.data, &queries[seed as usize % queries.len()])
                     .samples(samples())

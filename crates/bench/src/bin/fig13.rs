@@ -9,9 +9,18 @@ use gsword_bench::{banner, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig13", "signed q-error of WJ and Alley vs query size (median [max] over queries)");
+    banner(
+        "fig13",
+        "signed q-error of WJ and Alley vs query size (median [max] over queries)",
+    );
     let mut t = Table::new(&[
-        "dataset", "k", "WJ median", "WJ max", "AL median", "AL max", "truth known",
+        "dataset",
+        "k",
+        "WJ median",
+        "WJ max",
+        "AL median",
+        "AL max",
+        "truth known",
     ]);
     for name in gsword_bench::dataset_names() {
         let w = Workload::load(name);
@@ -24,7 +33,10 @@ fn main() {
                     continue;
                 };
                 known += 1;
-                for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+                for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley]
+                    .into_iter()
+                    .enumerate()
+                {
                     let r = Gsword::builder(&w.data, query)
                         .samples(samples())
                         .estimator(kind)

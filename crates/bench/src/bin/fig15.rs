@@ -10,7 +10,10 @@ use gsword_bench::{banner, geomean, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig15", "q-error: plain RW vs trawling (WordNet, 16-vertex queries)");
+    banner(
+        "fig15",
+        "q-error: plain RW vs trawling (WordNet, 16-vertex queries)",
+    );
     let w = Workload::load("wordnet");
     let queries = w.queries(16);
     let trawl_cfg = TrawlConfig {
@@ -28,7 +31,10 @@ fn main() {
             continue;
         };
         let mut cells = vec![format!("q{qi}"), format!("{truth:.0}")];
-        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley].into_iter().enumerate() {
+        for (ei, kind) in [EstimatorKind::WanderJoin, EstimatorKind::Alley]
+            .into_iter()
+            .enumerate()
+        {
             // "Existing RW estimators": the plain GPU baseline, without
             // gSWORD's inheritance (which already mitigates mild cases).
             let plain = Gsword::builder(&w.data, query)

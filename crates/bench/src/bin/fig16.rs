@@ -12,7 +12,10 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    banner("fig16", "co-processing component times (WordNet, 16-vertex queries)");
+    banner(
+        "fig16",
+        "co-processing component times (WordNet, 16-vertex queries)",
+    );
     let w = Workload::load("wordnet");
     let queries = w.queries(16);
     let trawl_cfg = TrawlConfig {
@@ -22,7 +25,10 @@ fn main() {
         ..TrawlConfig::default()
     };
     let mut t = Table::new(&[
-        "query", "GPU sampling (wall ms)", "CPU enum alone (wall ms)", "co-processing total (wall ms)",
+        "query",
+        "GPU sampling (wall ms)",
+        "CPU enum alone (wall ms)",
+        "co-processing total (wall ms)",
     ]);
     for (qi, query) in queries.iter().enumerate() {
         let (cg, _) = build_candidate_graph(&w.data, query, &BuildConfig::default());
@@ -54,5 +60,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nexpected: total ≈ GPU sampling component (enumeration hidden by overlap + timeout)");
+    println!(
+        "\nexpected: total ≈ GPU sampling component (enumeration hidden by overlap + timeout)"
+    );
 }

@@ -10,7 +10,10 @@ use gsword_bench::{banner, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig17", "q-error & runtime vs number of batches (WordNet, 16-vertex)");
+    banner(
+        "fig17",
+        "q-error & runtime vs number of batches (WordNet, 16-vertex)",
+    );
     let w = Workload::load("wordnet");
     let queries: Vec<_> = w
         .queries(16)
@@ -20,9 +23,7 @@ fn main() {
         .take(5)
         .collect();
     let batch_sweep = [1usize, 2, 4, 6, 8, 12];
-    let mut t = Table::new(&[
-        "query", "batches", "q-error", "trawl done", "total wall ms",
-    ]);
+    let mut t = Table::new(&["query", "batches", "q-error", "trawl done", "total wall ms"]);
     for &(qi, ref query, truth) in &queries {
         for &batches in &batch_sweep {
             let r = Gsword::builder(&w.data, query)

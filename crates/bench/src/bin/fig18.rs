@@ -11,7 +11,10 @@ use gsword_bench::{banner, samples, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("fig18", "q-error & runtime vs CPU threads (WordNet, 16-vertex)");
+    banner(
+        "fig18",
+        "q-error & runtime vs CPU threads (WordNet, 16-vertex)",
+    );
     let w = Workload::load("wordnet");
     let queries: Vec<_> = w
         .queries(16)

@@ -11,9 +11,7 @@ use gsword_core::prelude::*;
 
 fn main() {
     banner("fig20_25", "QuickSI vs G-CARE matching orders (gSWORD-AL)");
-    let mut t = Table::new(&[
-        "dataset", "k", "QSI ms", "GC ms", "QSI q-err", "GC q-err",
-    ]);
+    let mut t = Table::new(&["dataset", "k", "QSI ms", "GC ms", "QSI q-err", "GC q-err"]);
     let mut time_ratio = Vec::new();
     for name in gsword_bench::dataset_names() {
         let w = Workload::load(name);
@@ -23,7 +21,10 @@ fn main() {
             let mut qe = [Vec::new(), Vec::new()];
             for (qi, query) in queries.iter().enumerate() {
                 let truth = w.truth(query, &format!("k{k}"));
-                for (oi, order) in [OrderKind::QuickSi, OrderKind::GCare].into_iter().enumerate() {
+                for (oi, order) in [OrderKind::QuickSi, OrderKind::GCare]
+                    .into_iter()
+                    .enumerate()
+                {
                     let r = Gsword::builder(&w.data, query)
                         .samples(samples())
                         .estimator(EstimatorKind::Alley)
@@ -31,7 +32,9 @@ fn main() {
                         .seed(0xF20 + qi as u64)
                         .run()
                         .expect("run");
-                    ms[oi].push(r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64);
+                    ms[oi].push(
+                        r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64,
+                    );
                     if let Some(truth) = truth {
                         qe[oi].push(r.q_error(truth));
                     }
@@ -46,8 +49,16 @@ fn main() {
                 k.to_string(),
                 format!("{mq:.1}"),
                 format!("{mg:.1}"),
-                if qe[0].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[0])) },
-                if qe[1].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[1])) },
+                if qe[0].is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", geomean(&qe[0]))
+                },
+                if qe[1].is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", geomean(&qe[1]))
+                },
             ]);
         }
     }

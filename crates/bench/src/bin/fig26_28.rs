@@ -42,16 +42,17 @@ fn run_cell(
 }
 
 fn main() {
-    banner("fig26_28", "candidate-graph configurations: runtime (ms @ 1e6) and q-error, gSWORD-AL");
+    banner(
+        "fig26_28",
+        "candidate-graph configurations: runtime (ms @ 1e6) and q-error, gSWORD-AL",
+    );
     let configs = [
         ("data-graph", BuildConfig::unfiltered()),
         ("candidate", BuildConfig::default()),
         ("pruned", BuildConfig::strong()),
     ];
     let mut t = Table::new(&[
-        "dataset", "k",
-        "dg ms", "cg ms", "pr ms",
-        "dg q", "cg q", "pr q",
+        "dataset", "k", "dg ms", "cg ms", "pr ms", "dg q", "cg q", "pr q",
     ]);
     let mut gains = Vec::new();
     for name in gsword_bench::dataset_names() {
@@ -83,9 +84,21 @@ fn main() {
                 format!("{:.1}", g[0]),
                 format!("{:.1}", g[1]),
                 format!("{:.1}", g[2]),
-                if qe[0].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[0])) },
-                if qe[1].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[1])) },
-                if qe[2].is_empty() { "-".into() } else { format!("{:.1}", geomean(&qe[2])) },
+                if qe[0].is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", geomean(&qe[0]))
+                },
+                if qe[1].is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", geomean(&qe[1]))
+                },
+                if qe[2].is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.1}", geomean(&qe[2]))
+                },
             ]);
         }
     }

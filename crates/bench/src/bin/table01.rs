@@ -7,8 +7,16 @@ use gsword_core::prelude::*;
 fn main() {
     banner("table01", "Dataset statistics (suite vs paper)");
     let mut t = Table::new(&[
-        "dataset", "category", "|V|", "|E|", "d", "L", "scale",
-        "paper |V|", "paper |E|", "paper d",
+        "dataset",
+        "category",
+        "|V|",
+        "|E|",
+        "d",
+        "L",
+        "scale",
+        "paper |V|",
+        "paper |E|",
+        "paper d",
     ]);
     for name in gsword_bench::dataset_names() {
         let spec = gsword_core::datasets::spec(name).expect("suite name");

@@ -17,8 +17,15 @@ fn main() {
     banner("table02", "average runtime per query (ms @ 1e6 samples)");
     let threads = cpu_threads();
     let mut t = Table::new(&[
-        "dataset", "CPU-WJ", "CPU-AL", "GPU-WJ", "GPU-AL", "gSWORD-WJ", "gSWORD-AL",
-        "gsword/cpu", "gsword/gpu",
+        "dataset",
+        "CPU-WJ",
+        "CPU-AL",
+        "GPU-WJ",
+        "GPU-AL",
+        "gSWORD-WJ",
+        "gSWORD-AL",
+        "gsword/cpu",
+        "gsword/gpu",
     ]);
     let mut cpu_speedups = Vec::new();
     let mut gpu_speedups = Vec::new();
@@ -52,8 +59,8 @@ fn main() {
                         .seed(seed)
                         .run()
                         .expect("device");
-                    let ms = r.modeled_ms.unwrap() * PAPER_SAMPLES as f64
-                        / r.samples_collected as f64;
+                    let ms =
+                        r.modeled_ms.unwrap() * PAPER_SAMPLES as f64 / r.samples_collected as f64;
                     cols[slot + off].push(ms);
                 }
             }

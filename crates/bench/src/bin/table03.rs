@@ -8,9 +8,18 @@ use gsword_bench::{banner, mean_std, Table, Workload};
 use gsword_core::prelude::*;
 
 fn main() {
-    banner("table03", "candidate graph construction / transfer costs (ms)");
+    banner(
+        "table03",
+        "candidate graph construction / transfer costs (ms)",
+    );
     let mut t = Table::new(&[
-        "dataset", "build k=4", "build k=8", "build k=16", "xfer k=4", "xfer k=8", "xfer k=16",
+        "dataset",
+        "build k=4",
+        "build k=8",
+        "build k=16",
+        "xfer k=4",
+        "xfer k=8",
+        "xfer k=16",
     ]);
     for name in gsword_bench::dataset_names() {
         let w = Workload::load(name);

@@ -29,7 +29,10 @@ use gsword_core::prelude::*;
 pub const PAPER_SAMPLES: u64 = 1_000_000;
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Whether `GSWORD_FAST` smoke mode is active.
@@ -69,7 +72,9 @@ pub fn dataset_names() -> Vec<&'static str> {
 /// CPU threads used by the CPU baselines (the paper's server has 12
 /// cores).
 pub fn cpu_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get()).min(12)
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(12)
 }
 
 /// A dataset with its per-size query workloads (the paper's extraction
@@ -130,20 +135,40 @@ pub fn cached_truth(dataset: &str, tag: &str, data: &Graph, query: &QueryGraph) 
     let key = format!("{dataset}-{tag}-{:016x}", query_hash(query));
     let path = cache_dir().join(format!("{key}.json"));
     if let Ok(body) = std::fs::read_to_string(&path) {
-        if let Ok(v) = serde_json::from_str::<Option<u64>>(&body) {
+        if let Some(v) = parse_cached(&body) {
             return v.map(|x| x as f64);
         }
     }
     let v = gsword_core::exact_count(data, query, truth_budget(), 0);
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = write!(f, "{}", serde_json::to_string(&v).expect("serializable"));
+        let body = match v {
+            Some(x) => x.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(f, "{body}");
     }
     v.map(|x| x as f64)
 }
 
+/// Parse a truth-cache body: JSON `null` (budget tripped) or a bare
+/// non-negative integer. Outer `None` means the file is unreadable and the
+/// truth must be recomputed.
+fn parse_cached(body: &str) -> Option<Option<u64>> {
+    let body = body.trim();
+    if body == "null" {
+        return Some(None);
+    }
+    body.parse::<u64>().ok().map(Some)
+}
+
 /// Geometric mean (ignores non-finite and non-positive entries).
 pub fn geomean(xs: &[f64]) -> f64 {
-    let logs: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite() && *x > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return f64::NAN;
     }
@@ -197,7 +222,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -131,7 +131,9 @@ pub fn build_candidate_graph(
             for &v in &global_sets[u as usize] {
                 let ok = query.neighbors(u).all(|u2| {
                     let cu2 = &global_sets[u2 as usize];
-                    data.neighbors(v).iter().any(|w| cu2.binary_search(w).is_ok())
+                    data.neighbors(v)
+                        .iter()
+                        .any(|w| cu2.binary_search(w).is_ok())
                 });
                 if ok {
                     kept.push(v);
@@ -284,8 +286,11 @@ mod tests {
         }
         let g = b.build().unwrap();
         // Query: u1(A)-u2(B), u1-u3(B), u2-u3, u2-u4(C), u4-u5(B)
-        let q = QueryGraph::new(vec![0, 1, 1, 2, 1], &[(0, 1), (0, 2), (1, 2), (1, 3), (3, 4)])
-            .unwrap();
+        let q = QueryGraph::new(
+            vec![0, 1, 1, 2, 1],
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (3, 4)],
+        )
+        .unwrap();
         (g, q)
     }
 

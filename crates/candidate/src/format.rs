@@ -72,7 +72,10 @@ impl CandidateGraph {
     pub fn edge_index(&self, u: QueryVertex, u2: QueryVertex) -> Option<usize> {
         let s = self.edge_off[u as usize];
         let e = self.edge_off[u as usize + 1];
-        self.edge_dst[s..e].iter().position(|&d| d == u2).map(|p| s + p)
+        self.edge_dst[s..e]
+            .iter()
+            .position(|&d| d == u2)
+            .map(|p| s + p)
     }
 
     /// Destination query vertex of directed edge `k`.

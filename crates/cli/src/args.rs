@@ -59,7 +59,9 @@ impl Args {
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v}")),
         }
     }
 }
@@ -74,7 +76,15 @@ mod tests {
 
     #[test]
     fn parses_mixed() {
-        let a = Args::parse(&sv(&["yeast", "-q", "q.txt", "--samples", "500", "--trawl"])).unwrap();
+        let a = Args::parse(&sv(&[
+            "yeast",
+            "-q",
+            "q.txt",
+            "--samples",
+            "500",
+            "--trawl",
+        ]))
+        .unwrap();
         assert_eq!(a.positional(0), Some("yeast"));
         assert_eq!(a.get("query"), Some("q.txt"));
         assert_eq!(a.num::<u64>("samples", 0).unwrap(), 500);

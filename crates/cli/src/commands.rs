@@ -12,13 +12,16 @@ usage:
   gsword generate <dataset> -o <file>
   gsword estimate <graph> -q <query> [--samples N] [--estimator wj|alley]
                   [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
+                  [--sanitize full|sync,race,init]
   gsword exact    <graph> -q <query> [--budget N] [--threads N]
   gsword motifs   <graph> [--samples N] [--label L]
   gsword orders   <graph> -q <query> [--probe N]
 
 <graph>: dataset name (yeast hprd wordnet patents dblp orkut eu2005 uk2002),
          a t/v/e file, or a SNAP edge list (*.el)
-<query>: a t/v/e query file, or extract:<k>[:<seed>]";
+<query>: a t/v/e query file, or extract:<k>[:<seed>]
+--sanitize runs the device kernels under the compute-sanitizer analogue
+(synccheck/racecheck/initcheck); any violation fails the run.";
 
 /// Route a parsed command line to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -95,7 +98,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     }
     let g = datasets::dataset(name);
     graph::io::save_graph(&g, out).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_edges());
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        out,
+        g.num_vertices(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -121,11 +129,16 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     let q = load_query_spec(&data, args.get("query").ok_or("missing -q <query>")?)?;
     let samples: u64 = args.num("samples", 100_000)?;
     let seed: u64 = args.num("seed", 42)?;
+    let sanitize = match args.get("sanitize") {
+        None => SanitizerMode::OFF,
+        Some(spec) => SanitizerMode::parse(spec)?,
+    };
     let mut b = Gsword::builder(&data, &q)
         .samples(samples)
         .seed(seed)
         .estimator(parse_estimator(args)?)
-        .backend(parse_backend(args)?);
+        .backend(parse_backend(args)?)
+        .sanitize(sanitize);
     if args.has("trawl") {
         b = b.trawling(TrawlConfig::default());
     }
@@ -139,12 +152,23 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         r.sampler.rel_ci95() * 100.0
     );
     if let Some(t) = r.trawl {
-        println!("trawling estimate: {t:.1} ({} enumerations completed)", r.trawl_completed);
+        println!(
+            "trawling estimate: {t:.1} ({} enumerations completed)",
+            r.trawl_completed
+        );
     }
     if let Some(ms) = r.modeled_ms {
         println!("modeled device time: {ms:.2} ms");
     }
     println!("wall time: {:.1} ms", r.wall_ms);
+    if let Some(sr) = &r.sanitizer {
+        println!("{sr}");
+        if !sr.is_clean() {
+            return Err(format!("sanitizer found {} violation(s)", sr.total));
+        }
+    } else if sanitize.any() {
+        println!("sanitizer: no device launch to check (cpu backend)");
+    }
     Ok(())
 }
 
@@ -169,7 +193,10 @@ fn cmd_motifs(args: &Args) -> Result<(), String> {
             .max_by_key(|&l| data.vertices_with_label(l).len())
             .unwrap_or(0),
     };
-    println!("census over label {label} ({} vertices)", data.vertices_with_label(label).len());
+    println!(
+        "census over label {label} ({} vertices)",
+        data.vertices_with_label(label).len()
+    );
     for (name, motif) in query::motifs::census_motifs(label) {
         let r = Gsword::builder(&data, &motif)
             .samples(samples)

@@ -26,7 +26,14 @@ fn stats_subcommand() {
 #[test]
 fn estimate_and_exact_agree() {
     let (ok, est_out, _) = run(&[
-        "estimate", "yeast", "-q", "extract:4:7", "--samples", "40000", "--seed", "1",
+        "estimate",
+        "yeast",
+        "-q",
+        "extract:4:7",
+        "--samples",
+        "40000",
+        "--seed",
+        "1",
     ]);
     assert!(ok, "{est_out}");
     let (ok2, exact_out, _) = run(&["exact", "yeast", "-q", "extract:4:7"]);
@@ -90,7 +97,13 @@ fn error_paths() {
 #[test]
 fn trawl_flag_runs() {
     let (ok, stdout, stderr) = run(&[
-        "estimate", "yeast", "-q", "extract:4:9", "--samples", "6000", "--trawl",
+        "estimate",
+        "yeast",
+        "-q",
+        "extract:4:9",
+        "--samples",
+        "6000",
+        "--trawl",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("trawling estimate"), "{stdout}");

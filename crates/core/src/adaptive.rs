@@ -141,7 +141,11 @@ mod tests {
                 max_wall_ms: 0.0,
             },
         );
-        assert!(r.converged, "4-vertex yeast query should converge: {:?}", r.estimate);
+        assert!(
+            r.converged,
+            "4-vertex yeast query should converge: {:?}",
+            r.estimate
+        );
         assert!(r.estimate.rel_ci95() <= 0.2);
         assert!(r.batches >= 1);
     }

@@ -10,7 +10,7 @@ use gsword_estimators::{
 use gsword_graph::Graph;
 use gsword_pipeline::{run_coprocessing, TrawlConfig};
 use gsword_query::{make_order, OrderKind, QueryGraph};
-use gsword_simt::{DeviceConfig, KernelCounters};
+use gsword_simt::{DeviceConfig, KernelCounters, SanitizerMode, SanitizerReport};
 
 /// Execution backend for a query.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +47,10 @@ impl std::fmt::Display for Error {
         match self {
             Error::BadQuery(m) => write!(f, "bad query: {m}"),
             Error::TrawlingNeedsDevice => {
-                write!(f, "trawling runs on the co-processing pipeline; pick a device backend")
+                write!(
+                    f,
+                    "trawling runs on the co-processing pipeline; pick a device backend"
+                )
             }
             Error::NoSamples => write!(f, "sample budget must be positive"),
         }
@@ -73,6 +76,7 @@ impl Gsword {
             build: BuildConfig::default(),
             device: None,
             trawling: None,
+            sanitize: SanitizerMode::OFF,
         }
     }
 }
@@ -90,6 +94,7 @@ pub struct GswordBuilder<'a> {
     build: BuildConfig,
     device: Option<DeviceConfig>,
     trawling: Option<TrawlConfig>,
+    sanitize: SanitizerMode,
 }
 
 impl<'a> GswordBuilder<'a> {
@@ -141,6 +146,14 @@ impl<'a> GswordBuilder<'a> {
         self
     }
 
+    /// Run the device kernels under the sanitizer (synccheck / racecheck /
+    /// initcheck — the `compute-sanitizer` analogue). Findings land in
+    /// [`Report::sanitizer`]. No effect on CPU backends.
+    pub fn sanitize(mut self, mode: SanitizerMode) -> Self {
+        self.sanitize = mode;
+        self
+    }
+
     /// Execute the configured run.
     pub fn run(self) -> Result<Report, Error> {
         if self.samples == 0 {
@@ -160,6 +173,7 @@ impl<'a> GswordBuilder<'a> {
             if let Some(d) = self.device {
                 cfg.device = d;
             }
+            cfg.sanitize = self.sanitize;
             cfg
         };
 
@@ -231,6 +245,7 @@ impl<'a> GswordBuilder<'a> {
         if let Some(d) = self.device {
             cfg.device = d;
         }
+        cfg.sanitize = self.sanitize;
         let r = run_engine(&ctx, est, &cfg);
         let mut report = Report::from_device(r);
         report.candidate_stats = Some(candidate_stats);
@@ -263,6 +278,9 @@ pub struct Report {
     pub samples_collected: u64,
     /// Host wall-clock milliseconds for the whole run.
     pub wall_ms: f64,
+    /// Sanitizer findings (device backends running with a non-OFF
+    /// [`SanitizerMode`] only).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl Report {
@@ -277,6 +295,7 @@ impl Report {
             counters: None,
             modeled_ms: None,
             wall_ms,
+            sanitizer: None,
         }
     }
 
@@ -291,6 +310,7 @@ impl Report {
             modeled_ms: Some(r.modeled_ms),
             samples_collected: r.samples_collected,
             wall_ms: r.wall_ms,
+            sanitizer: r.sanitizer,
         }
     }
 
@@ -305,6 +325,7 @@ impl Report {
             modeled_ms: Some(r.gpu_modeled_ms),
             samples_collected: r.sampler.samples,
             wall_ms: r.total_wall_ms,
+            sanitizer: r.sanitizer,
         }
     }
 

@@ -27,22 +27,22 @@ pub mod prelude;
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveReport};
 pub use builder::{Backend, Error, Gsword, GswordBuilder, Report};
 
-/// Re-export: graph substrate.
-pub use gsword_graph as graph;
-/// Re-export: query substrate.
-pub use gsword_query as query;
 /// Re-export: candidate graphs.
 pub use gsword_candidate as candidate;
-/// Re-export: the SIMT device.
-pub use gsword_simt as simt;
-/// Re-export: RW estimators.
-pub use gsword_estimators as estimators;
-/// Re-export: exact enumeration.
-pub use gsword_enumeration as enumeration;
 /// Re-export: device kernels.
 pub use gsword_engine as engine;
+/// Re-export: exact enumeration.
+pub use gsword_enumeration as enumeration;
+/// Re-export: RW estimators.
+pub use gsword_estimators as estimators;
+/// Re-export: graph substrate.
+pub use gsword_graph as graph;
 /// Re-export: trawling and co-processing.
 pub use gsword_pipeline as pipeline;
+/// Re-export: query substrate.
+pub use gsword_query as query;
+/// Re-export: the SIMT device.
+pub use gsword_simt as simt;
 
 /// Re-export: the eight-dataset suite (Table 1).
 pub use gsword_graph::datasets;

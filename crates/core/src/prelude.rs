@@ -13,5 +13,7 @@ pub use gsword_estimators::{
 };
 pub use gsword_graph::{Graph, GraphBuilder, GraphStats, Label, VertexId};
 pub use gsword_pipeline::{run_coprocessing, DepthDist, TrawlConfig};
-pub use gsword_query::{gcare_order, quicksi_order, MatchingOrder, OrderKind, QueryClass, QueryGraph};
-pub use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters};
+pub use gsword_query::{
+    gcare_order, quicksi_order, MatchingOrder, OrderKind, QueryClass, QueryGraph,
+};
+pub use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters, SanitizerMode, SanitizerReport};

@@ -1,7 +1,7 @@
 //! Engine configuration, presets, and run reports.
 
 use gsword_estimators::Estimate;
-use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters};
+use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters, SanitizerMode, SanitizerReport};
 
 /// Thread synchronization discipline (Section 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,10 @@ pub struct EngineConfig {
     pub inheritance: bool,
     /// Enable warp streaming (Algorithm 3) — the O2 optimization.
     pub streaming: bool,
+    /// Sanitizer tools to run the kernel under (the `compute-sanitizer`
+    /// analogue; off by default — the disabled handle is one branch per
+    /// hook).
+    pub sanitize: SanitizerMode,
 }
 
 impl EngineConfig {
@@ -56,6 +60,7 @@ impl EngineConfig {
             pool: PoolMode::BlockPool,
             inheritance: false,
             streaming: false,
+            sanitize: SanitizerMode::OFF,
         }
     }
 
@@ -118,10 +123,16 @@ impl EngineConfig {
         self.device = device;
         self
     }
+
+    /// Builder-style sanitizer override.
+    pub fn with_sanitize(mut self, sanitize: SanitizerMode) -> Self {
+        self.sanitize = sanitize;
+        self
+    }
 }
 
 /// Outcome of one engine launch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineReport {
     /// Aggregated HT estimate (denominator = fetched initial samples).
     pub estimate: Estimate,
@@ -137,6 +148,9 @@ pub struct EngineReport {
     /// Host wall-clock milliseconds of the functional simulation (not the
     /// reproduction target; reported for transparency).
     pub wall_ms: f64,
+    /// Sanitizer findings when the launch ran under a non-OFF
+    /// [`SanitizerMode`]; `None` when sanitizing was disabled.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl EngineReport {

@@ -12,7 +12,9 @@ use gsword_estimators::{Estimate, Estimator, QueryCtx, SampleState, Segment};
 use gsword_graph::VertexId;
 use gsword_simt::memory::{warp_load, warp_scan, LaneAddr};
 use gsword_simt::warp::{self, Lanes, WarpMask};
-use gsword_simt::{Device, KernelCounters, Region, SamplePool, WARP_SIZE};
+use gsword_simt::{
+    Device, KernelCounters, Region, SamplePool, Sanitizer, WarpSanitizer, WARP_SIZE,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,14 +28,15 @@ pub fn run_engine<E: Estimator + ?Sized>(
     cfg: &EngineConfig,
 ) -> EngineReport {
     let t0 = Instant::now();
-    let device = Device::new(cfg.device);
+    let device =
+        Device::with_sanitizer(cfg.device, Sanitizer::new(cfg.sanitize, &kernel_name(cfg)));
     let nb = cfg.device.num_blocks as u64;
     let per_block = cfg.samples / nb;
     let remainder = cfg.samples % nb;
 
     let block_results: Vec<(Estimate, KernelCounters, u64)> = device.launch(|block| {
         let block_samples = per_block + u64::from((block as u64) < remainder);
-        run_block(ctx, est, cfg, block, block_samples)
+        run_block(ctx, est, cfg, &device, block, block_samples)
     });
 
     let mut estimate = Estimate::default();
@@ -50,13 +53,36 @@ pub fn run_engine<E: Estimator + ?Sized>(
         counters,
         modeled_ms: cfg.model.modeled_ms(&counters),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        sanitizer: device
+            .sanitizer
+            .enabled()
+            .then(|| device.sanitizer.report()),
     }
+}
+
+/// Kernel name reported by the sanitizer, derived from the configured
+/// discipline and optimizations (mirrors compute-sanitizer's per-kernel
+/// attribution).
+fn kernel_name(cfg: &EngineConfig) -> String {
+    let sync = match cfg.sync {
+        SyncMode::SampleSync => "sample-sync",
+        SyncMode::IterationSync => "iter-sync",
+    };
+    let mut name = format!("rsv_{sync}");
+    if cfg.inheritance {
+        name.push_str("+inherit");
+    }
+    if cfg.streaming {
+        name.push_str("+stream");
+    }
+    name
 }
 
 fn run_block<E: Estimator + ?Sized>(
     ctx: &QueryCtx<'_>,
     est: &E,
     cfg: &EngineConfig,
+    device: &Device,
     block: usize,
     block_samples: u64,
 ) -> (Estimate, KernelCounters, u64) {
@@ -72,7 +98,8 @@ fn run_block<E: Estimator + ?Sized>(
     let warp_remainder = block_samples % warps as u64;
 
     for w in 0..warps {
-        let mut exec = WarpExec::new(ctx, est, cfg, block, w);
+        let san = device.warp_sanitizer(block, w);
+        let mut exec = WarpExec::new(ctx, est, cfg, san, block, w);
         match cfg.pool {
             PoolMode::BlockPool => exec.run(Tasks::pool(&pool)),
             PoolMode::Static => {
@@ -109,10 +136,12 @@ impl<'p> Tasks<'p> {
         Tasks::Static { remaining }
     }
 
-    /// Try to hand lane `lane` a new sample task.
-    fn fetch(&mut self, lane: usize) -> bool {
+    /// Try to hand lane `lane` a new sample task. The pool path goes
+    /// through the sanitized atomic fetch so racecheck sees the shared
+    /// cursor access.
+    fn fetch(&mut self, lane: usize, san: &WarpSanitizer) -> bool {
         match self {
-            Tasks::Pool(p) => p.fetch().is_some(),
+            Tasks::Pool(p) => p.fetch_sanitized(san).is_some(),
             Tasks::Static { remaining } => {
                 if remaining[lane] > 0 {
                     remaining[lane] -= 1;
@@ -146,6 +175,9 @@ struct WarpExec<'e, 'c, E: ?Sized> {
     cfg: &'e EngineConfig,
     rng: Vec<SmallRng>,
     ctr: KernelCounters,
+    /// Per-warp sanitizer handle (the disabled handle unless the engine
+    /// was configured with a non-OFF [`gsword_simt::SanitizerMode`]).
+    san: WarpSanitizer,
     weight_sum: f64,
     weight_sq_sum: f64,
     leaves: u64,
@@ -160,7 +192,14 @@ struct WarpExec<'e, 'c, E: ?Sized> {
 }
 
 impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
-    fn new(ctx: &'e QueryCtx<'c>, est: &'e E, cfg: &'e EngineConfig, block: usize, warp: usize) -> Self {
+    fn new(
+        ctx: &'e QueryCtx<'c>,
+        est: &'e E,
+        cfg: &'e EngineConfig,
+        san: WarpSanitizer,
+        block: usize,
+        warp: usize,
+    ) -> Self {
         let rng = (0..WARP_SIZE)
             .map(|lane| {
                 let stream = (block as u64) << 32 | (warp as u64) << 8 | lane as u64;
@@ -173,6 +212,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             cfg,
             rng,
             ctr: KernelCounters::default(),
+            san,
             weight_sum: 0.0,
             weight_sq_sum: 0.0,
             leaves: 0,
@@ -208,7 +248,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             let mut s: Lanes<SampleState> = [SampleState::new(); WARP_SIZE];
             let mut mask: WarpMask = 0;
             for lane in 0..WARP_SIZE {
-                if tasks.fetch(lane) {
+                if tasks.fetch(lane, &self.san) {
                     mask |= 1 << lane;
                     self.fetched += 1;
                 }
@@ -236,13 +276,17 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
     /// One lockstep RSV iteration for all active lanes at position `d`.
     /// Returns the mask of lanes still alive afterwards.
     fn rsv_iteration(&mut self, s: &mut Lanes<SampleState>, mask: WarpMask, d: usize) -> WarpMask {
+        // Declare warp convergence: `mask` is the executor's ground truth
+        // for which lanes participate in this iteration's `*_sync` ops.
+        self.san.set_active(mask);
         // --- GetMinCandidate: resolve backward segments per lane ---------
         let mut cand: Lanes<Option<LaneCand<'c>>> = [None; WARP_SIZE];
         for lane in lanes_of(mask) {
             self.segs[lane].clear();
             // Work around simultaneous &mut self.segs[lane] and &self.ctx.
             let mut seg_buf = std::mem::take(&mut self.segs[lane]);
-            self.ctx.backward_segments(s[lane].prefix(), d, &mut seg_buf);
+            self.ctx
+                .backward_segments(s[lane].prefix(), d, &mut seg_buf);
             let lc = if d == 0 {
                 let (set, addr) = self.ctx.root_candidates();
                 LaneCand {
@@ -293,7 +337,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         }
 
         // --- Sample inheritance (Algorithm 2) -----------------------------
-        let valid_ballot = warp::ballot(&mut self.ctr, mask, &valid);
+        let valid_ballot = warp::ballot(&mut self.ctr, &self.san, mask, &valid);
         if self.cfg.inheritance && valid_ballot != 0 && valid_ballot != mask {
             let parent = warp::first_lane(valid_ballot).expect("non-empty ballot");
             let idle = (mask & !valid_ballot).count_ones();
@@ -303,7 +347,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             // direction of the adjustment).
             s[parent].prob *= f64::from(idle + 1);
             self.inherited += u64::from(idle);
-            let ps = warp::shfl(&mut self.ctr, mask, s, parent);
+            let ps = warp::shfl(&mut self.ctr, &self.san, mask, s, parent);
             for lane in lanes_of(mask & !valid_ballot) {
                 s[lane] = ps;
             }
@@ -331,7 +375,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             chosen[lane] = Some((lc.cand[idx], 1.0 / lc.cand.len() as f64));
             addrs[lane] = Some((lc.region, lc.addr + idx));
         }
-        warp_load(&mut self.ctr, &addrs);
+        warp_load(&mut self.ctr, &self.san, &addrs);
     }
 
     /// Alley's Refine without streaming: every lane scans its own candidate
@@ -365,7 +409,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             if step_mask == 0 {
                 break;
             }
-            warp_load(&mut self.ctr, &addrs);
+            warp_load(&mut self.ctr, &self.san, &addrs);
             self.charge_probe_loads(step_mask, d, probes, t);
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
@@ -410,18 +454,27 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             for lane in lanes_of(mask) {
                 pred[lane] = clen(lane) - cur_iter[lane] >= WARP_SIZE;
             }
-            if !warp::any(&mut self.ctr, mask, &pred) {
+            if !warp::any(&mut self.ctr, &self.san, mask, &pred) {
                 break;
             }
-            let leader = warp::first_lane(warp::ballot(&mut self.ctr, mask, &pred))
+            let leader = warp::first_lane(warp::ballot(&mut self.ctr, &self.san, mask, &pred))
                 .expect("any() guaranteed a qualifying lane");
             let lc = cand[leader].expect("leader is active");
             let base = cur_iter[leader];
 
             // All 32 physical lanes serve as workers on the leader's chunk
-            // (shfl of the leader's sample and candidate pointer).
+            // (shfl of the leader's sample and candidate pointer). The warp
+            // reconverges to the full mask for the collaborative section.
+            self.san.set_active(u32::MAX);
             self.ctr.warp_instruction(u32::MAX); // the two shfl broadcasts
-            warp_scan(&mut self.ctr, u32::MAX, lc.region, lc.addr + base, WARP_SIZE);
+            warp_scan(
+                &mut self.ctr,
+                &self.san,
+                u32::MAX,
+                lc.region,
+                lc.addr + base,
+                WARP_SIZE,
+            );
             self.charge_streaming_probes(d, probes);
 
             let mut keys = [0.0f64; WARP_SIZE];
@@ -434,9 +487,14 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                     keys[t] = self.rng[t].gen::<f64>();
                 }
             }
-            let total_w = f64::from(warp::reduce_count(&mut self.ctr, u32::MAX, &pass));
+            let total_w = f64::from(warp::reduce_count(
+                &mut self.ctr,
+                &self.san,
+                u32::MAX,
+                &pass,
+            ));
             if total_w > 0.0 {
-                let winner = warp::reduce_max_by_key(&mut self.ctr, u32::MAX, &keys)
+                let winner = warp::reduce_max_by_key(&mut self.ctr, &self.san, u32::MAX, &keys)
                     .expect("full mask reduction");
                 let v_star = lc.cand[base + winner];
                 cur_total[leader] += total_w;
@@ -446,6 +504,9 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             } else {
                 self.ctr.warp_instruction(u32::MAX);
             }
+            // Back to the divergent per-sample mask for the next round's
+            // `any`/`ballot`.
+            self.san.set_active(mask);
             cur_iter[leader] = base + WARP_SIZE;
         }
 
@@ -463,7 +524,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             if step_mask == 0 {
                 break;
             }
-            warp_load(&mut self.ctr, &addrs);
+            warp_load(&mut self.ctr, &self.san, &addrs);
             self.charge_probe_loads(step_mask, d, probes, 0);
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
@@ -498,7 +559,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         loop {
             // Refill dead lanes.
             for lane in 0..WARP_SIZE {
-                if mask & (1 << lane) == 0 && tasks.fetch(lane) {
+                if mask & (1 << lane) == 0 && tasks.fetch(lane, &self.san) {
                     s[lane] = SampleState::new();
                     depth[lane] = 0;
                     mask |= 1 << lane;
@@ -520,6 +581,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         depth: &mut [usize; WARP_SIZE],
         mask: WarpMask,
     ) -> WarpMask {
+        self.san.set_active(mask);
         // Resolve candidates per lane — segments now come from *different*
         // order positions, so the loads scatter across the candidate graph.
         let mut cand: Lanes<Option<LaneCand<'c>>> = [None; WARP_SIZE];
@@ -527,7 +589,8 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             let d = depth[lane];
             let mut seg_buf = std::mem::take(&mut self.segs[lane]);
             seg_buf.clear();
-            self.ctx.backward_segments(s[lane].prefix(), d, &mut seg_buf);
+            self.ctx
+                .backward_segments(s[lane].prefix(), d, &mut seg_buf);
             let lc = if d == 0 {
                 let (set, addr) = self.ctx.root_candidates();
                 LaneCand {
@@ -558,7 +621,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                     addrs[lane] = Some((Region::LOCAL, addr));
                 }
             }
-            warp_load(&mut self.ctr, &addrs);
+            warp_load(&mut self.ctr, &self.san, &addrs);
         }
 
         // Refine + sample per lane (serial scans, mixed lengths).
@@ -637,7 +700,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             if step_mask == 0 {
                 break;
             }
-            warp_load(&mut self.ctr, &addrs);
+            warp_load(&mut self.ctr, &self.san, &addrs);
             // Probe loads at each lane's own depth.
             let max_probes = lanes_of(step_mask)
                 .map(|lane| self.ctx.backward(depth[lane]).len())
@@ -651,7 +714,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                         paddrs[lane] = Some((Region::LOCAL, base + probe_offset(seg.len(), t)));
                     }
                 }
-                warp_load(&mut self.ctr, &paddrs);
+                warp_load(&mut self.ctr, &self.san, &paddrs);
             }
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
@@ -693,7 +756,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                     addrs[lane] = Some((Region::CAND, base));
                 }
             }
-            warp_load(&mut self.ctr, &addrs);
+            warp_load(&mut self.ctr, &self.san, &addrs);
         }
     }
 
@@ -716,12 +779,14 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 for lane in lanes_of(step_mask) {
                     if let Some(&(seg, base)) = self.segs[lane].get(p) {
                         if step < probe_line_count(seg.len()) {
-                            addrs[lane] =
-                                Some((Region::LOCAL, base + probe_offset(seg.len(), t + step * 37)));
+                            addrs[lane] = Some((
+                                Region::LOCAL,
+                                base + probe_offset(seg.len(), t + step * 37),
+                            ));
                         }
                     }
                 }
-                warp_load(&mut self.ctr, &addrs);
+                warp_load(&mut self.ctr, &self.san, &addrs);
             }
         }
     }
@@ -764,7 +829,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                         }
                     }
                 }
-                warp_load(&mut self.ctr, &addrs);
+                warp_load(&mut self.ctr, &self.san, &addrs);
             }
         }
         self.ctr.warp_instruction(mask);
@@ -936,11 +1001,9 @@ mod tests {
         let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
         let order = quicksi_order(&q, &g);
         let ctx = QueryCtx::new(&cg, &order);
-        let truth = gsword_enumeration::count_instances(
-            &ctx,
-            gsword_enumeration::EnumLimits::unlimited(),
-        )
-        .count as f64;
+        let truth =
+            gsword_enumeration::count_instances(&ctx, gsword_enumeration::EnumLimits::unlimited())
+                .count as f64;
         assert!(truth > 0.0);
         let rep = run_engine(
             &ctx,
@@ -966,11 +1029,9 @@ mod tests {
         let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
         let order = quicksi_order(&q, &g);
         let ctx = QueryCtx::new(&cg, &order);
-        let truth = gsword_enumeration::count_instances(
-            &ctx,
-            gsword_enumeration::EnumLimits::unlimited(),
-        )
-        .count as f64;
+        let truth =
+            gsword_enumeration::count_instances(&ctx, gsword_enumeration::EnumLimits::unlimited())
+                .count as f64;
         assert!(truth > 0.0);
         let o2 = run_engine(
             &ctx,
@@ -981,7 +1042,11 @@ mod tests {
             },
         );
         let rel = (o2.value() - truth).abs() / truth;
-        assert!(rel < 0.3, "streaming estimate {} vs {truth} (rel {rel:.3})", o2.value());
+        assert!(
+            rel < 0.3,
+            "streaming estimate {} vs {truth} (rel {rel:.3})",
+            o2.value()
+        );
     }
 
     #[test]
@@ -1080,7 +1145,10 @@ mod tests {
                 ..EngineConfig::o1(20_000)
             },
         );
-        assert_eq!(o0.samples_collected, o0.estimate.samples, "no inheritance, no extras");
+        assert_eq!(
+            o0.samples_collected, o0.estimate.samples,
+            "no inheritance, no extras"
+        );
         assert!(
             o1.samples_collected > o1.estimate.samples,
             "inheritance should add collected samples"

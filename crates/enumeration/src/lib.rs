@@ -108,11 +108,11 @@ impl<'a, 'b> Search<'a, 'b> {
             if prefix.contains(&v) {
                 continue;
             }
-            let ok = self
-                .ctx
-                .backward(d)
-                .iter()
-                .all(|be| self.ctx.cg.has_local(be.edge as usize, prefix[be.pos as usize], v));
+            let ok = self.ctx.backward(d).iter().all(|be| {
+                self.ctx
+                    .cg
+                    .has_local(be.edge as usize, prefix[be.pos as usize], v)
+            });
             if ok {
                 prefix.push(v);
                 self.recurse(prefix, d + 1);
@@ -130,7 +130,11 @@ pub fn count_instances(ctx: &QueryCtx<'_>, limits: EnumLimits<'_>) -> EnumOutcom
 /// Count the embeddings extending a (valid) partial instance covering the
 /// first `prefix.len()` matching-order positions — Algorithm 4's
 /// `Enumeration(cg, s)`.
-pub fn count_extensions(ctx: &QueryCtx<'_>, prefix: &[VertexId], limits: EnumLimits<'_>) -> EnumOutcome {
+pub fn count_extensions(
+    ctx: &QueryCtx<'_>,
+    prefix: &[VertexId],
+    limits: EnumLimits<'_>,
+) -> EnumOutcome {
     let mut search = Search {
         ctx,
         limits,
@@ -186,7 +190,10 @@ pub fn count_instances_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("enum worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enum worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
 

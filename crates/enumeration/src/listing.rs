@@ -43,10 +43,10 @@ where
         if prefix.contains(&v) {
             continue;
         }
-        let ok = ctx
-            .backward(d)
-            .iter()
-            .all(|be| ctx.cg.has_local(be.edge as usize, prefix[be.pos as usize], v));
+        let ok = ctx.backward(d).iter().all(|be| {
+            ctx.cg
+                .has_local(be.edge as usize, prefix[be.pos as usize], v)
+        });
         if ok {
             prefix.push(v);
             let flow = walk(ctx, prefix, d + 1, visitor, visited);

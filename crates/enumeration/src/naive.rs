@@ -28,9 +28,8 @@ fn recurse(data: &Graph, query: &QueryGraph, partial: &mut Vec<VertexId>, count:
         if data.label(v) != query.label(u) || partial.contains(&v) {
             continue;
         }
-        let consistent = (0..d).all(|j| {
-            !query.has_edge(j as QueryVertex, u) || data.has_edge(partial[j], v)
-        });
+        let consistent =
+            (0..d).all(|j| !query.has_edge(j as QueryVertex, u) || data.has_edge(partial[j], v));
         if consistent {
             partial.push(v);
             recurse(data, query, partial, count);

@@ -152,8 +152,11 @@ impl<'a, 'c, E: Estimator + ?Sized> TreeWalk<'a, 'c, E> {
         let refined: Vec<VertexId> = if self.est.needs_refine() && !segs.is_empty() {
             self.refines += 1;
             self.scratch.clear();
-            self.scratch
-                .extend(cand.iter().copied().filter(|&v| self.est.refine_one(&segs, v)));
+            self.scratch.extend(
+                cand.iter()
+                    .copied()
+                    .filter(|&v| self.est.refine_one(&segs, v)),
+            );
             self.scratch.clone()
         } else {
             cand.to_vec()
@@ -200,7 +203,11 @@ mod tests {
     use gsword_graph::gen;
     use gsword_query::{quicksi_order, QueryGraph};
 
-    fn fixture() -> (gsword_candidate::CandidateGraph, QueryGraph, gsword_graph::Graph) {
+    fn fixture() -> (
+        gsword_candidate::CandidateGraph,
+        QueryGraph,
+        gsword_graph::Graph,
+    ) {
         let g = gen::erdos_renyi(80, 600, vec![0; 80], 13);
         let q = QueryGraph::new(vec![0; 4], &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
         let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
@@ -216,7 +223,11 @@ mod tests {
         assert!(truth > 0.0);
         let (est, _) = run_branching(&ctx, &Alley, &BranchingConfig::default(), 8_000, 3);
         let rel = (est.value() - truth).abs() / truth;
-        assert!(rel < 0.2, "branching estimate {} vs truth {truth}", est.value());
+        assert!(
+            rel < 0.2,
+            "branching estimate {} vs truth {truth}",
+            est.value()
+        );
     }
 
     #[test]
@@ -232,7 +243,12 @@ mod tests {
         let flat = run_sequential(&ctx, &Alley, 20_000, 9).estimate;
         // Same estimator, independent streams: estimates agree statistically.
         let ratio = branched.value() / flat.value();
-        assert!((0.8..1.25).contains(&ratio), "b=1 {} vs flat {}", branched.value(), flat.value());
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "b=1 {} vs flat {}",
+            branched.value(),
+            flat.value()
+        );
         assert_eq!(stats.paths, 20_000, "b=1 trees are single paths");
     }
 
@@ -270,7 +286,11 @@ mod tests {
         let (_, stats) = run_branching(&ctx, &WanderJoin, &cfg, 100, 1);
         // Each tree stops within factor slack of the cap (siblings already
         // scheduled when the cap trips still terminate).
-        assert!(stats.paths <= 100 * (16 + 8 * 4), "cap keeps trees bounded: {}", stats.paths);
+        assert!(
+            stats.paths <= 100 * (16 + 8 * 4),
+            "cap keeps trees bounded: {}",
+            stats.paths
+        );
     }
 
     #[test]
@@ -308,10 +328,10 @@ mod tests {
                 if prefix.contains(&v) {
                     continue;
                 }
-                let ok = ctx
-                    .backward(d)
-                    .iter()
-                    .all(|be| ctx.cg.has_local(be.edge as usize, prefix[be.pos as usize], v));
+                let ok = ctx.backward(d).iter().all(|be| {
+                    ctx.cg
+                        .has_local(be.edge as usize, prefix[be.pos as usize], v)
+                });
                 if ok {
                     prefix.push(v);
                     rec(ctx, prefix, d + 1, count);

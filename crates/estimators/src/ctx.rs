@@ -57,7 +57,11 @@ impl<'a> QueryCtx<'a> {
                     .collect()
             })
             .collect();
-        QueryCtx { cg, order, backward }
+        QueryCtx {
+            cg,
+            order,
+            backward,
+        }
     }
 
     /// Number of matching-order positions (query vertices).
@@ -90,7 +94,10 @@ impl<'a> QueryCtx<'a> {
     #[inline]
     pub fn backward_segments(&self, prefix: &[VertexId], d: usize, out: &mut Vec<Segment<'a>>) {
         for be in &self.backward[d] {
-            out.push(self.cg.local_with_addr(be.edge as usize, prefix[be.pos as usize]));
+            out.push(
+                self.cg
+                    .local_with_addr(be.edge as usize, prefix[be.pos as usize]),
+            );
         }
     }
 
@@ -113,7 +120,11 @@ impl<'a> QueryCtx<'a> {
 
     /// [`QueryCtx::min_candidate`] over a bare matched prefix (used by the
     /// exact enumerator, which carries no probability state).
-    pub fn min_candidate_prefix(&self, prefix: &[VertexId], d: usize) -> (&'a [VertexId], usize, bool) {
+    pub fn min_candidate_prefix(
+        &self,
+        prefix: &[VertexId],
+        d: usize,
+    ) -> (&'a [VertexId], usize, bool) {
         if d == 0 {
             let (set, addr) = self.root_candidates();
             return (set, addr, true);

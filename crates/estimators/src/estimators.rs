@@ -142,8 +142,14 @@ mod tests {
         let segs = segs(&s1, &s2);
         assert!(WanderJoin.validate(&segs, &state, 2));
         assert!(WanderJoin.validate(&segs, &state, 5));
-        assert!(!WanderJoin.validate(&segs, &state, 1), "1 missing from second");
-        assert!(!WanderJoin.validate(&segs, &state, 3), "3 missing from first");
+        assert!(
+            !WanderJoin.validate(&segs, &state, 1),
+            "1 missing from second"
+        );
+        assert!(
+            !WanderJoin.validate(&segs, &state, 3),
+            "3 missing from first"
+        );
     }
 
     #[test]

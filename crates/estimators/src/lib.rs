@@ -30,5 +30,7 @@ pub use estimate::Estimate;
 pub use estimators::{with_estimator, Alley, Estimator, EstimatorKind, WanderJoin};
 pub use order_select::{select_order, OrderScore, OrderSelectConfig};
 pub use qerror::{q_error, signed_q_error};
-pub use runner::{run_one_sample, run_parallel_cpu, run_partial_sample, run_sequential, CpuRunReport};
+pub use runner::{
+    run_one_sample, run_parallel_cpu, run_partial_sample, run_sequential, CpuRunReport,
+};
 pub use sample::{SampleState, MAX_QUERY};

@@ -69,7 +69,8 @@ pub fn select_order<E: Estimator + ?Sized>(
     let deadline = Instant::now() + cfg.time_budget;
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
-    let mut candidates: Vec<MatchingOrder> = vec![quicksi_order(query, data), gcare_order(query, data)];
+    let mut candidates: Vec<MatchingOrder> =
+        vec![quicksi_order(query, data), gcare_order(query, data)];
     for _ in 0..cfg.random_orders {
         if let Some(o) = random_greedy_order(query, &mut rng) {
             candidates.push(o);

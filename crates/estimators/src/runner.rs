@@ -140,7 +140,10 @@ pub fn run_parallel_cpu<E: Estimator + ?Sized>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
 

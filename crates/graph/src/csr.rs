@@ -224,7 +224,12 @@ impl GraphBuilder {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
 
-        let label_count = self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let label_count = self
+            .labels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut label_counts = vec![0usize; label_count];
         for &l in &self.labels {
             label_counts[l as usize] += 1;

@@ -22,7 +22,7 @@ use crate::gen::{barabasi_albert, erdos_renyi, sparse_lexical, zipf_labels};
 use crate::Graph;
 
 /// Degree-distribution family used for a suite dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Near-uniform degrees (Erdős–Rényi) — biology graphs.
     Uniform,
@@ -33,7 +33,7 @@ pub enum Family {
 }
 
 /// Static description of one suite dataset.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetSpec {
     /// Suite name (lowercase paper name).
     pub name: &'static str,
@@ -173,11 +173,13 @@ impl DatasetSpec {
         let seed = fxhash_name(self.name);
         match self.family {
             Family::Uniform => {
-                let labels = zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
+                let labels =
+                    zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
                 erdos_renyi(self.num_vertices, self.edge_param, labels, seed ^ 0xE1)
             }
             Family::PowerLaw => {
-                let labels = zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
+                let labels =
+                    zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
                 barabasi_albert(self.num_vertices, self.edge_param, labels, seed ^ 0xBA)
             }
             Family::Lexical => sparse_lexical(self.num_vertices, self.label_count, seed ^ 0x1E),
@@ -204,7 +206,12 @@ pub fn spec(name: &str) -> Option<&'static DatasetSpec> {
 /// fixed eight-element registry; see [`dataset_names`]).
 pub fn dataset(name: &str) -> Graph {
     spec(name)
-        .unwrap_or_else(|| panic!("unknown dataset '{name}'; expected one of {:?}", dataset_names()))
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown dataset '{name}'; expected one of {:?}",
+                dataset_names()
+            )
+        })
         .generate()
 }
 

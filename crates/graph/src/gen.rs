@@ -165,7 +165,11 @@ mod tests {
         let g = erdos_renyi(1000, 5000, zipf_labels(1000, 8, 1.0, 1), 42);
         assert_eq!(g.num_vertices(), 1000);
         // Deduplication loses a few; should land close to the target.
-        assert!(g.num_edges() > 4500 && g.num_edges() < 5700, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 4500 && g.num_edges() < 5700,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

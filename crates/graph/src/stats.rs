@@ -4,7 +4,7 @@ use crate::{Graph, VertexId};
 
 /// Summary statistics of a data graph (Table 1's columns plus the degree
 /// extremes the workload-imbalance discussion depends on).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// |V|.
     pub num_vertices: usize,
@@ -26,7 +26,11 @@ impl GraphStats {
     pub fn of(g: &Graph) -> Self {
         let n = g.num_vertices();
         let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
-        let mean = if n == 0 { 0.0 } else { degrees.iter().sum::<usize>() as f64 / n as f64 };
+        let mean = if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        };
         let var = if n == 0 {
             0.0
         } else {
@@ -55,7 +59,12 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} |E|={} d={:.1} dmax={} L={} cv={:.2}",
-            self.num_vertices, self.num_edges, self.avg_degree, self.max_degree, self.labels, self.degree_cv
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.max_degree,
+            self.labels,
+            self.degree_cv
         )
     }
 }

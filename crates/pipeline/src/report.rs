@@ -1,11 +1,11 @@
 //! Co-processing run reports.
 
 use gsword_estimators::Estimate;
-use gsword_simt::KernelCounters;
+use gsword_simt::{KernelCounters, SanitizerReport};
 
 /// Outcome of one co-processing run: both the pure sampler estimate and the
 /// trawling estimate, with the timing components of Figure 16.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// The GPU sampler's HT estimate across all batches.
     pub sampler: Estimate,
@@ -26,6 +26,9 @@ pub struct PipelineReport {
     /// Wall-clock of the whole co-processing run (sampling + overlapped
     /// enumeration + final barrier).
     pub total_wall_ms: f64,
+    /// Merged sanitizer findings across all sampling batches, when the
+    /// engine ran under a non-OFF sanitizer mode.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl PipelineReport {
@@ -59,6 +62,7 @@ mod tests {
             gpu_modeled_ms: 1.0,
             gpu_wall_ms: 2.0,
             total_wall_ms: 2.5,
+            sanitizer: None,
         }
     }
 

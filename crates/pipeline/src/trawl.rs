@@ -146,6 +146,7 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
     let mut counters = KernelCounters::default();
     let mut gpu_modeled_ms = 0.0;
     let mut gpu_wall_ms = 0.0;
+    let mut sanitizer: Option<gsword_simt::SanitizerReport> = None;
 
     let contributions: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let mut attempted = 0u64;
@@ -205,6 +206,9 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
 
         sampler.merge(&report.estimate);
         counters.merge(&report.counters);
+        if let Some(sr) = &report.sanitizer {
+            sanitizer.get_or_insert_with(Default::default).merge(sr);
+        }
         gpu_modeled_ms += report.modeled_ms;
         gpu_wall_ms += report.wall_ms;
         pending = tasks;
@@ -225,24 +229,22 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
             let finished_ref = &finished;
             let workers: Vec<_> = (0..trawl.cpu_threads.max(1))
                 .map(|_| {
-                    scope.spawn(move |_| {
-                        loop {
-                            if stop_ref.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                            if i >= pending_ref.len() {
-                                return;
-                            }
-                            enumerate_one(
-                                ctx,
-                                &pending_ref[i],
-                                stop_ref,
-                                trawl.node_budget,
-                                contributions_ref,
-                            );
-                            finished_ref.fetch_add(1, Ordering::Relaxed);
+                    scope.spawn(move |_| loop {
+                        if stop_ref.load(Ordering::Relaxed) {
+                            return;
                         }
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= pending_ref.len() {
+                            return;
+                        }
+                        enumerate_one(
+                            ctx,
+                            &pending_ref[i],
+                            stop_ref,
+                            trawl.node_budget,
+                            contributions_ref,
+                        );
+                        finished_ref.fetch_add(1, Ordering::Relaxed);
                     })
                 })
                 .collect();
@@ -275,6 +277,7 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
         gpu_modeled_ms,
         gpu_wall_ms,
         total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        sanitizer,
     }
 }
 
@@ -354,7 +357,10 @@ mod tests {
         for _ in 0..20_000 {
             counts[d.sample(&mut rng)] += 1;
         }
-        assert!(counts[3] > counts[4] && counts[4] > counts[5], "geometric decay: {counts:?}");
+        assert!(
+            counts[3] > counts[4] && counts[4] > counts[5],
+            "geometric decay: {counts:?}"
+        );
         assert_eq!(counts[0] + counts[1] + counts[2], 0);
     }
 
@@ -369,11 +375,7 @@ mod tests {
     fn five_cycle_fixture() -> (CandidateGraph, QueryGraph) {
         // 5-cycle query on a graph with a known embedding count.
         let g = gen::erdos_renyi(60, 420, vec![0; 60], 11);
-        let q = QueryGraph::new(
-            vec![0; 5],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
-        )
-        .unwrap();
+        let q = QueryGraph::new(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
         let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
         (cg, q)
     }
@@ -388,9 +390,15 @@ mod tests {
         let dist = DepthDist::new(3, ctx.len());
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 4_000;
-        let mean: f64 = (0..n).map(|_| trawl_once(&ctx, &Alley, &dist, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| trawl_once(&ctx, &Alley, &dist, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         let rel = (mean - truth).abs() / truth;
-        assert!(rel < 0.15, "trawl mean {mean} vs truth {truth} (rel {rel:.3})");
+        assert!(
+            rel < 0.15,
+            "trawl mean {mean} vs truth {truth} (rel {rel:.3})"
+        );
     }
 
     #[test]
@@ -402,10 +410,15 @@ mod tests {
         let dist = DepthDist::new(3, ctx.len());
         let mut rng = SmallRng::seed_from_u64(5);
         let n = 4_000;
-        let mean: f64 =
-            (0..n).map(|_| trawl_once(&ctx, &WanderJoin, &dist, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| trawl_once(&ctx, &WanderJoin, &dist, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         let rel = (mean - truth).abs() / truth;
-        assert!(rel < 0.2, "trawl mean {mean} vs truth {truth} (rel {rel:.3})");
+        assert!(
+            rel < 0.2,
+            "trawl mean {mean} vs truth {truth} (rel {rel:.3})"
+        );
     }
 
     #[test]
@@ -427,7 +440,10 @@ mod tests {
         let rep = run_coprocessing(&ctx, &Alley, &engine, &trawl);
         assert_eq!(rep.sampler.samples, 12_000);
         assert!(rep.trawl_attempted == 120);
-        assert!(rep.trawl_completed > 0, "small fixture tasks should finish in time");
+        assert!(
+            rep.trawl_completed > 0,
+            "small fixture tasks should finish in time"
+        );
         let v = rep.value();
         let rel = (v - truth).abs() / truth;
         assert!(rel < 0.5, "pipeline estimate {v} vs truth {truth}");

@@ -142,7 +142,10 @@ fn greedy_order<F: Fn(QueryVertex, usize) -> f64>(
             .min_by(|&a, &b| {
                 let ba = (query.adjacency_mask(a) & in_order).count_ones() as usize;
                 let bb = (query.adjacency_mask(b) & in_order).count_ones() as usize;
-                score(a, ba).partial_cmp(&score(b, bb)).unwrap().then(a.cmp(&b))
+                score(a, ba)
+                    .partial_cmp(&score(b, bb))
+                    .unwrap()
+                    .then(a.cmp(&b))
             })
             .expect("query is connected, so a frontier vertex always exists");
         phi.push(next);

@@ -61,7 +61,11 @@ impl QueryGraph {
 
     /// Number of query edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(|m| m.count_ones() as usize).sum::<usize>() / 2
+        self.adj
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
     }
 
     /// Label of query vertex `u`.
@@ -96,8 +100,11 @@ impl QueryGraph {
 
     /// Iterator over undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (QueryVertex, QueryVertex)> + '_ {
-        (0..self.num_vertices() as QueryVertex)
-            .flat_map(move |u| self.neighbors(u).filter(move |&v| u < v).map(move |v| (u, v)))
+        (0..self.num_vertices() as QueryVertex).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Maximum degree.
@@ -183,7 +190,12 @@ impl QueryGraph {
 
     /// Extract a query and insist on the given class (retrying extraction
     /// until the induced subgraph matches). `None` target accepts anything.
-    pub fn extract_class(data: &Graph, k: usize, seed: u64, want: Option<QueryClass>) -> Option<Self> {
+    pub fn extract_class(
+        data: &Graph,
+        k: usize,
+        seed: u64,
+        want: Option<QueryClass>,
+    ) -> Option<Self> {
         assert!((2..=Self::MAX_VERTICES).contains(&k));
         if data.num_vertices() < k {
             return None;
@@ -342,7 +354,11 @@ mod tests {
         assert_eq!(w.len(), 10);
         let sparse = w.iter().filter(|q| q.class() == QueryClass::Sparse).count();
         assert!(sparse >= 3, "expected a sparse share, got {sparse}/10");
-        assert!(sparse <= 7, "expected a dense share, got {}/10", 10 - sparse);
+        assert!(
+            sparse <= 7,
+            "expected a dense share, got {}/10",
+            10 - sparse
+        );
     }
 
     #[test]

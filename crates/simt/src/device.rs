@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::counters::KernelCounters;
+use gsword_sanitizer::{Sanitizer, WarpSanitizer};
 
 /// Kernel launch geometry plus host execution parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,14 +44,33 @@ impl DeviceConfig {
 pub struct Device {
     /// Launch configuration.
     pub config: DeviceConfig,
+    /// Attached checking layer; the default is the disabled (zero-cost)
+    /// handle. Kernel bodies obtain per-warp handles via
+    /// [`Device::warp_sanitizer`].
+    pub sanitizer: Sanitizer,
 }
 
 impl Device {
-    /// Create a device with the given configuration.
+    /// Create a device with the given configuration and no sanitizer.
     pub fn new(config: DeviceConfig) -> Self {
-        assert!(config.threads_per_block.is_multiple_of(32), "block size must be a multiple of 32");
+        Device::with_sanitizer(config, Sanitizer::off())
+    }
+
+    /// Create a device with a checking layer attached. Every launch on
+    /// this device reports into the same sanitizer.
+    pub fn with_sanitizer(config: DeviceConfig, sanitizer: Sanitizer) -> Self {
+        assert!(
+            config.threads_per_block.is_multiple_of(32),
+            "block size must be a multiple of 32"
+        );
         assert!(config.num_blocks > 0 && config.threads_per_block > 0);
-        Device { config }
+        Device { config, sanitizer }
+    }
+
+    /// Per-warp sanitizer handle for kernel bodies (the disabled handle
+    /// when no sanitizer is attached).
+    pub fn warp_sanitizer(&self, block: usize, warp: usize) -> WarpSanitizer {
+        self.sanitizer.warp(block, warp)
     }
 
     /// Launch a kernel: `body(block_id)` runs once per block, blocks are
@@ -71,7 +91,8 @@ impl Device {
             }
         } else {
             let next = AtomicUsize::new(0);
-            let slots: Vec<parking_slot::Slot<R>> = (0..nb).map(|_| parking_slot::Slot::new()).collect();
+            let slots: Vec<parking_slot::Slot<R>> =
+                (0..nb).map(|_| parking_slot::Slot::new()).collect();
             crossbeam::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|_| loop {
@@ -88,7 +109,10 @@ impl Device {
                 *out = slot.take();
             }
         }
-        results.into_iter().map(|r| r.expect("all blocks executed")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all blocks executed"))
+            .collect()
     }
 }
 
@@ -136,7 +160,7 @@ mod parking_slot {
 /// Divergence replays consume issue slots. Absolute values are indicative;
 /// *ratios* between kernel variants (which share the model) are the
 /// reproduction target. See DESIGN.md §1.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceModel {
     /// Streaming multiprocessors.
     pub num_sms: u32,

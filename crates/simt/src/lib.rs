@@ -25,6 +25,11 @@
 //!
 //! Functional behaviour (the estimates) is exact; device time is *modeled*
 //! from the counters. DESIGN.md §1 documents the substitution.
+//!
+//! An opt-in checking layer (re-exported from [`gsword_sanitizer`], the
+//! `compute-sanitizer` analogue) validates the invariants real hardware
+//! makes undefined: divergent participation masks, unsynchronized
+//! block-shared accesses, uninitialized reads. See DESIGN.md §"Sanitizer".
 
 pub mod counters;
 pub mod device;
@@ -34,6 +39,9 @@ pub mod warp;
 
 pub use counters::KernelCounters;
 pub use device::{Device, DeviceConfig, DeviceModel};
+pub use gsword_sanitizer::{
+    Sanitizer, SanitizerMode, SanitizerReport, Space, Violation, ViolationKind, WarpSanitizer,
+};
 pub use memory::Region;
 pub use pool::SamplePool;
 pub use warp::{Lanes, WarpMask, WARP_SIZE};

@@ -7,9 +7,15 @@
 //! explanation (Example 4, Figures 5–6) for why iteration synchronization
 //! loses to sample synchronization despite better instruction-level
 //! parallelism.
+//!
+//! Each access also reports per-lane word addresses to the
+//! [`WarpSanitizer`]: under `racecheck` they feed the block's shadow
+//! state, under `initcheck` reads of registered-but-never-written words
+//! are flagged. The disabled handle short-circuits both.
 
 use crate::counters::KernelCounters;
-use crate::warp::{Lanes, WarpMask, WARP_SIZE};
+use crate::warp::{Lanes, WarpMask, WarpSanitizer, WARP_SIZE};
+use gsword_sanitizer::Space;
 
 /// Words (4-byte elements) per 128-byte line.
 pub const LINE_WORDS: usize = 32;
@@ -32,17 +38,46 @@ impl Region {
     /// Per-thread scratch (refine buffers) — modeled as thread-private and
     /// always coalesced.
     pub const SCRATCH: Region = Region(4);
+
+    /// The sanitizer address space for this region.
+    #[inline]
+    pub fn space(self) -> Space {
+        Space::Region(self.0)
+    }
 }
 
 /// One lane's address for a warp-wide load: a `(region, element offset)`
 /// pair, or `None` when the lane is inactive for this load.
 pub type LaneAddr = Option<(Region, usize)>;
 
-/// Issue a warp-wide load of `count` consecutive elements per lane starting
-/// at each lane's address, and charge the coalesced transaction count.
+/// Issue a warp-wide load of one element per lane at each lane's address,
+/// and charge the coalesced transaction count.
 ///
 /// Returns the number of line transactions generated (useful for tests).
-pub fn warp_load(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>) -> u64 {
+pub fn warp_load(ctr: &mut KernelCounters, san: &WarpSanitizer, addrs: &Lanes<LaneAddr>) -> u64 {
+    let tx = charge_lane_access(ctr, addrs, false);
+    if san.enabled() {
+        for (region, off) in addrs.iter().flatten() {
+            san.mem_read(region.space(), *off);
+        }
+    }
+    tx
+}
+
+/// Issue a warp-wide store of one element per lane at each lane's address.
+/// Stores coalesce exactly like loads; the transaction count is charged to
+/// the same memory counters (write-back traffic).
+pub fn warp_store(ctr: &mut KernelCounters, san: &WarpSanitizer, addrs: &Lanes<LaneAddr>) -> u64 {
+    let tx = charge_lane_access(ctr, addrs, true);
+    if san.enabled() {
+        for (region, off) in addrs.iter().flatten() {
+            san.mem_write(region.space(), *off);
+        }
+    }
+    tx
+}
+
+fn charge_lane_access(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>, store: bool) -> u64 {
     let mut lines = [0u64; WARP_SIZE];
     let mut n = 0usize;
     let mut active = 0u32;
@@ -53,7 +88,11 @@ pub fn warp_load(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>) -> u64 {
         n += 1;
     }
     let tx = distinct(&mut lines[..n]);
-    ctr.warp_load(active, tx);
+    if store {
+        ctr.warp_store(active, tx);
+    } else {
+        ctr.warp_load(active, tx);
+    }
     tx
 }
 
@@ -62,13 +101,25 @@ pub fn warp_load(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>) -> u64 {
 /// candidate array in warp streaming). Consecutive elements coalesce
 /// perfectly: `ceil(len / LINE_WORDS)` transactions regardless of lane
 /// count.
-pub fn warp_scan(ctr: &mut KernelCounters, mask: WarpMask, _region: Region, base: usize, len: usize) {
+pub fn warp_scan(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    region: Region,
+    base: usize,
+    len: usize,
+) {
     if len == 0 {
         return;
     }
     let first = base / LINE_WORDS;
     let last = (base + len - 1) / LINE_WORDS;
     ctr.warp_load(mask.count_ones(), (last - first + 1) as u64);
+    if san.enabled() {
+        for off in base..base + len {
+            san.mem_read(region.space(), off);
+        }
+    }
 }
 
 fn distinct(lines: &mut [u64]) -> u64 {
@@ -89,6 +140,10 @@ fn distinct(lines: &mut [u64]) -> u64 {
 mod tests {
     use super::*;
 
+    fn san() -> WarpSanitizer {
+        WarpSanitizer::disabled()
+    }
+
     #[test]
     fn coalesced_access_is_cheap() {
         let mut c = KernelCounters::default();
@@ -96,7 +151,7 @@ mod tests {
         for (i, a) in addrs.iter_mut().enumerate() {
             *a = Some((Region::CAND, 1000 + i)); // 32 consecutive words
         }
-        let tx = warp_load(&mut c, &addrs);
+        let tx = warp_load(&mut c, &san(), &addrs);
         assert!(tx <= 2, "consecutive words should need ≤2 lines, got {tx}");
     }
 
@@ -107,7 +162,7 @@ mod tests {
         for (i, a) in addrs.iter_mut().enumerate() {
             *a = Some((Region::CAND, i * 10_000)); // one line each
         }
-        assert_eq!(warp_load(&mut c, &addrs), 32);
+        assert_eq!(warp_load(&mut c, &san(), &addrs), 32);
         assert_eq!(c.stall_long(), 32 * crate::counters::MEM_LATENCY_CYCLES);
     }
 
@@ -117,26 +172,55 @@ mod tests {
         let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
         addrs[0] = Some((Region::GLOBAL, 0));
         addrs[1] = Some((Region::LOCAL, 0));
-        assert_eq!(warp_load(&mut c, &addrs), 2);
+        assert_eq!(warp_load(&mut c, &san(), &addrs), 2);
     }
 
     #[test]
     fn inactive_lanes_cost_nothing() {
         let mut c = KernelCounters::default();
         let addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
-        assert_eq!(warp_load(&mut c, &addrs), 0);
+        assert_eq!(warp_load(&mut c, &san(), &addrs), 0);
         assert_eq!(c.mem_instructions, 1);
         assert_eq!(c.active_lane_ops, 0);
     }
 
     #[test]
+    fn stores_coalesce_like_loads() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::SCRATCH, i)); // consecutive words
+        }
+        let tx = warp_store(&mut c, &san(), &addrs);
+        assert!(tx <= 2);
+        assert_eq!(c.mem_instructions, 1);
+        assert_eq!(c.mem_active_lanes, 32);
+    }
+
+    #[test]
     fn scan_transactions_round_up() {
         let mut c = KernelCounters::default();
-        warp_scan(&mut c, u32::MAX, Region::LOCAL, 0, 1);
+        warp_scan(&mut c, &san(), u32::MAX, Region::LOCAL, 0, 1);
         assert_eq!(c.mem_transactions, 1);
-        warp_scan(&mut c, u32::MAX, Region::LOCAL, 30, 4); // crosses a line
+        warp_scan(&mut c, &san(), u32::MAX, Region::LOCAL, 30, 4); // crosses a line
         assert_eq!(c.mem_transactions, 3);
-        warp_scan(&mut c, u32::MAX, Region::LOCAL, 0, 0); // empty: free
+        warp_scan(&mut c, &san(), u32::MAX, Region::LOCAL, 0, 0); // empty: free
         assert_eq!(c.mem_instructions, 2);
+    }
+
+    #[test]
+    fn sanitized_load_feeds_initcheck() {
+        use gsword_sanitizer::{Sanitizer, SanitizerMode};
+        let sz = Sanitizer::new(SanitizerMode::FULL, "mem-test");
+        sz.region_alloc(Region::SCRATCH.space(), 64);
+        let ws = sz.warp(0, 0);
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        addrs[0] = Some((Region::SCRATCH, 5));
+        warp_load(&mut c, &ws, &addrs); // read-before-write: poisoned
+        warp_store(&mut c, &ws, &addrs);
+        warp_load(&mut c, &ws, &addrs); // initialized now
+        let rep = sz.report();
+        assert_eq!(rep.count_for("initcheck"), 1);
     }
 }

@@ -1,0 +1,5 @@
+// Lint fixture: violates `no-seqcst`. Never compiled.
+
+pub fn fetch(next: &std::sync::atomic::AtomicU64) -> u64 {
+    next.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+}

@@ -1,0 +1,7 @@
+// Lint fixture: violates `launch-merges-counters` — launches a kernel and
+// drops the per-block counters on the floor. Never compiled.
+
+pub fn run(device: &Device) -> f64 {
+    let results = device.launch(|block| simulate(block));
+    results.iter().map(|r| r.estimate).sum()
+}

@@ -1,0 +1,12 @@
+// Lint fixture: violates `primitive-charges-counters`. Never compiled —
+// only read as text by the xtask lint tests.
+
+pub fn uncounted_ballot(ctr: &mut KernelCounters, mask: u32, pred: &[bool; 32]) -> u32 {
+    let mut out = 0u32;
+    for (i, &p) in pred.iter().enumerate() {
+        if mask & (1 << i) != 0 && p {
+            out |= 1 << i;
+        }
+    }
+    out
+}

@@ -1,0 +1,293 @@
+//! The repo-invariant lint rules.
+//!
+//! These are textual checks, deliberately simple: they parse just enough
+//! Rust (brace matching, signature scanning) to enforce invariants the
+//! type system cannot express, and they run on every file under the lint
+//! root except `xtask` itself (whose fixtures intentionally violate them).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding, formatted `file: rule: message`.
+pub type Finding = String;
+
+/// Walk `root` and apply every rule to each `.rs` file. Paths containing
+/// an `xtask` component are skipped — the lint's own fixtures violate the
+/// rules on purpose.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        // Skip xtask itself (fixtures violate the rules on purpose), but
+        // only relative to the lint root — pointing the lint *at* a
+        // fixture tree still checks it.
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if rel.components().any(|c| c.as_os_str() == "xtask") {
+            continue;
+        }
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let shown = rel.display().to_string();
+        if path.file_name().is_some_and(|n| n == "warp.rs") {
+            findings.extend(check_primitives_charge(&shown, &src));
+        }
+        findings.extend(check_no_seqcst(&shown, &src));
+        findings.extend(check_launch_merges(&shown, &src));
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+const CHARGE_CALLS: &[&str] = &[
+    "ctr.warp_instruction(",
+    "ctr.warp_load(",
+    "ctr.warp_store(",
+    "ctr.diverge(",
+];
+
+/// Rule 1: every `pub fn` in a `warp.rs` whose signature takes
+/// `ctr: &mut KernelCounters` must charge the counters in its body. A warp
+/// primitive that forgets to charge silently corrupts the modeled device
+/// time every kernel reports.
+pub fn check_primitives_charge(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, sig, body) in public_fns(src) {
+        if !sig.contains("ctr: &mut KernelCounters") {
+            continue;
+        }
+        if !CHARGE_CALLS.iter().any(|c| body.contains(c)) {
+            findings.push(format!(
+                "{file}: primitive-charges-counters: pub fn {name} takes \
+                 &mut KernelCounters but never charges them \
+                 (warp_instruction/warp_load/warp_store/diverge)"
+            ));
+        }
+    }
+    findings
+}
+
+/// Rule 2: no `SeqCst` atomic orderings. The simulator's concurrency is
+/// designed around Relaxed counters plus Acquire/Release hand-off; a
+/// SeqCst that creeps in usually papers over an ordering bug instead of
+/// fixing it, and costs a full fence on every access.
+pub fn check_no_seqcst(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or(line);
+        if code.contains("SeqCst") {
+            findings.push(format!(
+                "{file}:{}: no-seqcst: SeqCst ordering is banned (use \
+                 Relaxed or Acquire/Release and document why)",
+                i + 1
+            ));
+        }
+    }
+    findings
+}
+
+/// Rule 3: a file that calls `Device::launch` must also merge
+/// `KernelCounters` (`.merge(`). A launch path that drops the per-block
+/// counters produces reports whose modeled time excludes that kernel.
+pub fn check_launch_merges(file: &str, src: &str) -> Vec<Finding> {
+    let mut calls_launch = false;
+    let mut merges = false;
+    for line in src.lines() {
+        let code = line.split("//").next().unwrap_or(line);
+        if code.contains(".launch(") {
+            calls_launch = true;
+        }
+        if code.contains(".merge(") {
+            merges = true;
+        }
+    }
+    // Skip the definition site itself: `pub fn launch` lives in the simt
+    // crate and has no counters to merge.
+    if calls_launch && !merges && !src.contains("pub fn launch") {
+        vec![format!(
+            "{file}: launch-merges-counters: calls Device::launch but never \
+             merges the per-block KernelCounters"
+        )]
+    } else {
+        vec![]
+    }
+}
+
+/// Yield `(name, signature, body)` for each `pub fn` in `src`, using brace
+/// matching. Good enough for the controlled style of this workspace; not a
+/// general Rust parser.
+fn public_fns(src: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut search_from = 0;
+    while let Some(rel) = src[search_from..].find("pub fn ") {
+        let start = search_from + rel;
+        let name_start = start + "pub fn ".len();
+        let name_end = src[name_start..]
+            .find(['(', '<'])
+            .map_or(src.len(), |i| name_start + i);
+        let name = src[name_start..name_end].trim().to_string();
+
+        // Signature: up to the opening `{` (or, for a bodiless trait
+        // declaration, a `;`) — but only outside parens/brackets, so a
+        // `;` inside `&[bool; 32]` doesn't end the signature early.
+        let mut body_open = None;
+        let mut nest = 0i32;
+        for (i, &b) in bytes[start..].iter().enumerate() {
+            match b {
+                b'(' | b'[' | b'<' => nest += 1,
+                b')' | b']' | b'>' => nest -= 1,
+                b'{' if nest <= 0 => {
+                    body_open = Some(start + i);
+                    break;
+                }
+                b';' if nest <= 0 => break,
+                _ => {}
+            }
+        }
+        let Some(body_open) = body_open else {
+            search_from = name_end;
+            continue;
+        };
+        let sig = src[start..body_open].to_string();
+
+        // Body: brace-match from `body_open`.
+        let mut depth = 0usize;
+        let mut end = body_open;
+        for (i, &b) in bytes[body_open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_open + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((name, sig, src[body_open..end].to_string()));
+        search_from = end.max(body_open + 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_primitive_passes() {
+        let src = "pub fn any(ctr: &mut KernelCounters, mask: u32) -> bool {\n    ctr.warp_instruction(mask);\n    true\n}\n";
+        assert!(check_primitives_charge("warp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_charging_primitive_flagged() {
+        let src =
+            "pub fn bad(ctr: &mut KernelCounters, mask: u32) -> u32 {\n    mask.count_ones()\n}\n";
+        let f = check_primitives_charge("warp.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("pub fn bad"), "{f:?}");
+    }
+
+    #[test]
+    fn fns_without_counters_ignored() {
+        let src = "pub fn first_lane(ballot: u32) -> Option<usize> {\n    None\n}\n";
+        assert!(check_primitives_charge("warp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_flagged_with_line() {
+        let src = "let x = a.load(Ordering::Relaxed);\nlet y = b.load(Ordering::SeqCst);\n";
+        let f = check_no_seqcst("f.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("f.rs:2"), "{f:?}");
+    }
+
+    #[test]
+    fn seqcst_in_comment_allowed() {
+        let src = "// SeqCst would be wrong here\nlet x = a.load(Ordering::Relaxed);\n";
+        assert!(check_no_seqcst("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn launch_without_merge_flagged() {
+        let src = "let out = device.launch(|b| run(b));\n";
+        assert_eq!(check_launch_merges("f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn launch_with_merge_passes() {
+        let src = "let out = device.launch(|b| run(b));\nfor c in &out { counters.merge(c); }\n";
+        assert!(check_launch_merges("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn launch_definition_site_exempt() {
+        let src = "pub fn launch<R, F>(&self, body: F) -> Vec<R> {\n    self.run(body)\n}\nlet x = d.launch(f);\n";
+        assert!(check_launch_merges("device.rs", src).is_empty());
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let findings = run(crate_root().parent().unwrap());
+        assert!(
+            findings.is_empty(),
+            "workspace lint findings:\n{}",
+            findings.join("\n")
+        );
+    }
+
+    #[test]
+    fn fixture_crate_fails_every_rule() {
+        let fixtures = crate_root().join("fixtures");
+        // Fixtures live under crates/xtask/, which `run` skips — lint the
+        // fixture tree directly.
+        let mut findings = Vec::new();
+        let mut files = Vec::new();
+        collect_rs_files(&fixtures, &mut files);
+        files.sort();
+        assert!(
+            !files.is_empty(),
+            "missing lint fixtures at {}",
+            fixtures.display()
+        );
+        for path in files {
+            let src = std::fs::read_to_string(&path).unwrap();
+            let shown = path.file_name().unwrap().to_string_lossy().to_string();
+            if shown == "warp.rs" {
+                findings.extend(check_primitives_charge(&shown, &src));
+            }
+            findings.extend(check_no_seqcst(&shown, &src));
+            findings.extend(check_launch_merges(&shown, &src));
+        }
+        let text = findings.join("\n");
+        assert!(text.contains("primitive-charges-counters"), "{text}");
+        assert!(text.contains("no-seqcst"), "{text}");
+        assert!(text.contains("launch-merges-counters"), "{text}");
+    }
+
+    fn crate_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+    }
+}

@@ -1,0 +1,68 @@
+//! Repo maintenance tasks, invoked as `cargo xtask <task>`.
+//!
+//! The only task so far is `lint`: a repo-invariant checker that enforces
+//! rules the compiler cannot (see [`lint`] for the rule list). It runs in
+//! CI next to clippy and fails the build on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint [dir]   check repo invariants over `dir` (default: the workspace's
+               crates/ directory, excluding xtask itself)
+
+invariants enforced by lint:
+  1. every warp primitive in src/warp.rs taking &mut KernelCounters
+     charges the counters (warp_instruction/warp_load/warp_store/diverge)
+  2. no SeqCst atomic orderings (the device model is Relaxed/Acquire/
+     Release by design; SeqCst hides missing reasoning about ordering)
+  3. every Device::launch call site merges per-block KernelCounters
+     (a launch path that drops counters silently corrupts modeled time)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => default_lint_root(),
+            };
+            if !root.exists() {
+                eprintln!("xtask lint: no such directory: {}", root.display());
+                return ExitCode::from(2);
+            }
+            let findings = lint::run(&root);
+            if findings.is_empty() {
+                println!("xtask lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("help") | Some("--help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace's `crates/` directory (xtask lives at `crates/xtask`).
+fn default_lint_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside crates/")
+        .to_path_buf()
+}

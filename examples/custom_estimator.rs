@@ -61,7 +61,10 @@ fn main() {
         query.num_edges(),
         truth
     );
-    println!("{:<12} {:>14} {:>10} {:>14}", "estimator", "estimate", "q-error", "success ratio");
+    println!(
+        "{:<12} {:>14} {:>10} {:>14}",
+        "estimator", "estimate", "q-error", "success ratio"
+    );
 
     let run_builtin = |kind: EstimatorKind| {
         Gsword::builder(&data, &query)

@@ -39,7 +39,10 @@ fn main() {
             GraphStats::of(&data),
             data.vertices_with_label(dominant).len()
         );
-        println!("{:<10} {:>14} {:>14} {:>8}", "motif", "estimate", "exact", "q-error");
+        println!(
+            "{:<10} {:>14} {:>14} {:>8}",
+            "motif", "estimate", "exact", "q-error"
+        );
         for (name, make) in &motifs {
             let query = make(dominant);
             let report = Gsword::builder(&data, &query)
@@ -57,7 +60,10 @@ fn main() {
                     c,
                     report.q_error(c as f64)
                 ),
-                None => println!("{name:<10} {:>14.0} {:>14} {:>8}", report.estimate, "(budget)", "-"),
+                None => println!(
+                    "{name:<10} {:>14.0} {:>14} {:>8}",
+                    report.estimate, "(budget)", "-"
+                ),
             }
         }
     }

@@ -20,7 +20,11 @@ fn single_vertex_query_counts_label_occurrences() {
     let label = 3;
     let query = QueryGraph::new(vec![label], &[]).expect("single vertex is connected");
     let expected = data.vertices_with_label(label).len() as f64;
-    for backend in [Backend::Cpu { threads: 1 }, Backend::Gsword, Backend::GpuBaseline] {
+    for backend in [
+        Backend::Cpu { threads: 1 },
+        Backend::Gsword,
+        Backend::GpuBaseline,
+    ] {
         let r = Gsword::builder(&data, &query)
             .samples(2_000)
             .backend(backend)

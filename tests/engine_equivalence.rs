@@ -68,7 +68,10 @@ fn engine_is_bitwise_deterministic() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.sampler.weight_sum.to_bits(), b.sampler.weight_sum.to_bits());
+    assert_eq!(
+        a.sampler.weight_sum.to_bits(),
+        b.sampler.weight_sum.to_bits()
+    );
     assert_eq!(a.counters, b.counters);
     assert_eq!(a.samples_collected, b.samples_collected);
 }
@@ -94,7 +97,10 @@ fn host_thread_count_does_not_change_results() {
     // The functional result may differ only through the block pool's
     // non-deterministic fetch interleaving *within* a block — but warps in
     // a block run sequentially on one host thread, so results must match.
-    assert_eq!(a.sampler.weight_sum.to_bits(), b.sampler.weight_sum.to_bits());
+    assert_eq!(
+        a.sampler.weight_sum.to_bits(),
+        b.sampler.weight_sum.to_bits()
+    );
     assert_eq!(a.sampler.samples, b.sampler.samples);
 }
 

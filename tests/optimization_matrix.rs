@@ -77,7 +77,11 @@ fn iteration_sync_with_both_pools() {
             .expect("run");
         assert_eq!(r.sampler.samples, 60_000, "{pool:?}");
         if truth > 0.0 {
-            assert!(r.q_error(truth) < 2.5, "{pool:?}: {} vs {truth}", r.estimate);
+            assert!(
+                r.q_error(truth) < 2.5,
+                "{pool:?}: {} vs {truth}",
+                r.estimate
+            );
         }
     }
 }

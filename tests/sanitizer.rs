@@ -1,0 +1,345 @@
+//! Integration tests for the sanitizer — the compute-sanitizer analogue.
+//!
+//! Two directions, mirroring how the real tool is validated:
+//!  * *injected bugs are caught*: a deliberately divergent `shfl`, an
+//!    unsynchronized same-address write/write pair, and a read of a
+//!    never-written registered word each produce the expected violation;
+//!  * *correct code runs clean*: every engine preset (baseline, O0, O1,
+//!    O2/gSWORD, iteration sync × both estimators) completes under
+//!    `SanitizerMode::FULL` with zero findings.
+
+use gsword_candidate::{build_candidate_graph, BuildConfig};
+use gsword_engine::{run_engine, EngineConfig};
+use gsword_estimators::{Alley, QueryCtx, WanderJoin};
+use gsword_graph::GraphBuilder;
+use gsword_query::{MatchingOrder, QueryGraph};
+use gsword_simt::memory::{warp_load, warp_store, LaneAddr};
+use gsword_simt::{
+    warp, DeviceConfig, KernelCounters, Lanes, Region, Sanitizer, SanitizerMode, ViolationKind,
+    WARP_SIZE,
+};
+
+// ---------------------------------------------------------------------------
+// synccheck
+// ---------------------------------------------------------------------------
+
+/// A lane participates in a `*_sync` primitive while the executor knows it
+/// has diverged off — the canonical synccheck hit.
+#[test]
+fn divergent_shfl_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "divergent-shfl");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+    let vals: Lanes<u64> = [7; WARP_SIZE];
+
+    // The executor has converged only lanes 0..16...
+    ws.set_active(0x0000_FFFF);
+    // ...but the kernel declares the full mask. On hardware this is UB.
+    warp::shfl(&mut ctr, &ws, u32::MAX, &vals, 3);
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("synccheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::SyncMaskMismatch {
+            declared: 0xFFFF_FFFF,
+            active: 0x0000_FFFF,
+            ..
+        }
+    ));
+    assert_eq!(rep.violations[0].kernel, "divergent-shfl");
+}
+
+/// `shfl` from a source lane outside the participating mask: the shuffled
+/// value is undefined on hardware even though the mask itself is valid.
+#[test]
+fn shfl_from_inactive_source_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "shfl-src");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+    let vals: Lanes<u64> = [7; WARP_SIZE];
+
+    let mask = 0x0000_00FF; // lanes 0..8 participate
+    ws.set_active(mask);
+    warp::shfl(&mut ctr, &ws, mask, &vals, 20); // lane 20 is not in the mask
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("synccheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::ShflInvalidSource {
+            src: 20,
+            mask: 0x0000_00FF
+        }
+    ));
+}
+
+/// Out-of-range source: hardware wraps `src % 32` and the result is still
+/// the wrapped lane's value, but synccheck flags the wrap.
+#[test]
+fn shfl_out_of_range_source_wraps_and_is_flagged() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "shfl-wrap");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+    let mut vals: Lanes<u64> = [0; WARP_SIZE];
+    vals[5] = 99;
+
+    ws.set_active(u32::MAX);
+    let got = warp::shfl(&mut ctr, &ws, u32::MAX, &vals, 5 + WARP_SIZE);
+    assert_eq!(got, 99, "hardware semantics: srcLane % 32");
+    assert_eq!(sz.report().count_for("synccheck"), 1);
+}
+
+/// An empty participation mask is degenerate for every `*_sync` primitive.
+#[test]
+fn empty_mask_sync_op_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "empty-mask");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+
+    ws.set_active(u32::MAX);
+    warp::ballot(&mut ctr, &ws, 0, &[false; WARP_SIZE]);
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("synccheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::SyncEmptyMask { .. }
+    ));
+}
+
+/// Partial masks that are subsets of the converged lanes are exactly how
+/// divergent code is supposed to call the primitives — no findings.
+#[test]
+fn subset_masks_run_clean() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "subset-mask");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+    let mut pred = [false; WARP_SIZE];
+    pred[2] = true;
+
+    ws.set_active(0x0000_FFFF);
+    assert!(warp::any(&mut ctr, &ws, 0x0000_000F, &pred));
+    let b = warp::ballot(&mut ctr, &ws, 0x0000_FFFF, &pred);
+    assert_eq!(warp::first_lane(b), Some(2));
+    assert_eq!(warp::first_lane(0), None, "empty ballot elects no leader");
+    warp::reduce_count(&mut ctr, &ws, 0x0000_00FF, &pred);
+
+    assert!(sz.report().is_clean(), "{}", sz.report());
+}
+
+// ---------------------------------------------------------------------------
+// racecheck
+// ---------------------------------------------------------------------------
+
+/// Two warps of one block store to the same Region word with no barrier in
+/// between: a write/write hazard.
+#[test]
+fn injected_write_write_race_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "ww-race");
+    let w0 = sz.warp(0, 0);
+    let w1 = sz.warp(0, 1);
+    let mut ctr = KernelCounters::default();
+
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    addrs[0] = Some((Region::LOCAL, 64));
+    warp_store(&mut ctr, &w0, &addrs);
+    warp_store(&mut ctr, &w1, &addrs); // same word, different warp, no barrier
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("racecheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::WriteWriteRace {
+            addr: 64,
+            other_warp: 0,
+            ..
+        }
+    ));
+}
+
+/// Read/write from different warps on the same word also races.
+#[test]
+fn read_write_race_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "rw-race");
+    let w0 = sz.warp(0, 0);
+    let w1 = sz.warp(0, 1);
+    let mut ctr = KernelCounters::default();
+
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    addrs[3] = Some((Region::CAND, 1000));
+    warp_load(&mut ctr, &w0, &addrs);
+    warp_store(&mut ctr, &w1, &addrs);
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("racecheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::ReadWriteRace { .. }
+    ));
+}
+
+/// A block barrier between the two writes orders them — no race. And the
+/// same address touched by warps of *different blocks* never races (blocks
+/// share nothing in this model).
+#[test]
+fn barriers_and_block_isolation_suppress_races() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "barrier");
+    let mut ctr = KernelCounters::default();
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    addrs[0] = Some((Region::LOCAL, 8));
+
+    let w0 = sz.warp(0, 0);
+    let w1 = sz.warp(0, 1);
+    warp_store(&mut ctr, &w0, &addrs);
+    sz.block_barrier(0);
+    warp_store(&mut ctr, &w1, &addrs); // ordered by the barrier
+
+    let other_block = sz.warp(1, 0);
+    warp_store(&mut ctr, &other_block, &addrs); // different block: no sharing
+
+    assert!(sz.report().is_clean(), "{}", sz.report());
+}
+
+// ---------------------------------------------------------------------------
+// initcheck
+// ---------------------------------------------------------------------------
+
+/// Reading a registered-but-never-written word is flagged once; after a
+/// write the same word reads clean.
+#[test]
+fn uninitialized_region_read_is_caught() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "uninit");
+    sz.region_alloc(Region::SCRATCH.space(), 256);
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    addrs[0] = Some((Region::SCRATCH, 17));
+    warp_load(&mut ctr, &ws, &addrs); // poison read
+    warp_store(&mut ctr, &ws, &addrs);
+    warp_load(&mut ctr, &ws, &addrs); // now initialized
+
+    let rep = sz.report();
+    assert_eq!(rep.count_for("initcheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::UninitRead { addr: 17, .. }
+    ));
+}
+
+/// Unregistered regions model host-initialized device arrays (the
+/// candidate graph is built on the host and copied over) — reads are not
+/// poison.
+#[test]
+fn unregistered_regions_are_host_initialized() {
+    let sz = Sanitizer::new(SanitizerMode::FULL, "host-init");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    addrs[0] = Some((Region::GLOBAL, 5));
+    warp_load(&mut ctr, &ws, &addrs);
+
+    assert!(sz.report().is_clean(), "{}", sz.report());
+}
+
+// ---------------------------------------------------------------------------
+// The engine runs clean under the full sanitizer
+// ---------------------------------------------------------------------------
+
+fn triangle_ctx() -> (gsword_candidate::CandidateGraph, QueryGraph) {
+    let mut b = GraphBuilder::with_vertices(4);
+    for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+        b.add_edge(u, v);
+    }
+    let g = b.build().unwrap();
+    let q = QueryGraph::new(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+    let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::default());
+    (cg, q)
+}
+
+/// Every preset × both estimators: full sanitizer, zero findings, and the
+/// estimate is unchanged by sanitizing (the hooks are observers).
+#[test]
+fn all_engine_presets_run_clean_under_full_sanitizer() {
+    let (cg, q) = triangle_ctx();
+    let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+    let ctx = QueryCtx::new(&cg, &order);
+    let device = DeviceConfig {
+        num_blocks: 2,
+        threads_per_block: 64,
+        host_threads: 2,
+    };
+    for (name, cfg) in [
+        ("baseline", EngineConfig::gpu_baseline(6_000)),
+        ("o0", EngineConfig::o0(6_000)),
+        ("o1", EngineConfig::o1(6_000)),
+        ("o2", EngineConfig::o2(6_000)),
+        ("itersync", EngineConfig::iteration_sync(6_000)),
+    ] {
+        for alley in [false, true] {
+            let plain = EngineConfig { device, ..cfg };
+            let sanitized = plain.with_sanitize(SanitizerMode::FULL);
+            let (p, s) = if alley {
+                (
+                    run_engine(&ctx, &Alley, &plain),
+                    run_engine(&ctx, &Alley, &sanitized),
+                )
+            } else {
+                (
+                    run_engine(&ctx, &WanderJoin, &plain),
+                    run_engine(&ctx, &WanderJoin, &sanitized),
+                )
+            };
+            let rep = s.sanitizer.as_ref().unwrap_or_else(|| {
+                panic!("{name}/alley={alley}: sanitized run must carry a report")
+            });
+            assert!(rep.is_clean(), "{name}/alley={alley}:\n{rep}");
+            assert!(
+                p.sanitizer.is_none(),
+                "unsanitized run must not pay for a report"
+            );
+            assert_eq!(
+                p.estimate.weight_sum, s.estimate.weight_sum,
+                "{name}/alley={alley}: sanitizing must not perturb the estimate"
+            );
+            assert_eq!(
+                p.counters, s.counters,
+                "{name}/alley={alley}: sanitizing must not perturb the counters"
+            );
+        }
+    }
+}
+
+/// The sanitizer names the kernel it checked after the configured
+/// discipline and optimizations.
+#[test]
+fn report_names_the_kernel() {
+    let (cg, q) = triangle_ctx();
+    let order = MatchingOrder::new(&q, vec![0, 1, 2]).unwrap();
+    let ctx = QueryCtx::new(&cg, &order);
+    let cfg = EngineConfig {
+        device: DeviceConfig {
+            num_blocks: 1,
+            threads_per_block: 32,
+            host_threads: 1,
+        },
+        ..EngineConfig::gsword(500)
+    }
+    .with_sanitize(SanitizerMode::FULL);
+    let rep = run_engine(&ctx, &Alley, &cfg).sanitizer.unwrap();
+    assert_eq!(rep.kernel, "rsv_sample-sync+inherit+stream");
+}
+
+/// `SanitizerMode::parse` accepts the CLI surface forms.
+#[test]
+fn mode_parsing_round_trips() {
+    assert_eq!(SanitizerMode::parse("full").unwrap(), SanitizerMode::FULL);
+    assert_eq!(SanitizerMode::parse("off").unwrap(), SanitizerMode::OFF);
+    let sync_only = SanitizerMode::parse("sync").unwrap();
+    assert!(sync_only.synccheck && !sync_only.racecheck && !sync_only.initcheck);
+    let pair = SanitizerMode::parse("race,init").unwrap();
+    assert!(!pair.synccheck && pair.racecheck && pair.initcheck);
+    assert!(SanitizerMode::parse("bogus").is_err());
+}

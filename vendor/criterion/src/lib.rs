@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use: `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of criterion's statistical analysis it takes a fixed number of
+//! timed samples per benchmark and prints median / mean wall time (plus
+//! element throughput when configured) — enough to compare hot paths
+//! without the external dependency.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time the routine; called once per benchmark, loops internally.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One calibration pass so a sample lasts long enough to time.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = if once.is_zero() {
+            1024
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_count,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let mut per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let mut line = format!(
+            "{}/{id}: median {} · mean {} ({} samples × {} iters)",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(mean),
+            per_iter.len(),
+            b.iters_per_sample,
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            let per_sec = n as f64 * 1e9 / median;
+            line.push_str(&format!(" · {:.3e} elem/s", per_sec));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            let per_sec = n as f64 * 1e9 / median;
+            line.push_str(&format!(" · {:.3e} B/s", per_sec));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_count: 10,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` / `Scope::spawn` / `ScopedJoinHandle::join`
+//! are provided — the surface this workspace uses. Implemented on top of
+//! `std::thread::scope`, which gives the same structured-concurrency
+//! guarantee (all spawned threads joined before `scope` returns).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    use super::*;
+
+    /// Panic payload of a child thread, as `std` reports it.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scope handle passed to the `scope` closure and to each spawned
+    /// closure (crossbeam passes the scope again so children can spawn
+    /// grandchildren).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: derive would (needlessly) bound on the lifetimes' types.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope back,
+        /// mirroring crossbeam's signature (`|_| ...` at every call site
+        /// in this workspace).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Err` with the panic payload if the
+    /// scope closure (or an unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawn_join_collects_results() {
+        let next = AtomicUsize::new(0);
+        let sums: Vec<usize> = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move |_| {
+                        let mut sum = 0;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= 100 {
+                                break;
+                            }
+                            sum += i;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum());
+    }
+
+    #[test]
+    fn scope_propagates_child_panic_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}
