@@ -1,5 +1,6 @@
 //! Criterion: functional simulation throughput of the device kernel
-//! variants (baseline, O0/O1/O2, iteration sync).
+//! variants (baseline, O0/O1/O2, iteration sync) and of the device
+//! runtime's stream scheduling (1/2/4/8 streams over a fixed budget).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gsword_core::prelude::*;
@@ -35,5 +36,49 @@ fn bench_device(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_device);
+/// Stream scaling: the same fixed sample budget sharded over 1, 2, 4, and
+/// 8 streams of one device (plus a 2×2 multi-device point). Estimates are
+/// bit-identical across rows — only where the global grid's shards execute
+/// changes — so the interesting number is wall-clock throughput.
+fn bench_streams(c: &mut Criterion) {
+    let data = gsword_core::datasets::dataset("dblp");
+    let query = QueryGraph::extract(&data, 8, 0xD1).expect("query");
+    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+    let order = quicksi_order(&query, &data);
+    let ctx = QueryCtx::new(&cg, &order);
+
+    const N: u64 = 8_000;
+    // One host thread per block-shard worker: stream parallelism, not
+    // intra-launch block parallelism, is what this group measures.
+    let dev = DeviceConfig {
+        num_blocks: 8,
+        threads_per_block: 64,
+        host_threads: 1,
+    };
+    let mut group = c.benchmark_group("stream_scaling");
+    group.throughput(Throughput::Elements(N));
+    for streams in [1usize, 2, 4, 8] {
+        let cfg = EngineConfig {
+            device: dev,
+            ..EngineConfig::gsword(N)
+        }
+        .with_topology(1, streams);
+        group.bench_with_input(BenchmarkId::new("1-device", streams), &cfg, |b, cfg| {
+            b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value())
+        });
+    }
+    let two_by_two = EngineConfig {
+        device: dev,
+        ..EngineConfig::gsword(N)
+    }
+    .with_topology(2, 2);
+    group.bench_with_input(
+        BenchmarkId::new("2-devices", 2usize),
+        &two_by_two,
+        |b, cfg| b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_device, bench_streams);
 criterion_main!(benches);

@@ -13,6 +13,7 @@ usage:
   gsword estimate <graph> -q <query> [--samples N] [--estimator wj|alley]
                   [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
                   [--sanitize full|sync,race,init]
+                  [--devices N] [--streams N]
   gsword exact    <graph> -q <query> [--budget N] [--threads N]
   gsword motifs   <graph> [--samples N] [--label L]
   gsword orders   <graph> -q <query> [--probe N]
@@ -21,7 +22,9 @@ usage:
          a t/v/e file, or a SNAP edge list (*.el)
 <query>: a t/v/e query file, or extract:<k>[:<seed>]
 --sanitize runs the device kernels under the compute-sanitizer analogue
-(synccheck/racecheck/initcheck); any violation fails the run.";
+(synccheck/racecheck/initcheck); any violation fails the run.
+--devices/--streams shard device launches over N software devices with N
+streams each (estimates are invariant in the topology; default 1x1).";
 
 /// Route a parsed command line to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -129,6 +132,11 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     let q = load_query_spec(&data, args.get("query").ok_or("missing -q <query>")?)?;
     let samples: u64 = args.num("samples", 100_000)?;
     let seed: u64 = args.num("seed", 42)?;
+    let devices: usize = args.num("devices", 1)?;
+    let streams: usize = args.num("streams", 1)?;
+    if devices == 0 || streams == 0 {
+        return Err("--devices and --streams must be at least 1".to_string());
+    }
     let sanitize = match args.get("sanitize") {
         None => SanitizerMode::OFF,
         Some(spec) => SanitizerMode::parse(spec)?,
@@ -138,6 +146,8 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         .seed(seed)
         .estimator(parse_estimator(args)?)
         .backend(parse_backend(args)?)
+        .num_devices(devices)
+        .streams_per_device(streams)
         .sanitize(sanitize);
     if args.has("trawl") {
         b = b.trawling(TrawlConfig::default());

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use gsword_engine::{run_engine, EngineConfig};
+use gsword_engine::{kernel_for_config, runtime_for, spawn_estimate, EngineConfig, Kernel};
 use gsword_estimators::{Estimate, Estimator, QueryCtx};
 use gsword_simt::KernelCounters;
 
@@ -58,7 +58,12 @@ pub struct AdaptiveReport {
 
 /// Run sampling batches until the estimate's relative 95% CI falls below
 /// the target or a budget trips. Each batch derives its seed from the
-/// batch index, so the run is deterministic.
+/// batch index, so the run is deterministic — and invariant in the device
+/// runtime topology, which only changes where batches execute.
+///
+/// All batches share one device [`Runtime`](gsword_simt::Runtime): its
+/// stream workers stay warm across the adaptive loop instead of being
+/// re-created per batch.
 pub fn run_adaptive<E: Estimator + ?Sized>(
     ctx: &QueryCtx<'_>,
     est: &E,
@@ -73,13 +78,15 @@ pub fn run_adaptive<E: Estimator + ?Sized>(
     let mut modeled_ms = 0.0;
     let mut batches = 0u32;
     let mut converged = false;
-    loop {
+    let kernel_name = kernel_for_config(ctx, est, engine).name();
+    let runtime = runtime_for(engine, &kernel_name);
+    runtime.scope(|rs| loop {
         let batch_cfg = EngineConfig {
             samples: cfg.batch,
             seed: engine.seed.wrapping_add(0xADA0 + batches as u64),
             ..*engine
         };
-        let r = run_engine(ctx, est, &batch_cfg);
+        let r = spawn_estimate(rs, ctx, est, &batch_cfg).wait_report(&batch_cfg);
         estimate.merge(&r.estimate);
         counters.merge(&r.counters);
         modeled_ms += r.modeled_ms;
@@ -96,7 +103,7 @@ pub fn run_adaptive<E: Estimator + ?Sized>(
         if cfg.max_wall_ms > 0.0 && wall >= cfg.max_wall_ms {
             break;
         }
-    }
+    });
     AdaptiveReport {
         estimate,
         converged,

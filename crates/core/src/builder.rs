@@ -77,6 +77,8 @@ impl Gsword {
             device: None,
             trawling: None,
             sanitize: SanitizerMode::OFF,
+            num_devices: 1,
+            streams_per_device: 1,
         }
     }
 }
@@ -95,6 +97,8 @@ pub struct GswordBuilder<'a> {
     device: Option<DeviceConfig>,
     trawling: Option<TrawlConfig>,
     sanitize: SanitizerMode,
+    num_devices: usize,
+    streams_per_device: usize,
 }
 
 impl<'a> GswordBuilder<'a> {
@@ -146,6 +150,19 @@ impl<'a> GswordBuilder<'a> {
         self
     }
 
+    /// Shard device launches over `n` software devices (default 1, the
+    /// paper's testbed has 2). Estimates are invariant in the topology.
+    pub fn num_devices(mut self, n: usize) -> Self {
+        self.num_devices = n.max(1);
+        self
+    }
+
+    /// Streams (ordered async launch queues) per device, default 1.
+    pub fn streams_per_device(mut self, n: usize) -> Self {
+        self.streams_per_device = n.max(1);
+        self
+    }
+
     /// Run the device kernels under the sanitizer (synccheck / racecheck /
     /// initcheck — the `compute-sanitizer` analogue). Findings land in
     /// [`Report::sanitizer`]. No effect on CPU backends.
@@ -174,6 +191,8 @@ impl<'a> GswordBuilder<'a> {
                 cfg.device = d;
             }
             cfg.sanitize = self.sanitize;
+            cfg.num_devices = self.num_devices;
+            cfg.streams_per_device = self.streams_per_device;
             cfg
         };
 
@@ -246,6 +265,8 @@ impl<'a> GswordBuilder<'a> {
             cfg.device = d;
         }
         cfg.sanitize = self.sanitize;
+        cfg.num_devices = self.num_devices;
+        cfg.streams_per_device = self.streams_per_device;
         let r = run_engine(&ctx, est, &cfg);
         let mut report = Report::from_device(r);
         report.candidate_stats = Some(candidate_stats);

@@ -5,7 +5,9 @@ pub use crate::builder::{Backend, Error, Gsword, GswordBuilder, Report};
 pub use crate::exact_count;
 
 pub use gsword_candidate::{build_candidate_graph, BuildConfig, CandidateGraph};
-pub use gsword_engine::{run_engine, EngineConfig, PoolMode, SyncMode};
+pub use gsword_engine::{
+    run_engine, split_budget, EngineConfig, EngineReport, Kernel, LaunchSpec, PoolMode, SyncMode,
+};
 pub use gsword_enumeration::{count_instances, count_instances_parallel, EnumLimits};
 pub use gsword_estimators::{
     q_error, signed_q_error, Alley, Estimate, Estimator, EstimatorKind, QueryCtx, SampleState,
@@ -16,4 +18,7 @@ pub use gsword_pipeline::{run_coprocessing, DepthDist, TrawlConfig};
 pub use gsword_query::{
     gcare_order, quicksi_order, MatchingOrder, OrderKind, QueryClass, QueryGraph,
 };
-pub use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters, SanitizerMode, SanitizerReport};
+pub use gsword_simt::{
+    DeviceConfig, DeviceModel, Event, KernelCounters, Runtime, RuntimeConfig, SanitizerMode,
+    SanitizerReport,
+};

@@ -47,6 +47,12 @@ pub struct EngineConfig {
     /// analogue; off by default — the disabled handle is one branch per
     /// hook).
     pub sanitize: SanitizerMode,
+    /// Software devices the launch is sharded over (the paper's testbed has
+    /// two RTX 2080 Ti cards). Results are seed-deterministic regardless of
+    /// the topology: blocks keep their global ids and per-block quotas.
+    pub num_devices: usize,
+    /// Ordered async launch queues per device (CUDA-stream analogue).
+    pub streams_per_device: usize,
 }
 
 impl EngineConfig {
@@ -61,6 +67,8 @@ impl EngineConfig {
             inheritance: false,
             streaming: false,
             sanitize: SanitizerMode::OFF,
+            num_devices: 1,
+            streams_per_device: 1,
         }
     }
 
@@ -129,6 +137,13 @@ impl EngineConfig {
         self.sanitize = sanitize;
         self
     }
+
+    /// Builder-style runtime topology override: devices × streams.
+    pub fn with_topology(mut self, num_devices: usize, streams_per_device: usize) -> Self {
+        self.num_devices = num_devices;
+        self.streams_per_device = streams_per_device;
+        self
+    }
 }
 
 /// Outcome of one engine launch.
@@ -143,8 +158,13 @@ pub struct EngineReport {
     pub samples_collected: u64,
     /// Merged execution counters of all blocks.
     pub counters: KernelCounters,
-    /// Modeled device milliseconds (see `DeviceModel`).
+    /// Modeled device milliseconds (see `DeviceModel`). For a multi-device
+    /// launch this is the *makespan*: the max over the per-device modeled
+    /// times, since devices run concurrently.
     pub modeled_ms: f64,
+    /// Modeled milliseconds charged to each device of the launch (one entry
+    /// per device; a single-device run has one entry equal to `modeled_ms`).
+    pub per_device_modeled_ms: Vec<f64>,
     /// Host wall-clock milliseconds of the functional simulation (not the
     /// reproduction target; reported for transparency).
     pub wall_ms: f64,
@@ -168,6 +188,52 @@ impl EngineReport {
             return self.modeled_ms;
         }
         self.modeled_ms * n as f64 / self.samples_collected as f64
+    }
+
+    /// Merge per-device reports from one logical launch into the report of
+    /// the whole launch.
+    ///
+    /// Totals (estimate, collected samples, counters) are *summed* before
+    /// any normalization — averaging per-device `modeled_ms_for_samples`
+    /// values would weight devices equally even when their collected-sample
+    /// counts differ, biasing the per-sample cost. Modeled time is the
+    /// makespan (max over devices, which run concurrently); wall time
+    /// likewise. Sanitizer reports are merged when any part carries one.
+    pub fn merge_devices(parts: &[EngineReport]) -> EngineReport {
+        assert!(!parts.is_empty(), "cannot merge zero device reports");
+        let mut estimate = Estimate::default();
+        let mut counters = KernelCounters::default();
+        let mut samples_collected = 0u64;
+        let mut per_device_modeled_ms = Vec::new();
+        let mut wall_ms = 0.0f64;
+        let mut sanitizer: Option<SanitizerReport> = None;
+        for p in parts {
+            estimate.merge(&p.estimate);
+            counters.merge(&p.counters);
+            samples_collected += p.samples_collected;
+            if p.per_device_modeled_ms.is_empty() {
+                per_device_modeled_ms.push(p.modeled_ms);
+            } else {
+                per_device_modeled_ms.extend_from_slice(&p.per_device_modeled_ms);
+            }
+            wall_ms = wall_ms.max(p.wall_ms);
+            if let Some(s) = &p.sanitizer {
+                match &mut sanitizer {
+                    Some(acc) => acc.merge(s),
+                    None => sanitizer = Some(s.clone()),
+                }
+            }
+        }
+        let modeled_ms = per_device_modeled_ms.iter().copied().fold(0.0, f64::max);
+        EngineReport {
+            estimate,
+            samples_collected,
+            counters,
+            modeled_ms,
+            per_device_modeled_ms,
+            wall_ms,
+            sanitizer,
+        }
     }
 }
 

@@ -1,69 +1,34 @@
-//! The warp-level RSV kernels (Algorithms 1–3) and the launch driver.
+//! The warp-level RSV kernels (Algorithms 1–3) as first-class values.
 //!
 //! Kernels are written at warp granularity: every "instruction" is a loop
 //! over the 32-lane arrays, cross-lane communication goes through the warp
 //! primitives, and every candidate-graph access is charged to the
 //! coalescing memory model. Functional results (the HT estimate) are exact;
 //! counters drive the modeled device time.
-
-use std::time::Instant;
+//!
+//! This module defines *what* runs: [`RsvKernel`] (gSWORD's RSV kernel
+//! under any flag combination) and [`BaselineKernel`] (the NextDoor-style
+//! static/iteration-sync baseline), both implementing the
+//! [`Kernel`](crate::runtime::Kernel) trait. *Where and when* they run —
+//! devices, streams, shards — is the [`crate::runtime`] module's job.
 
 use gsword_estimators::{Estimate, Estimator, QueryCtx, SampleState, Segment};
 use gsword_graph::VertexId;
 use gsword_simt::memory::{warp_load, warp_scan, LaneAddr};
 use gsword_simt::warp::{self, Lanes, WarpMask};
 use gsword_simt::{
-    Device, KernelCounters, Region, SamplePool, Sanitizer, WarpSanitizer, WARP_SIZE,
+    Device, DeviceConfig, KernelCounters, Region, SamplePool, WarpSanitizer, WARP_SIZE,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{EngineConfig, EngineReport, PoolMode, SyncMode};
-
-/// Run the configured kernel for one query and return the aggregated
-/// report. Deterministic in `(cfg.seed, cfg.device, cfg.samples)`.
-pub fn run_engine<E: Estimator + ?Sized>(
-    ctx: &QueryCtx<'_>,
-    est: &E,
-    cfg: &EngineConfig,
-) -> EngineReport {
-    let t0 = Instant::now();
-    let device =
-        Device::with_sanitizer(cfg.device, Sanitizer::new(cfg.sanitize, &kernel_name(cfg)));
-    let nb = cfg.device.num_blocks as u64;
-    let per_block = cfg.samples / nb;
-    let remainder = cfg.samples % nb;
-
-    let block_results: Vec<(Estimate, KernelCounters, u64)> = device.launch(|block| {
-        let block_samples = per_block + u64::from((block as u64) < remainder);
-        run_block(ctx, est, cfg, &device, block, block_samples)
-    });
-
-    let mut estimate = Estimate::default();
-    let mut counters = KernelCounters::default();
-    let mut inherited = 0u64;
-    for (e, c, inh) in &block_results {
-        estimate.merge(e);
-        counters.merge(c);
-        inherited += inh;
-    }
-    EngineReport {
-        samples_collected: estimate.samples + inherited,
-        estimate,
-        counters,
-        modeled_ms: cfg.model.modeled_ms(&counters),
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-        sanitizer: device
-            .sanitizer
-            .enabled()
-            .then(|| device.sanitizer.report()),
-    }
-}
+use crate::config::{EngineConfig, PoolMode, SyncMode};
+use crate::runtime::{split_budget, Kernel};
 
 /// Kernel name reported by the sanitizer, derived from the configured
 /// discipline and optimizations (mirrors compute-sanitizer's per-kernel
 /// attribution).
-fn kernel_name(cfg: &EngineConfig) -> String {
+pub(crate) fn kernel_name(cfg: &EngineConfig) -> String {
     let sync = match cfg.sync {
         SyncMode::SampleSync => "sample-sync",
         SyncMode::IterationSync => "iter-sync",
@@ -78,6 +43,164 @@ fn kernel_name(cfg: &EngineConfig) -> String {
     name
 }
 
+/// The gSWORD RSV kernel as a first-class value: Algorithms 1–3 under the
+/// configuration's sync/pool/optimization flags, bound to a query context
+/// and estimator but to no particular device.
+pub struct RsvKernel<'e, 'c, E: ?Sized> {
+    ctx: &'e QueryCtx<'c>,
+    est: &'e E,
+    cfg: EngineConfig,
+}
+
+// Manual impls: `derive` would demand `E: Clone`/`E: Copy`, but only
+// references to `E` are stored.
+impl<E: ?Sized> Clone for RsvKernel<'_, '_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E: ?Sized> Copy for RsvKernel<'_, '_, E> {}
+
+impl<'e, 'c, E: Estimator + ?Sized> RsvKernel<'e, 'c, E> {
+    /// Bind the RSV kernel to a query context, estimator, and flags.
+    pub fn new(ctx: &'e QueryCtx<'c>, est: &'e E, cfg: &EngineConfig) -> Self {
+        RsvKernel {
+            ctx,
+            est,
+            cfg: *cfg,
+        }
+    }
+}
+
+impl<E: Estimator + ?Sized> Kernel for RsvKernel<'_, '_, E> {
+    type BlockOut = (Estimate, KernelCounters, u64);
+
+    fn name(&self) -> String {
+        kernel_name(&self.cfg)
+    }
+
+    fn grid(&self) -> DeviceConfig {
+        self.cfg.device
+    }
+
+    fn run_block(&self, device: &Device, block: usize, samples: u64, seed: u64) -> Self::BlockOut {
+        run_block(self.ctx, self.est, &self.cfg, device, block, samples, seed)
+    }
+
+    fn block_counters(out: &Self::BlockOut) -> KernelCounters {
+        out.1
+    }
+}
+
+/// The NextDoor-style GPU baseline as its own kernel value: static
+/// per-lane sample assignment and iteration synchronization, no warp
+/// optimizations — whatever the incoming flags said.
+pub struct BaselineKernel<'e, 'c, E: ?Sized>(RsvKernel<'e, 'c, E>);
+
+impl<E: ?Sized> Clone for BaselineKernel<'_, '_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E: ?Sized> Copy for BaselineKernel<'_, '_, E> {}
+
+impl<'e, 'c, E: Estimator + ?Sized> BaselineKernel<'e, 'c, E> {
+    /// Bind the baseline kernel; the discipline flags are forced to the
+    /// NextDoor shape regardless of what `cfg` carries.
+    pub fn new(ctx: &'e QueryCtx<'c>, est: &'e E, cfg: &EngineConfig) -> Self {
+        let cfg = EngineConfig {
+            pool: PoolMode::Static,
+            sync: SyncMode::IterationSync,
+            inheritance: false,
+            streaming: false,
+            ..*cfg
+        };
+        BaselineKernel(RsvKernel { ctx, est, cfg })
+    }
+}
+
+impl<E: Estimator + ?Sized> Kernel for BaselineKernel<'_, '_, E> {
+    type BlockOut = (Estimate, KernelCounters, u64);
+
+    fn name(&self) -> String {
+        "nextdoor_static+iter-sync".to_string()
+    }
+
+    fn grid(&self) -> DeviceConfig {
+        self.0.cfg.device
+    }
+
+    fn run_block(&self, device: &Device, block: usize, samples: u64, seed: u64) -> Self::BlockOut {
+        self.0.run_block(device, block, samples, seed)
+    }
+
+    fn block_counters(out: &Self::BlockOut) -> KernelCounters {
+        out.1
+    }
+}
+
+/// Either estimator kernel, selected from an [`EngineConfig`].
+pub enum EstimateKernel<'e, 'c, E: ?Sized> {
+    /// gSWORD's RSV kernel (any flag combination outside the baseline's).
+    Rsv(RsvKernel<'e, 'c, E>),
+    /// The NextDoor-style baseline.
+    Baseline(BaselineKernel<'e, 'c, E>),
+}
+
+impl<E: ?Sized> Clone for EstimateKernel<'_, '_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E: ?Sized> Copy for EstimateKernel<'_, '_, E> {}
+
+/// Pick the kernel a configuration describes: the exact NextDoor flag
+/// shape routes to [`BaselineKernel`], everything else to [`RsvKernel`].
+pub fn kernel_for_config<'e, 'c, E: Estimator + ?Sized>(
+    ctx: &'e QueryCtx<'c>,
+    est: &'e E,
+    cfg: &EngineConfig,
+) -> EstimateKernel<'e, 'c, E> {
+    let baseline = cfg.pool == PoolMode::Static
+        && cfg.sync == SyncMode::IterationSync
+        && !cfg.inheritance
+        && !cfg.streaming;
+    if baseline {
+        EstimateKernel::Baseline(BaselineKernel::new(ctx, est, cfg))
+    } else {
+        EstimateKernel::Rsv(RsvKernel::new(ctx, est, cfg))
+    }
+}
+
+impl<E: Estimator + ?Sized> Kernel for EstimateKernel<'_, '_, E> {
+    type BlockOut = (Estimate, KernelCounters, u64);
+
+    fn name(&self) -> String {
+        match self {
+            EstimateKernel::Rsv(k) => k.name(),
+            EstimateKernel::Baseline(k) => k.name(),
+        }
+    }
+
+    fn grid(&self) -> DeviceConfig {
+        match self {
+            EstimateKernel::Rsv(k) => k.grid(),
+            EstimateKernel::Baseline(k) => k.grid(),
+        }
+    }
+
+    fn run_block(&self, device: &Device, block: usize, samples: u64, seed: u64) -> Self::BlockOut {
+        match self {
+            EstimateKernel::Rsv(k) => k.run_block(device, block, samples, seed),
+            EstimateKernel::Baseline(k) => k.run_block(device, block, samples, seed),
+        }
+    }
+
+    fn block_counters(out: &Self::BlockOut) -> KernelCounters {
+        out.1
+    }
+}
+
 fn run_block<E: Estimator + ?Sized>(
     ctx: &QueryCtx<'_>,
     est: &E,
@@ -85,6 +208,7 @@ fn run_block<E: Estimator + ?Sized>(
     device: &Device,
     block: usize,
     block_samples: u64,
+    seed: u64,
 ) -> (Estimate, KernelCounters, u64) {
     let warps = cfg.device.warps_per_block();
     let pool = SamplePool::new(block_samples);
@@ -94,18 +218,14 @@ fn run_block<E: Estimator + ?Sized>(
 
     // Static mode: pre-split the block's share across warps (and lanes
     // inside the warp executor) — the NextDoor-style assignment.
-    let per_warp = block_samples / warps as u64;
-    let warp_remainder = block_samples % warps as u64;
+    let warp_quota = split_budget(block_samples, warps);
 
-    for w in 0..warps {
+    for (w, &quota) in warp_quota.iter().enumerate() {
         let san = device.warp_sanitizer(block, w);
-        let mut exec = WarpExec::new(ctx, est, cfg, san, block, w);
+        let mut exec = WarpExec::new(ctx, est, cfg, san, block, w, seed);
         match cfg.pool {
             PoolMode::BlockPool => exec.run(Tasks::pool(&pool)),
-            PoolMode::Static => {
-                let quota = per_warp + u64::from((w as u64) < warp_remainder);
-                exec.run(Tasks::static_split(quota));
-            }
+            PoolMode::Static => exec.run(Tasks::static_split(quota)),
         }
         estimate.merge(&exec.finish_estimate());
         counters.merge(&exec.ctr);
@@ -199,11 +319,12 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         san: WarpSanitizer,
         block: usize,
         warp: usize,
+        seed: u64,
     ) -> Self {
         let rng = (0..WARP_SIZE)
             .map(|lane| {
                 let stream = (block as u64) << 32 | (warp as u64) << 8 | lane as u64;
-                SmallRng::seed_from_u64(cfg.seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+                SmallRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
             })
             .collect();
         WarpExec {
@@ -863,6 +984,8 @@ fn probe_offset(len: usize, t: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineReport;
+    use crate::runtime::run_engine;
     use gsword_candidate::{build_candidate_graph, BuildConfig, CandidateGraph};
     use gsword_estimators::{Alley, WanderJoin};
     use gsword_graph::{gen, GraphBuilder};

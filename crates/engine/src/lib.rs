@@ -20,9 +20,22 @@
 //! Run any configuration through [`run_engine`]; ablation presets
 //! ([`EngineConfig::o0`] / [`EngineConfig::o1`] / [`EngineConfig::o2`])
 //! reproduce Figure 12.
+//!
+//! Execution is layered: [`kernel`] defines *what* runs — the RSV and
+//! baseline kernels as first-class [`Kernel`] values — while [`runtime`]
+//! decides *where and when*: it shards a fixed sample budget over the
+//! devices and streams of a [`gsword_simt::Runtime`] via [`LaunchSpec`]
+//! descriptors and merges per-device results back into one
+//! [`EngineReport`]. All device launches go through the runtime module
+//! (lint-enforced).
 
 pub mod config;
 pub mod kernel;
+pub mod runtime;
 
 pub use config::{EngineConfig, EngineReport, PoolMode, SyncMode};
-pub use kernel::run_engine;
+pub use kernel::{kernel_for_config, BaselineKernel, EstimateKernel, RsvKernel};
+pub use runtime::{
+    plan_shards, run_engine, runtime_for, spawn_estimate, spawn_kernel, split_budget, EstimateRun,
+    Kernel, KernelRun, LaunchSpec,
+};

@@ -1,0 +1,398 @@
+//! The engine's execution layer: kernels as first-class values, launch
+//! descriptors, and the sharded multi-device driver.
+//!
+//! A [`Kernel`] is *what* runs (name, grid shape, per-block body, counter
+//! extraction); a [`LaunchSpec`] is *where and when* it runs (device,
+//! stream, block range, shard budget, seed). [`spawn_kernel`] plans one
+//! global grid into shards — contiguous global-block ranges spread over
+//! every `(device, stream)` pair — and launches them asynchronously on the
+//! [`Runtime`]'s streams.
+//!
+//! Determinism across topologies is load-bearing: per-block sample quotas
+//! come from [`split_budget`] over the *global* grid, per-lane RNG streams
+//! are keyed on *global* block ids, and results merge in ascending global
+//! block order. A budget run on 2 devices × 4 streams therefore produces
+//! bit-identical estimates to the same budget on 1 device × 1 stream.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use gsword_estimators::{Estimate, Estimator, QueryCtx};
+use gsword_simt::{
+    Device, DeviceConfig, Event, KernelCounters, LaunchHandle, Runtime, RuntimeConfig,
+    RuntimeScope, Sanitizer,
+};
+
+use crate::config::{EngineConfig, EngineReport};
+use crate::kernel::{kernel_for_config, EstimateKernel};
+
+/// Split `total` into `parts` near-equal shares: the first `total % parts`
+/// shares get one extra. The single source of truth for every
+/// budget-splitting site in the workspace (blocks, warps, lanes, batches).
+pub fn split_budget(total: u64, parts: usize) -> Vec<u64> {
+    assert!(parts > 0, "cannot split a budget into zero parts");
+    let per = total / parts as u64;
+    let rem = (total % parts as u64) as usize;
+    (0..parts).map(|i| per + u64::from(i < rem)).collect()
+}
+
+/// Launch descriptor: one shard of a kernel's global grid, bound to a
+/// device and stream with its sample budget and base seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSpec {
+    /// Target device index.
+    pub device: usize,
+    /// Target stream on that device.
+    pub stream: usize,
+    /// Global block ids this shard executes.
+    pub blocks: Range<usize>,
+    /// Samples this shard draws (the sum of its blocks' quotas).
+    pub samples: u64,
+    /// Base RNG seed; per-lane streams derive from it and the *global*
+    /// block id, so the seed is deterministic per shard by construction.
+    pub seed: u64,
+}
+
+/// A kernel the runtime can launch: the "what" of an execution, decoupled
+/// from the devices and streams it lands on.
+pub trait Kernel: Sync {
+    /// Per-block result type.
+    type BlockOut: Send;
+
+    /// Kernel name, as attributed by the sanitizer and reports.
+    fn name(&self) -> String;
+
+    /// Grid geometry of the global launch.
+    fn grid(&self) -> DeviceConfig;
+
+    /// Execute one block: `block` is the *global* block id, `samples` the
+    /// block's quota from the global [`split_budget`], `seed` the base seed.
+    fn run_block(&self, device: &Device, block: usize, samples: u64, seed: u64) -> Self::BlockOut;
+
+    /// Extract the counters a block charged (zero for kernels whose cost
+    /// is not modeled, e.g. host-side task generation).
+    fn block_counters(out: &Self::BlockOut) -> KernelCounters;
+}
+
+/// Plan a global grid of `num_blocks` into contiguous shards over
+/// `num_devices × streams_per_device` (device-major, so each device owns
+/// one contiguous span of the grid). Shard sample budgets are the sums of
+/// the global per-block quotas, so they always total `samples`.
+pub fn plan_shards(
+    num_blocks: usize,
+    num_devices: usize,
+    streams_per_device: usize,
+    samples: u64,
+    seed: u64,
+) -> Vec<LaunchSpec> {
+    assert!(num_blocks > 0 && num_devices > 0 && streams_per_device > 0);
+    let quotas = split_budget(samples, num_blocks);
+    let shard_count = (num_devices * streams_per_device).min(num_blocks);
+    let shard_sizes = split_budget(num_blocks as u64, shard_count);
+    // Device-major: each device owns one contiguous span of the grid, its
+    // streams contiguous sub-spans of that. When the grid has fewer blocks
+    // than streams, shards still spread across as many devices as possible.
+    let shards_per_device = split_budget(shard_count as u64, num_devices);
+    let mut specs = Vec::with_capacity(shard_count);
+    let mut start = 0usize;
+    let mut shard = 0usize;
+    for (device, &n) in shards_per_device.iter().enumerate() {
+        for stream in 0..n as usize {
+            let size = shard_sizes[shard] as usize;
+            let blocks = start..start + size;
+            specs.push(LaunchSpec {
+                device,
+                stream,
+                samples: quotas[blocks.clone()].iter().sum(),
+                seed,
+                blocks,
+            });
+            start += size;
+            shard += 1;
+        }
+    }
+    specs
+}
+
+/// An in-flight sharded kernel: per-shard launch handles plus the events
+/// needed to observe completion without blocking.
+pub struct KernelRun<'env, K: Kernel> {
+    runtime: &'env Runtime,
+    shards: Vec<(LaunchSpec, LaunchHandle<K::BlockOut>)>,
+    start: Event,
+}
+
+impl<'env, K: Kernel> KernelRun<'env, K> {
+    /// Have all shards completed? (Non-blocking, event-based.)
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|(_, h)| h.is_complete())
+    }
+
+    /// The launch descriptors this run was planned into.
+    pub fn specs(&self) -> Vec<LaunchSpec> {
+        self.shards.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// Wall milliseconds from spawn to the last shard's completion event,
+    /// once every shard has recorded (`None` while still running).
+    pub fn elapsed_ms(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .map(|(_, h)| self.start.elapsed_ms(h.event()))
+            .try_fold(0.0f64, |acc, ms| ms.map(|m| acc.max(m)))
+    }
+
+    /// Block until every shard finishes; charge each shard's counters to
+    /// the runtime's `(device, stream)` board and return the per-block
+    /// outputs in ascending *global* block order.
+    pub fn wait(self) -> Vec<K::BlockOut> {
+        let mut shards: Vec<(LaunchSpec, Vec<K::BlockOut>)> = self
+            .shards
+            .into_iter()
+            .map(|(spec, handle)| {
+                let blocks = handle.wait();
+                let mut counters = KernelCounters::default();
+                for out in &blocks {
+                    counters.merge(&K::block_counters(out));
+                }
+                self.runtime.charge(spec.device, spec.stream, &counters);
+                (spec, blocks)
+            })
+            .collect();
+        shards.sort_by_key(|(spec, _)| spec.blocks.start);
+        shards.into_iter().flat_map(|(_, blocks)| blocks).collect()
+    }
+}
+
+/// Launch `kernel` over its full grid, sharded across every device and
+/// stream of the runtime, without blocking. `samples` is the *global*
+/// budget; `seed` the base seed shared by all shards.
+pub fn spawn_kernel<'env, K>(
+    rs: &RuntimeScope<'env>,
+    kernel: K,
+    samples: u64,
+    seed: u64,
+) -> KernelRun<'env, K>
+where
+    K: Kernel + Clone + Send + 'env,
+    K::BlockOut: 'env,
+{
+    let runtime = rs.runtime();
+    let grid = kernel.grid();
+    let specs = plan_shards(
+        grid.num_blocks,
+        runtime.num_devices(),
+        runtime.streams_per_device(),
+        samples,
+        seed,
+    );
+    let quotas = std::sync::Arc::new(split_budget(samples, grid.num_blocks));
+    let start = Event::new();
+    start.record();
+    let shards = specs
+        .into_iter()
+        .map(|spec| {
+            let k = kernel.clone();
+            let q = std::sync::Arc::clone(&quotas);
+            let dev: &'env Device = runtime.device(spec.device);
+            let shard_seed = spec.seed;
+            let handle = rs.launch(spec.device, spec.stream, spec.blocks.clone(), move |b| {
+                k.run_block(dev, b, q[b], shard_seed)
+            });
+            (spec, handle)
+        })
+        .collect();
+    KernelRun {
+        runtime,
+        shards,
+        start,
+    }
+}
+
+/// Build the runtime an [`EngineConfig`] asks for: `num_devices` devices ×
+/// `streams_per_device` streams, each device carrying its own sanitizer
+/// instance (attributed to the same kernel name, as one rig-wide
+/// `compute-sanitizer` session would).
+pub fn runtime_for(cfg: &EngineConfig, kernel_name: &str) -> Runtime {
+    Runtime::with_sanitizers(
+        RuntimeConfig {
+            num_devices: cfg.num_devices.max(1),
+            streams_per_device: cfg.streams_per_device.max(1),
+            device: cfg.device,
+        },
+        |_| Sanitizer::new(cfg.sanitize, kernel_name),
+    )
+}
+
+/// An in-flight estimate run: a [`KernelRun`] plus the bookkeeping to
+/// assemble an [`EngineReport`] on completion.
+pub struct EstimateRun<'env, 'e, 'c, E: Estimator + ?Sized> {
+    inner: KernelRun<'env, EstimateKernel<'e, 'c, E>>,
+    t0: Instant,
+}
+
+impl<'env, 'e, 'c, E: Estimator + ?Sized> EstimateRun<'env, 'e, 'c, E> {
+    /// Has the whole launch completed? (Event-backed, non-blocking.)
+    pub fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    /// The shards this run was planned into.
+    pub fn specs(&self) -> Vec<LaunchSpec> {
+        self.inner.specs()
+    }
+
+    /// Block until done and assemble the report. The estimate merges in
+    /// global block order (bit-stable across topologies); counters drain
+    /// from the runtime's board per device, and modeled time is the max
+    /// over devices — concurrent silicon, one clock. The report's
+    /// `sanitizer` is left `None`: per-run attribution belongs to whoever
+    /// owns the runtime (see [`run_engine`]), since device sanitizers
+    /// accumulate across launches.
+    pub fn wait_report(self, cfg: &EngineConfig) -> EngineReport {
+        let event_ms = self.inner.elapsed_ms();
+        let runtime = self.inner.runtime;
+        let blocks = self.inner.wait();
+        let mut estimate = Estimate::default();
+        let mut inherited = 0u64;
+        for (e, _, inh) in &blocks {
+            estimate.merge(e);
+            inherited += inh;
+        }
+        let per_device = runtime.take_device_counters();
+        let mut counters = KernelCounters::default();
+        for c in &per_device {
+            counters.merge(c);
+        }
+        let modeled_ms = per_device
+            .iter()
+            .map(|c| cfg.model.modeled_ms(c))
+            .fold(0.0, f64::max);
+        EngineReport {
+            samples_collected: estimate.samples + inherited,
+            estimate,
+            counters,
+            modeled_ms,
+            per_device_modeled_ms: per_device.iter().map(|c| cfg.model.modeled_ms(c)).collect(),
+            wall_ms: event_ms.unwrap_or_else(|| self.t0.elapsed().as_secs_f64() * 1e3),
+            sanitizer: None,
+        }
+    }
+}
+
+/// Asynchronously launch the estimator kernel `cfg` selects (RSV or the
+/// NextDoor-style baseline) across the runtime's devices and streams.
+pub fn spawn_estimate<'env, 'e: 'env, 'c: 'e, E: Estimator + ?Sized>(
+    rs: &RuntimeScope<'env>,
+    ctx: &'e QueryCtx<'c>,
+    est: &'e E,
+    cfg: &EngineConfig,
+) -> EstimateRun<'env, 'e, 'c, E> {
+    let kernel = kernel_for_config(ctx, est, cfg);
+    EstimateRun {
+        inner: spawn_kernel(rs, kernel, cfg.samples, cfg.seed),
+        t0: Instant::now(),
+    }
+}
+
+/// Run the configured kernel for one query and return the aggregated
+/// report. Deterministic in `(cfg.seed, cfg.device, cfg.samples)` — and
+/// invariant in `(cfg.num_devices, cfg.streams_per_device)`, which only
+/// change where the global grid's shards execute.
+pub fn run_engine<E: Estimator + ?Sized>(
+    ctx: &QueryCtx<'_>,
+    est: &E,
+    cfg: &EngineConfig,
+) -> EngineReport {
+    let t0 = Instant::now();
+    let kernel = kernel_for_config(ctx, est, cfg);
+    let name = kernel.name();
+    let runtime = runtime_for(cfg, &name);
+    let mut report = runtime.scope(|rs| {
+        EstimateRun {
+            inner: spawn_kernel(rs, kernel, cfg.samples, cfg.seed),
+            t0,
+        }
+        .wait_report(cfg)
+    });
+    report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if runtime.sanitizing() {
+        report.sanitizer = Some(runtime.sanitizer_report());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_budget_exact_division() {
+        assert_eq!(split_budget(12, 4), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn split_budget_spreads_remainder_to_leading_parts() {
+        assert_eq!(split_budget(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_budget(7, 3), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn split_budget_off_by_one_edges() {
+        // total < parts: exactly `total` parts get one.
+        assert_eq!(split_budget(2, 5), vec![1, 1, 0, 0, 0]);
+        // total == parts - 1 and total == parts + 1.
+        assert_eq!(split_budget(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(split_budget(5, 4), vec![2, 1, 1, 1]);
+        // Zero total, single part.
+        assert_eq!(split_budget(0, 3), vec![0, 0, 0]);
+        assert_eq!(split_budget(9, 1), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_budget_rejects_zero_parts() {
+        split_budget(1, 0);
+    }
+
+    #[test]
+    fn shards_cover_the_grid_exactly_once() {
+        for (nb, nd, spd) in [(46, 2, 4), (8, 1, 1), (3, 2, 4), (5, 2, 2), (1, 3, 3)] {
+            let specs = plan_shards(nb, nd, spd, 10_001, 7);
+            let mut covered = vec![false; nb];
+            for s in &specs {
+                for b in s.blocks.clone() {
+                    assert!(!covered[b], "block {b} double-covered");
+                    covered[b] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "grid not fully covered");
+            assert_eq!(
+                specs.iter().map(|s| s.samples).sum::<u64>(),
+                10_001,
+                "shard budgets must sum to the request ({nb}/{nd}/{spd})"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_are_device_major_and_contiguous() {
+        let specs = plan_shards(8, 2, 2, 800, 0);
+        assert_eq!(specs.len(), 4);
+        // Each device owns a contiguous span, ascending in block order.
+        for w in specs.windows(2) {
+            assert_eq!(w[0].blocks.end, w[1].blocks.start);
+            assert!(w[0].device <= w[1].device);
+        }
+        assert_eq!(specs[0].device, 0);
+        assert_eq!(specs.last().unwrap().device, 1);
+    }
+
+    #[test]
+    fn fewer_blocks_than_shards_degrades_gracefully() {
+        let specs = plan_shards(3, 2, 4, 99, 0);
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.iter().map(|s| s.blocks.len()).sum::<usize>(), 3);
+        assert_eq!(specs.iter().map(|s| s.samples).sum::<u64>(), 99);
+    }
+}

@@ -10,7 +10,9 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use gsword_engine::{run_engine, EngineConfig};
+use gsword_engine::{
+    kernel_for_config, runtime_for, spawn_estimate, split_budget, EngineConfig, Kernel,
+};
 
 use crate::report::PipelineReport;
 
@@ -116,11 +118,13 @@ type TrawlTask = Option<SampleState>;
 /// Run the full CPU–GPU co-processing pipeline for one query.
 ///
 /// The engine configuration's sample budget is split across
-/// `trawl.batches` batches. Batch `b`'s trawl tasks are enumerated by the
-/// CPU pool *while* batch `b+1` samples on the device; when the device
-/// batch finishes, the pool is preempted and unfinished tasks are dropped
-/// (the paper's timeout mechanism). The last batch's tasks get a grace
-/// window equal to the mean batch duration.
+/// `trawl.batches` batches via [`split_budget`]. Each batch is launched
+/// asynchronously on the device runtime's streams ([`spawn_estimate`]);
+/// batch `b`'s trawl tasks are enumerated by the CPU pool *while* batch
+/// `b+1` samples on the device. Waiting on the batch's completion event —
+/// not a busy poll — ends the overlap window: the pool is preempted and
+/// unfinished tasks are dropped (the paper's timeout mechanism). The last
+/// batch's tasks get a grace window equal to the mean batch duration.
 pub fn run_coprocessing<E: Estimator + ?Sized>(
     ctx: &QueryCtx<'_>,
     est: &E,
@@ -129,7 +133,7 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
 ) -> PipelineReport {
     let t0 = Instant::now();
     let batches = trawl.batches.max(1);
-    let per_batch_samples = (engine_cfg.samples / batches as u64).max(1);
+    let batch_budgets = split_budget(engine_cfg.samples, batches);
     // Partition host cores between the functional device simulation and the
     // CPU enumeration pool: on real hardware the GPU is independent silicon,
     // so the enumeration threads must not starve the simulated device.
@@ -146,7 +150,6 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
     let mut counters = KernelCounters::default();
     let mut gpu_modeled_ms = 0.0;
     let mut gpu_wall_ms = 0.0;
-    let mut sanitizer: Option<gsword_simt::SanitizerReport> = None;
 
     let contributions: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let mut attempted = 0u64;
@@ -154,65 +157,74 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
     let mut pending: Vec<TrawlTask> = Vec::new();
     let mut rng = SmallRng::seed_from_u64(trawl.seed);
 
-    for b in 0..batches {
-        // Produce this batch's trawl tasks (the "uniformly selected t
-        // samples" transferred to the CPU — O(t·|V_q|) traffic).
-        let tasks: Vec<TrawlTask> = (0..trawl.per_batch)
-            .map(|_| {
-                let d = dist.sample(&mut rng);
-                let mut scratch = Vec::new();
-                run_partial_sample(ctx, est, &mut rng, &mut scratch, d)
-            })
-            .collect();
-        attempted += tasks.len() as u64;
+    // One runtime for the whole pipeline: its streams carry every batch,
+    // and its per-device sanitizers accumulate across batches (fetched once
+    // at the end, like a single rig-wide compute-sanitizer session).
+    let kernel_name = kernel_for_config(ctx, est, engine_cfg).name();
+    let runtime = runtime_for(engine_cfg, &kernel_name);
 
-        // Overlap: CPU pool enumerates the *previous* batch's tasks while
-        // the device runs this batch; preempt when the batch completes.
-        let stop = AtomicBool::new(false);
-        let batch_cfg = EngineConfig {
-            samples: per_batch_samples,
-            seed: engine_cfg.seed.wrapping_add(b as u64),
-            ..*engine_cfg
-        };
-        let prev = std::mem::take(&mut pending);
-        let next = AtomicUsize::new(0);
-        let report = crossbeam::scope(|scope| {
-            let stop_ref = &stop;
-            let contributions_ref = &contributions;
-            let next_ref = &next;
-            let prev_ref = &prev;
-            let workers: Vec<_> = (0..trawl.cpu_threads.max(1))
+    runtime.scope(|rs| {
+        for (b, &batch_samples) in batch_budgets.iter().enumerate() {
+            // Produce this batch's trawl tasks (the "uniformly selected t
+            // samples" transferred to the CPU — O(t·|V_q|) traffic).
+            let tasks: Vec<TrawlTask> = (0..trawl.per_batch)
                 .map(|_| {
-                    scope.spawn(move |_| {
-                        enumerate_tasks(
-                            ctx,
-                            prev_ref,
-                            next_ref,
-                            stop_ref,
-                            trawl.node_budget,
-                            contributions_ref,
-                        )
-                    })
+                    let d = dist.sample(&mut rng);
+                    let mut scratch = Vec::new();
+                    run_partial_sample(ctx, est, &mut rng, &mut scratch, d)
                 })
                 .collect();
-            let report = run_engine(ctx, est, &batch_cfg);
-            stop.store(true, Ordering::Relaxed);
-            for w in workers {
-                w.join().expect("enumeration worker panicked");
-            }
-            report
-        })
-        .expect("pipeline scope panicked");
+            attempted += tasks.len() as u64;
 
-        sampler.merge(&report.estimate);
-        counters.merge(&report.counters);
-        if let Some(sr) = &report.sanitizer {
-            sanitizer.get_or_insert_with(Default::default).merge(sr);
+            // Overlap: launch this batch asynchronously on the runtime's
+            // streams, enumerate the *previous* batch's tasks on the CPU
+            // pool meanwhile, and preempt the pool when the batch's
+            // completion event fires.
+            let stop = AtomicBool::new(false);
+            let batch_cfg = EngineConfig {
+                samples: batch_samples,
+                seed: engine_cfg.seed.wrapping_add(b as u64),
+                ..*engine_cfg
+            };
+            let run = spawn_estimate(rs, ctx, est, &batch_cfg);
+            let prev = std::mem::take(&mut pending);
+            let next = AtomicUsize::new(0);
+            let report = crossbeam::scope(|scope| {
+                let stop_ref = &stop;
+                let contributions_ref = &contributions;
+                let next_ref = &next;
+                let prev_ref = &prev;
+                let workers: Vec<_> = (0..trawl.cpu_threads.max(1))
+                    .map(|_| {
+                        scope.spawn(move |_| {
+                            enumerate_tasks(
+                                ctx,
+                                prev_ref,
+                                next_ref,
+                                stop_ref,
+                                trawl.node_budget,
+                                contributions_ref,
+                            )
+                        })
+                    })
+                    .collect();
+                let report = run.wait_report(&batch_cfg);
+                stop.store(true, Ordering::Relaxed);
+                for w in workers {
+                    w.join().expect("enumeration worker panicked");
+                }
+                report
+            })
+            .expect("pipeline scope panicked");
+
+            sampler.merge(&report.estimate);
+            counters.merge(&report.counters);
+            gpu_modeled_ms += report.modeled_ms;
+            gpu_wall_ms += report.wall_ms;
+            pending = tasks;
         }
-        gpu_modeled_ms += report.modeled_ms;
-        gpu_wall_ms += report.wall_ms;
-        pending = tasks;
-    }
+    });
+    let sanitizer = runtime.sanitizing().then(|| runtime.sanitizer_report());
 
     // Grace window for the final batch's tasks: one mean batch duration,
     // ended early once every task has been claimed and finished.

@@ -73,21 +73,38 @@ impl Device {
         self.sanitizer.warp(block, warp)
     }
 
-    /// Launch a kernel: `body(block_id)` runs once per block, blocks are
-    /// distributed over host threads, and results are returned in block
-    /// order. The body typically returns partial estimates plus
-    /// [`KernelCounters`].
+    /// Launch a kernel over the full grid: `body(block_id)` runs once per
+    /// block, blocks are distributed over host threads, and results are
+    /// returned in block order. The body typically returns partial
+    /// estimates plus [`KernelCounters`].
     pub fn launch<R, F>(&self, body: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let nb = self.config.num_blocks;
+        self.launch_blocks(0..self.config.num_blocks, body)
+    }
+
+    /// Launch a kernel over a sub-range of *global* block ids — the shard
+    /// primitive of the device runtime. `body` receives ids from `blocks`
+    /// unchanged (not re-based to zero), so a grid split across devices and
+    /// streams computes the same per-block work as a whole-grid launch;
+    /// results come back in ascending block order.
+    pub fn launch_blocks<R, F>(&self, blocks: std::ops::Range<usize>, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let base = blocks.start;
+        let nb = blocks.len();
+        if nb == 0 {
+            return Vec::new();
+        }
         let mut results: Vec<Option<R>> = (0..nb).map(|_| None).collect();
         let workers = self.config.host_threads.clamp(1, nb);
         if workers == 1 {
             for (b, slot) in results.iter_mut().enumerate() {
-                *slot = Some(body(b));
+                *slot = Some(body(base + b));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -100,7 +117,7 @@ impl Device {
                         if b >= nb {
                             break;
                         }
-                        slots[b].put(body(b));
+                        slots[b].put(body(base + b));
                     });
                 }
             })
@@ -219,6 +236,18 @@ mod tests {
         });
         let out = dev.launch(|b| b * 2);
         assert_eq!(out, (0..17).map(|b| b * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn launch_blocks_passes_global_ids() {
+        let dev = Device::new(DeviceConfig {
+            num_blocks: 8,
+            threads_per_block: 32,
+            host_threads: 3,
+        });
+        assert_eq!(dev.launch_blocks(5..8, |b| b), vec![5, 6, 7]);
+        assert_eq!(dev.launch_blocks(2..3, |b| b), vec![2]);
+        assert!(dev.launch_blocks(4..4, |b| b).is_empty());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`device`] — a block-parallel launch harness (blocks run on host
 //!   threads) plus a [`device::DeviceModel`] that converts counters into
 //!   modeled device milliseconds.
+//! * [`runtime`] — the CUDA-runtime analogue: N devices, per-device
+//!   streams (ordered async launch queues), events, and a per-device /
+//!   per-stream counter board (the paper's two-GPU testbed shape).
 //!
 //! Functional behaviour (the estimates) is exact; device time is *modeled*
 //! from the counters. DESIGN.md §1 documents the substitution.
@@ -35,6 +38,7 @@ pub mod counters;
 pub mod device;
 pub mod memory;
 pub mod pool;
+pub mod runtime;
 pub mod warp;
 
 pub use counters::KernelCounters;
@@ -44,4 +48,5 @@ pub use gsword_sanitizer::{
 };
 pub use memory::Region;
 pub use pool::SamplePool;
+pub use runtime::{Event, LaunchHandle, Runtime, RuntimeConfig, RuntimeScope};
 pub use warp::{Lanes, WarpMask, WARP_SIZE};

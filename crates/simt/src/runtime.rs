@@ -1,0 +1,484 @@
+//! The device runtime: N devices, per-device streams, and events.
+//!
+//! The paper evaluates gSWORD on two RTX 2080 Ti GPUs; this module is the
+//! CUDA-runtime analogue that lets the workspace target that shape. A
+//! [`Runtime`] owns a fixed set of [`Device`]s. Work is submitted to
+//! *streams* — ordered asynchronous launch queues, one worker thread each —
+//! and completion is observed through *events* (record / wait / elapsed),
+//! mirroring `cudaStream_t`/`cudaEvent_t`. Counters charged by finished
+//! launches accumulate on a per-device, per-stream board that feeds the
+//! existing [`DeviceModel`]: modeled time for a multi-device run is the max
+//! over devices, matching real multi-GPU wall-clock.
+//!
+//! Streams exist only inside [`Runtime::scope`], so launch closures may
+//! borrow stack data (query contexts, estimators) without `'static`
+//! gymnastics — the same shape as `std::thread::scope`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::counters::KernelCounters;
+use crate::device::{Device, DeviceConfig, DeviceModel};
+use gsword_sanitizer::{Sanitizer, SanitizerReport};
+
+/// Runtime topology: how many devices, how many streams on each, and the
+/// launch geometry every device shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Simulated GPUs (the paper's testbed has 2).
+    pub num_devices: usize,
+    /// Ordered launch queues per device.
+    pub streams_per_device: usize,
+    /// Per-device launch geometry.
+    pub device: DeviceConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_devices: 1,
+            streams_per_device: 1,
+            device: DeviceConfig::default(),
+        }
+    }
+}
+
+/// A recordable completion marker, the `cudaEvent_t` analogue. Cloned
+/// handles observe the same underlying event.
+#[derive(Clone, Debug, Default)]
+pub struct Event {
+    inner: Arc<EventInner>,
+}
+
+#[derive(Debug, Default)]
+struct EventInner {
+    stamp: Mutex<Option<Instant>>,
+    cv: Condvar,
+}
+
+impl Event {
+    /// A fresh, unrecorded event.
+    pub fn new() -> Self {
+        Event::default()
+    }
+
+    /// Record the event: stamp the current time and wake all waiters.
+    /// Recording twice keeps the first stamp (a stream re-recording a
+    /// completed marker is a no-op, as on hardware replaying a graph).
+    pub fn record(&self) {
+        let mut stamp = self.inner.stamp.lock().expect("event lock");
+        if stamp.is_none() {
+            *stamp = Some(Instant::now());
+        }
+        drop(stamp);
+        self.inner.cv.notify_all();
+    }
+
+    /// Has the event been recorded yet? (`cudaEventQuery`.)
+    pub fn is_complete(&self) -> bool {
+        self.inner.stamp.lock().expect("event lock").is_some()
+    }
+
+    /// Block until the event records (`cudaEventSynchronize`).
+    pub fn wait(&self) {
+        let mut stamp = self.inner.stamp.lock().expect("event lock");
+        while stamp.is_none() {
+            stamp = self.inner.cv.wait(stamp).expect("event wait");
+        }
+    }
+
+    /// Milliseconds between this event's record and `later`'s
+    /// (`cudaEventElapsedTime`); `None` unless both have recorded.
+    pub fn elapsed_ms(&self, later: &Event) -> Option<f64> {
+        let a = (*self.inner.stamp.lock().expect("event lock"))?;
+        let b = (*later.inner.stamp.lock().expect("event lock"))?;
+        Some(b.saturating_duration_since(a).as_secs_f64() * 1e3)
+    }
+}
+
+/// Result cell of an asynchronous launch: an [`Event`] that records on
+/// completion plus the per-block outputs.
+pub struct LaunchHandle<R> {
+    slot: Arc<Mutex<Option<Vec<R>>>>,
+    event: Event,
+}
+
+impl<R> LaunchHandle<R> {
+    /// The completion event (recorded when the launch finishes).
+    pub fn event(&self) -> &Event {
+        &self.event
+    }
+
+    /// Has the launch finished?
+    pub fn is_complete(&self) -> bool {
+        self.event.is_complete()
+    }
+
+    /// Block until the launch finishes and take its per-block results
+    /// (in block order).
+    pub fn wait(self) -> Vec<R> {
+        self.event.wait();
+        self.slot
+            .lock()
+            .expect("launch slot")
+            .take()
+            .expect("launch result taken once")
+    }
+}
+
+/// The device runtime: owns the devices and the counter board. Streams are
+/// materialized inside [`Runtime::scope`].
+pub struct Runtime {
+    devices: Vec<Device>,
+    streams_per_device: usize,
+    /// Counters charged by completed launches, `[device][stream]`.
+    board: Mutex<Vec<Vec<KernelCounters>>>,
+    /// Set when any stream job panicked (surfaced when the scope joins).
+    poisoned: AtomicBool,
+}
+
+impl Runtime {
+    /// Build a runtime with no sanitizers attached.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_sanitizers(config, |_| Sanitizer::off())
+    }
+
+    /// Build a runtime with a per-device sanitizer instance produced by
+    /// `make(device_index)` — the multi-GPU analogue of attaching
+    /// `compute-sanitizer` to every device in the rig.
+    pub fn with_sanitizers(
+        config: RuntimeConfig,
+        mut make: impl FnMut(usize) -> Sanitizer,
+    ) -> Self {
+        assert!(config.num_devices > 0, "runtime needs at least one device");
+        assert!(config.streams_per_device > 0, "each device needs a stream");
+        let devices = (0..config.num_devices)
+            .map(|d| Device::with_sanitizer(config.device, make(d)))
+            .collect::<Vec<_>>();
+        let board = (0..config.num_devices)
+            .map(|_| vec![KernelCounters::default(); config.streams_per_device])
+            .collect();
+        Runtime {
+            devices,
+            streams_per_device: config.streams_per_device,
+            board: Mutex::new(board),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of devices in the runtime.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Streams per device.
+    pub fn streams_per_device(&self) -> usize {
+        self.streams_per_device
+    }
+
+    /// Device `d`.
+    pub fn device(&self, d: usize) -> &Device {
+        &self.devices[d]
+    }
+
+    /// Charge counters produced on `(device, stream)` to the board.
+    pub fn charge(&self, device: usize, stream: usize, counters: &KernelCounters) {
+        let mut board = self.board.lock().expect("counter board");
+        board[device][stream].merge(counters);
+    }
+
+    /// Counters charged on one stream since the last [`Runtime::take_device_counters`].
+    pub fn stream_counters(&self, device: usize, stream: usize) -> KernelCounters {
+        self.board.lock().expect("counter board")[device][stream]
+    }
+
+    /// Counters of one device, merged across its streams.
+    pub fn device_counters(&self, device: usize) -> KernelCounters {
+        let board = self.board.lock().expect("counter board");
+        let mut out = KernelCounters::default();
+        for c in &board[device] {
+            out.merge(c);
+        }
+        out
+    }
+
+    /// Drain the board: per-device counters (merged across streams), with
+    /// every slot reset to zero. Lets one runtime serve successive batches
+    /// that each want their own report.
+    pub fn take_device_counters(&self) -> Vec<KernelCounters> {
+        let mut board = self.board.lock().expect("counter board");
+        board
+            .iter_mut()
+            .map(|streams| {
+                let mut out = KernelCounters::default();
+                for c in streams.iter_mut() {
+                    out.merge(c);
+                    *c = KernelCounters::default();
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Modeled milliseconds of the board's current charge: the max over
+    /// devices, since devices run concurrently (real multi-GPU wall-clock).
+    pub fn modeled_ms(&self, model: &DeviceModel) -> f64 {
+        (0..self.num_devices())
+            .map(|d| model.modeled_ms(&self.device_counters(d)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether any device carries an enabled sanitizer.
+    pub fn sanitizing(&self) -> bool {
+        self.devices.iter().any(|d| d.sanitizer.enabled())
+    }
+
+    /// Merged sanitizer findings across all devices (empty report when no
+    /// device sanitizes).
+    pub fn sanitizer_report(&self) -> SanitizerReport {
+        let mut out = SanitizerReport::default();
+        for d in &self.devices {
+            if d.sanitizer.enabled() {
+                out.merge(&d.sanitizer.report());
+            }
+        }
+        out
+    }
+
+    /// Run `f` with live streams: one worker thread per (device, stream)
+    /// pair consumes submitted jobs in order. Jobs may borrow anything that
+    /// outlives the runtime borrow (`'env`). All streams drain before
+    /// `scope` returns; a panicked job poisons the scope and re-panics
+    /// here.
+    pub fn scope<'env, T>(&'env self, f: impl FnOnce(&RuntimeScope<'env>) -> T) -> T {
+        std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(self.devices.len() * self.streams_per_device);
+            for _ in 0..self.devices.len() * self.streams_per_device {
+                let (tx, rx) = mpsc::channel::<Job<'env>>();
+                senders.push(tx);
+                let poisoned = &self.poisoned;
+                s.spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                            poisoned.store(true, Ordering::Release);
+                        }
+                    }
+                });
+            }
+            let rs = RuntimeScope {
+                runtime: self,
+                senders,
+            };
+            let out = f(&rs);
+            // Dropping the scope closes the channels; workers drain their
+            // queues and exit, then `std::thread::scope` joins them.
+            drop(rs);
+            out
+        })
+    }
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Live streams of a [`Runtime::scope`] call: the submission surface.
+pub struct RuntimeScope<'env> {
+    runtime: &'env Runtime,
+    senders: Vec<mpsc::Sender<Job<'env>>>,
+}
+
+impl<'env> RuntimeScope<'env> {
+    /// The runtime the streams belong to.
+    pub fn runtime(&self) -> &'env Runtime {
+        self.runtime
+    }
+
+    fn sender(&self, device: usize, stream: usize) -> &mpsc::Sender<Job<'env>> {
+        assert!(device < self.runtime.num_devices(), "device out of range");
+        assert!(
+            stream < self.runtime.streams_per_device,
+            "stream out of range"
+        );
+        &self.senders[device * self.runtime.streams_per_device + stream]
+    }
+
+    /// Submit a raw job to `(device, stream)`; jobs on one stream run in
+    /// submission order, different streams run concurrently.
+    pub fn submit(&self, device: usize, stream: usize, job: impl FnOnce() + Send + 'env) {
+        self.sender(device, stream)
+            .send(Box::new(job))
+            .expect("stream worker alive inside scope");
+    }
+
+    /// Enqueue an event record on a stream: it records once every job
+    /// submitted to that stream before it has finished (`cudaEventRecord`).
+    pub fn record(&self, device: usize, stream: usize) -> Event {
+        let event = Event::new();
+        let e = event.clone();
+        self.submit(device, stream, move || e.record());
+        event
+    }
+
+    /// Asynchronously launch `body` over the global block ids in `blocks`
+    /// on `(device, stream)`. Returns immediately; the handle's event
+    /// records when the launch completes. Per-block results come back in
+    /// block order, exactly as [`Device::launch_blocks`] returns them.
+    pub fn launch<R, F>(
+        &self,
+        device: usize,
+        stream: usize,
+        blocks: Range<usize>,
+        body: F,
+    ) -> LaunchHandle<R>
+    where
+        R: Send + 'env,
+        F: Fn(usize) -> R + Send + Sync + 'env,
+    {
+        let dev: &'env Device = self.runtime.device(device);
+        let slot: Arc<Mutex<Option<Vec<R>>>> = Arc::new(Mutex::new(None));
+        let event = Event::new();
+        let (slot2, event2) = (Arc::clone(&slot), event.clone());
+        self.submit(device, stream, move || {
+            let out = dev.launch_blocks(blocks, body);
+            *slot2.lock().expect("launch slot") = Some(out);
+            event2.record();
+        });
+        LaunchHandle { slot, event }
+    }
+}
+
+impl Drop for RuntimeScope<'_> {
+    fn drop(&mut self) {
+        self.senders.clear();
+        if !std::thread::panicking() && self.runtime.poisoned.swap(false, Ordering::Acquire) {
+            panic!("a stream job panicked inside Runtime::scope");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(num_devices: usize, streams: usize) -> Runtime {
+        Runtime::new(RuntimeConfig {
+            num_devices,
+            streams_per_device: streams,
+            device: DeviceConfig {
+                num_blocks: 4,
+                threads_per_block: 32,
+                host_threads: 1,
+            },
+        })
+    }
+
+    #[test]
+    fn launch_returns_blocks_in_order() {
+        let rt = tiny(2, 2);
+        let out = rt.scope(|rs| {
+            let h = rs.launch(1, 1, 0..4, |b| b * 10);
+            h.wait()
+        });
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn launch_accepts_global_block_ranges() {
+        let rt = tiny(2, 1);
+        let (a, b) = rt.scope(|rs| {
+            let lo = rs.launch(0, 0, 0..2, |b| b);
+            let hi = rs.launch(1, 0, 2..4, |b| b);
+            (lo.wait(), hi.wait())
+        });
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(b, vec![2, 3]);
+    }
+
+    #[test]
+    fn stream_jobs_run_in_submission_order() {
+        let rt = tiny(1, 1);
+        let log = Mutex::new(Vec::new());
+        rt.scope(|rs| {
+            for i in 0..8 {
+                let log = &log;
+                rs.submit(0, 0, move || log.lock().unwrap().push(i));
+            }
+            rs.record(0, 0).wait();
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_record_wait_and_elapse() {
+        let rt = tiny(1, 2);
+        rt.scope(|rs| {
+            let start = rs.record(0, 0);
+            rs.submit(0, 0, || {
+                std::thread::sleep(std::time::Duration::from_millis(2))
+            });
+            let end = rs.record(0, 0);
+            assert!(start.elapsed_ms(&end).is_none() || end.is_complete());
+            end.wait();
+            assert!(start.is_complete() && end.is_complete());
+            let ms = start.elapsed_ms(&end).expect("both recorded");
+            assert!(ms >= 1.0, "slept 2ms but elapsed {ms}");
+        });
+    }
+
+    #[test]
+    fn counter_board_charges_and_drains_per_device() {
+        let rt = tiny(2, 2);
+        let mut c = KernelCounters::default();
+        c.warp_instruction(u32::MAX);
+        rt.charge(0, 0, &c);
+        rt.charge(0, 1, &c);
+        rt.charge(1, 0, &c);
+        assert_eq!(rt.stream_counters(0, 1), c);
+        assert_eq!(
+            rt.device_counters(0).alu_instructions,
+            2 * c.alu_instructions
+        );
+        let drained = rt.take_device_counters();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].alu_instructions, 2 * c.alu_instructions);
+        assert_eq!(drained[1], c);
+        // Board is zeroed afterwards.
+        assert_eq!(rt.device_counters(0), KernelCounters::default());
+    }
+
+    #[test]
+    fn modeled_ms_takes_max_over_devices() {
+        let rt = tiny(2, 1);
+        let mut big = KernelCounters::default();
+        let mut small = KernelCounters::default();
+        for _ in 0..10_000 {
+            big.warp_instruction(u32::MAX);
+        }
+        small.warp_instruction(u32::MAX);
+        rt.charge(0, 0, &small);
+        rt.charge(1, 0, &big);
+        let model = DeviceModel::default();
+        let expect = model.modeled_ms(&big);
+        assert_eq!(rt.modeled_ms(&model), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream job panicked")]
+    fn stream_panic_poisons_the_scope() {
+        let rt = tiny(1, 1);
+        rt.scope(|rs| {
+            rs.submit(0, 0, || panic!("kernel exploded"));
+            rs.record(0, 0).wait();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn rejects_zero_devices() {
+        Runtime::new(RuntimeConfig {
+            num_devices: 0,
+            ..RuntimeConfig::default()
+        });
+    }
+}

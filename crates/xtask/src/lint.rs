@@ -36,6 +36,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         }
         findings.extend(check_no_seqcst(&shown, &src));
         findings.extend(check_launch_merges(&shown, &src));
+        findings.extend(check_launch_confined(&shown, &src));
     }
     findings
 }
@@ -129,6 +130,33 @@ pub fn check_launch_merges(file: &str, src: &str) -> Vec<Finding> {
     } else {
         vec![]
     }
+}
+
+/// Rule 4: device launches (`.launch(` / `.launch_blocks(`) are confined
+/// to the simt crate and the engine's runtime module. Everything else must
+/// go through the runtime layer (`spawn_kernel` / `spawn_estimate` /
+/// `run_engine`), which owns sharding, stream scheduling, and counter
+/// attribution — a stray direct launch bypasses all three.
+pub fn check_launch_confined(file: &str, src: &str) -> Vec<Finding> {
+    let normalized = file.replace('\\', "/");
+    let allowed =
+        normalized.split('/').any(|c| c == "simt") || normalized.ends_with("engine/src/runtime.rs");
+    if allowed {
+        return vec![];
+    }
+    let mut findings = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or(line);
+        if code.contains(".launch(") || code.contains(".launch_blocks(") {
+            findings.push(format!(
+                "{file}:{}: launch-confined: direct device launch outside \
+                 crates/simt and the engine runtime module (go through \
+                 spawn_kernel/spawn_estimate/run_engine)",
+                i + 1
+            ));
+        }
+    }
+    findings
 }
 
 /// Yield `(name, signature, body)` for each `pub fn` in `src`, using brace
@@ -249,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn launch_outside_runtime_flagged() {
+        let src = "let out = device.launch(|b| run(b));\n";
+        let f = check_launch_confined("crates/pipeline/src/trawl.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("launch-confined"), "{f:?}");
+        let g = check_launch_confined("crates/engine/src/kernel.rs", "x.launch_blocks(0..2, f);\n");
+        assert_eq!(g.len(), 1, "{g:?}");
+    }
+
+    #[test]
+    fn launch_in_simt_or_engine_runtime_allowed() {
+        let src = "let out = device.launch_blocks(0..4, |b| run(b));\n";
+        assert!(check_launch_confined("crates/simt/src/runtime.rs", src).is_empty());
+        assert!(check_launch_confined("crates/simt/src/device.rs", src).is_empty());
+        assert!(check_launch_confined("crates/engine/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn launch_in_comment_not_flagged() {
+        let src = "// call device.launch(body) through the runtime instead\n";
+        assert!(check_launch_confined("crates/core/src/builder.rs", src).is_empty());
+    }
+
+    #[test]
     fn workspace_is_clean() {
         let findings = run(crate_root().parent().unwrap());
         assert!(
@@ -280,11 +332,13 @@ mod tests {
             }
             findings.extend(check_no_seqcst(&shown, &src));
             findings.extend(check_launch_merges(&shown, &src));
+            findings.extend(check_launch_confined(&shown, &src));
         }
         let text = findings.join("\n");
         assert!(text.contains("primitive-charges-counters"), "{text}");
         assert!(text.contains("no-seqcst"), "{text}");
         assert!(text.contains("launch-merges-counters"), "{text}");
+        assert!(text.contains("launch-confined"), "{text}");
     }
 
     fn crate_root() -> PathBuf {

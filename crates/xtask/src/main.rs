@@ -22,7 +22,11 @@ invariants enforced by lint:
   2. no SeqCst atomic orderings (the device model is Relaxed/Acquire/
      Release by design; SeqCst hides missing reasoning about ordering)
   3. every Device::launch call site merges per-block KernelCounters
-     (a launch path that drops counters silently corrupts modeled time)";
+     (a launch path that drops counters silently corrupts modeled time)
+  4. device launches (.launch/.launch_blocks) appear only in crates/simt
+     and the engine runtime module; everything else goes through
+     spawn_kernel/spawn_estimate/run_engine (the runtime layer owns
+     sharding, stream scheduling, and counter attribution)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
