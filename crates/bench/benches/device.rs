@@ -77,6 +77,26 @@ fn bench_streams(c: &mut Criterion) {
         &two_by_two,
         |b, cfg| b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value()),
     );
+    // Profiled twins of the 4-stream and 2×2 rows: comparing against the
+    // rows above quantifies the profiler's overhead (the `Option<Arc>`
+    // handle is designed to cost nothing when off and little when on).
+    let profiled_4s = EngineConfig {
+        device: dev,
+        ..EngineConfig::gsword(N)
+    }
+    .with_topology(1, 4)
+    .with_profile(true);
+    group.bench_with_input(
+        BenchmarkId::new("1-device-profiled", 4usize),
+        &profiled_4s,
+        |b, cfg| b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value()),
+    );
+    let profiled_2x2 = two_by_two.with_profile(true);
+    group.bench_with_input(
+        BenchmarkId::new("2-devices-profiled", 2usize),
+        &profiled_2x2,
+        |b, cfg| b.iter(|| run_engine(&ctx, &Alley, cfg).estimate.value()),
+    );
     group.finish();
 }
 

@@ -10,7 +10,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--trawl", "--help"];
+const BOOL_FLAGS: &[&str] = &["--trawl", "--profile", "--help"];
 
 impl Args {
     /// Parse `argv` (after the subcommand). Short `-q`/`-o` aliases map to

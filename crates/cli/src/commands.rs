@@ -14,6 +14,7 @@ usage:
                   [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
                   [--sanitize full|sync,race,init]
                   [--devices N] [--streams N]
+                  [--profile [--trace-out <file>]]
   gsword exact    <graph> -q <query> [--budget N] [--threads N]
   gsword motifs   <graph> [--samples N] [--label L]
   gsword orders   <graph> -q <query> [--probe N]
@@ -24,7 +25,9 @@ usage:
 --sanitize runs the device kernels under the compute-sanitizer analogue
 (synccheck/racecheck/initcheck); any violation fails the run.
 --devices/--streams shard device launches over N software devices with N
-streams each (estimates are invariant in the topology; default 1x1).";
+streams each (estimates are invariant in the topology; default 1x1).
+--profile records a kernel timeline and per-kernel metrics (the Nsight
+analogue); --trace-out writes the timeline as Chrome chrome://tracing JSON.";
 
 /// Route a parsed command line to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -141,6 +144,10 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         None => SanitizerMode::OFF,
         Some(spec) => SanitizerMode::parse(spec)?,
     };
+    let profile = args.has("profile");
+    if args.get("trace-out").is_some() && !profile {
+        return Err("--trace-out needs --profile".to_string());
+    }
     let mut b = Gsword::builder(&data, &q)
         .samples(samples)
         .seed(seed)
@@ -148,7 +155,8 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         .backend(parse_backend(args)?)
         .num_devices(devices)
         .streams_per_device(streams)
-        .sanitize(sanitize);
+        .sanitize(sanitize)
+        .profile(profile);
     if args.has("trawl") {
         b = b.trawling(TrawlConfig::default());
     }
@@ -178,6 +186,25 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         }
     } else if sanitize.any() {
         println!("sanitizer: no device launch to check (cpu backend)");
+    }
+    match &r.prof {
+        Some(prof) => {
+            print!("{prof}");
+            prof.validate()
+                .map_err(|e| format!("profiler invariant violated: {e}"))?;
+            if let Some(path) = args.get("trace-out") {
+                let json = prof.to_chrome_trace();
+                // Self-check the export before writing: a trace that does
+                // not parse is worse than no trace.
+                gsword_core::simt::prof::json::validate_chrome_trace(&json)
+                    .map_err(|e| format!("trace export failed validation: {e}"))?;
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write trace to '{path}': {e}"))?;
+                println!("chrome trace written to {path} (load in chrome://tracing)");
+            }
+        }
+        None if profile => println!("profiler: no device launch to profile (cpu backend)"),
+        None => {}
     }
     Ok(())
 }

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use gsword_engine::{kernel_for_config, runtime_for, spawn_estimate, EngineConfig, Kernel};
 use gsword_estimators::{Estimate, Estimator, QueryCtx};
-use gsword_simt::KernelCounters;
+use gsword_simt::{KernelCounters, ProfReport};
 
 /// Stopping rules for [`run_adaptive`].
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +40,7 @@ impl Default for AdaptiveConfig {
 }
 
 /// Outcome of an adaptive run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AdaptiveReport {
     /// Merged estimate across batches.
     pub estimate: Estimate,
@@ -54,6 +54,10 @@ pub struct AdaptiveReport {
     pub modeled_ms: f64,
     /// Total wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Profiler output across every batch, when the engine configuration
+    /// ran with `profile` (the shared runtime records all batches on one
+    /// timeline).
+    pub prof: Option<ProfReport>,
 }
 
 /// Run sampling batches until the estimate's relative 95% CI falls below
@@ -111,6 +115,10 @@ pub fn run_adaptive<E: Estimator + ?Sized>(
         counters,
         modeled_ms,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        prof: runtime
+            .profiler()
+            .enabled()
+            .then(|| runtime.profiler().report()),
     }
 }
 

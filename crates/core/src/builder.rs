@@ -10,7 +10,7 @@ use gsword_estimators::{
 use gsword_graph::Graph;
 use gsword_pipeline::{run_coprocessing, TrawlConfig};
 use gsword_query::{make_order, OrderKind, QueryGraph};
-use gsword_simt::{DeviceConfig, KernelCounters, SanitizerMode, SanitizerReport};
+use gsword_simt::{DeviceConfig, KernelCounters, ProfReport, SanitizerMode, SanitizerReport};
 
 /// Execution backend for a query.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +77,7 @@ impl Gsword {
             device: None,
             trawling: None,
             sanitize: SanitizerMode::OFF,
+            profile: false,
             num_devices: 1,
             streams_per_device: 1,
         }
@@ -97,6 +98,7 @@ pub struct GswordBuilder<'a> {
     device: Option<DeviceConfig>,
     trawling: Option<TrawlConfig>,
     sanitize: SanitizerMode,
+    profile: bool,
     num_devices: usize,
     streams_per_device: usize,
 }
@@ -171,6 +173,15 @@ impl<'a> GswordBuilder<'a> {
         self
     }
 
+    /// Profile the device run (the Nsight analogue): record a launch
+    /// timeline and per-kernel metrics into [`Report::prof`], exportable
+    /// as Chrome `chrome://tracing` JSON. Zero cost when off; no effect on
+    /// CPU backends.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Execute the configured run.
     pub fn run(self) -> Result<Report, Error> {
         if self.samples == 0 {
@@ -191,6 +202,7 @@ impl<'a> GswordBuilder<'a> {
                 cfg.device = d;
             }
             cfg.sanitize = self.sanitize;
+            cfg.profile = self.profile;
             cfg.num_devices = self.num_devices;
             cfg.streams_per_device = self.streams_per_device;
             cfg
@@ -265,6 +277,7 @@ impl<'a> GswordBuilder<'a> {
             cfg.device = d;
         }
         cfg.sanitize = self.sanitize;
+        cfg.profile = self.profile;
         cfg.num_devices = self.num_devices;
         cfg.streams_per_device = self.streams_per_device;
         let r = run_engine(&ctx, est, &cfg);
@@ -302,6 +315,9 @@ pub struct Report {
     /// Sanitizer findings (device backends running with a non-OFF
     /// [`SanitizerMode`] only).
     pub sanitizer: Option<SanitizerReport>,
+    /// Profiler output — timeline and per-kernel metrics — when the run
+    /// was built with [`GswordBuilder::profile`] (device backends only).
+    pub prof: Option<ProfReport>,
 }
 
 impl Report {
@@ -317,6 +333,7 @@ impl Report {
             modeled_ms: None,
             wall_ms,
             sanitizer: None,
+            prof: None,
         }
     }
 
@@ -332,6 +349,7 @@ impl Report {
             samples_collected: r.samples_collected,
             wall_ms: r.wall_ms,
             sanitizer: r.sanitizer,
+            prof: r.prof,
         }
     }
 
@@ -347,6 +365,7 @@ impl Report {
             samples_collected: r.sampler.samples,
             wall_ms: r.total_wall_ms,
             sanitizer: r.sanitizer,
+            prof: r.prof,
         }
     }
 
@@ -459,6 +478,37 @@ mod tests {
             .run()
             .expect("run");
         assert!(r.trawl.is_some() || r.sampler.samples > 0);
+    }
+
+    #[test]
+    fn profile_attaches_a_validated_report() {
+        let (data, query) = fixture();
+        let r = Gsword::builder(&data, &query)
+            .samples(4_000)
+            .backend(Backend::Gsword)
+            .device(small_device())
+            .num_devices(2)
+            .streams_per_device(2)
+            .profile(true)
+            .run()
+            .expect("run");
+        let prof = r.prof.expect("profiled run attaches a report");
+        prof.validate().expect("profile is well-formed");
+        assert_eq!(prof.num_devices, 2);
+        assert_eq!(prof.streams_per_device, 2);
+        assert_eq!(prof.kernels.len(), 1);
+        assert!(!prof.spans.is_empty());
+        // Off by default — and the estimate is identical either way.
+        let off = Gsword::builder(&data, &query)
+            .samples(4_000)
+            .backend(Backend::Gsword)
+            .device(small_device())
+            .num_devices(2)
+            .streams_per_device(2)
+            .run()
+            .expect("run");
+        assert!(off.prof.is_none());
+        assert_eq!(off.estimate, r.estimate);
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub use gsword_query::{
     gcare_order, quicksi_order, MatchingOrder, OrderKind, QueryClass, QueryGraph,
 };
 pub use gsword_simt::{
-    DeviceConfig, DeviceModel, Event, KernelCounters, Runtime, RuntimeConfig, SanitizerMode,
-    SanitizerReport,
+    CounterSnapshot, DeviceConfig, DeviceModel, Event, KernelCounters, KernelMetrics, ProfReport,
+    Profiler, Runtime, RuntimeConfig, SanitizerMode, SanitizerReport, Span, SpanKind, Track,
 };

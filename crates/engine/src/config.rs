@@ -1,7 +1,9 @@
 //! Engine configuration, presets, and run reports.
 
 use gsword_estimators::Estimate;
-use gsword_simt::{DeviceConfig, DeviceModel, KernelCounters, SanitizerMode, SanitizerReport};
+use gsword_simt::{
+    DeviceConfig, DeviceModel, KernelCounters, ProfReport, SanitizerMode, SanitizerReport,
+};
 
 /// Thread synchronization discipline (Section 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,10 @@ pub struct EngineConfig {
     /// analogue; off by default — the disabled handle is one branch per
     /// hook).
     pub sanitize: SanitizerMode,
+    /// Attach the profiler (the Nsight analogue): record a launch timeline
+    /// and per-kernel metrics into `EngineReport::prof`. Off by default —
+    /// the disabled handle is one branch per hook.
+    pub profile: bool,
     /// Software devices the launch is sharded over (the paper's testbed has
     /// two RTX 2080 Ti cards). Results are seed-deterministic regardless of
     /// the topology: blocks keep their global ids and per-block quotas.
@@ -67,6 +73,7 @@ impl EngineConfig {
             inheritance: false,
             streaming: false,
             sanitize: SanitizerMode::OFF,
+            profile: false,
             num_devices: 1,
             streams_per_device: 1,
         }
@@ -138,6 +145,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style profiler override.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Builder-style runtime topology override: devices × streams.
     pub fn with_topology(mut self, num_devices: usize, streams_per_device: usize) -> Self {
         self.num_devices = num_devices;
@@ -171,6 +184,9 @@ pub struct EngineReport {
     /// Sanitizer findings when the launch ran under a non-OFF
     /// [`SanitizerMode`]; `None` when sanitizing was disabled.
     pub sanitizer: Option<SanitizerReport>,
+    /// Profiler output (timeline + per-kernel metrics) when the launch ran
+    /// with `profile`; `None` when profiling was disabled.
+    pub prof: Option<ProfReport>,
 }
 
 impl EngineReport {
@@ -207,6 +223,7 @@ impl EngineReport {
         let mut per_device_modeled_ms = Vec::new();
         let mut wall_ms = 0.0f64;
         let mut sanitizer: Option<SanitizerReport> = None;
+        let mut prof: Option<ProfReport> = None;
         for p in parts {
             estimate.merge(&p.estimate);
             counters.merge(&p.counters);
@@ -223,6 +240,12 @@ impl EngineReport {
                     None => sanitizer = Some(s.clone()),
                 }
             }
+            if let Some(pr) = &p.prof {
+                match &mut prof {
+                    Some(acc) => acc.merge(pr),
+                    None => prof = Some(pr.clone()),
+                }
+            }
         }
         let modeled_ms = per_device_modeled_ms.iter().copied().fold(0.0, f64::max);
         EngineReport {
@@ -233,6 +256,7 @@ impl EngineReport {
             per_device_modeled_ms,
             wall_ms,
             sanitizer,
+            prof,
         }
     }
 }

@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use gsword_estimators::{Estimate, Estimator, QueryCtx};
 use gsword_simt::{
-    Device, DeviceConfig, Event, KernelCounters, LaunchHandle, Runtime, RuntimeConfig,
-    RuntimeScope, Sanitizer,
+    Device, DeviceConfig, Event, KernelCounters, LaunchHandle, Profiler, Runtime, RuntimeConfig,
+    RuntimeScope, Sanitizer, SpanKind, Track,
 };
 
 use crate::config::{EngineConfig, EngineReport};
@@ -118,6 +118,7 @@ pub fn plan_shards(
 /// needed to observe completion without blocking.
 pub struct KernelRun<'env, K: Kernel> {
     runtime: &'env Runtime,
+    name: String,
     shards: Vec<(LaunchSpec, LaunchHandle<K::BlockOut>)>,
     start: Event,
 }
@@ -144,8 +145,12 @@ impl<'env, K: Kernel> KernelRun<'env, K> {
 
     /// Block until every shard finishes; charge each shard's counters to
     /// the runtime's `(device, stream)` board and return the per-block
-    /// outputs in ascending *global* block order.
+    /// outputs in ascending *global* block order. When the runtime
+    /// profiles, the host-side block shows up as an event-wait span on the
+    /// timeline's host track.
     pub fn wait(self) -> Vec<K::BlockOut> {
+        let profiler = self.runtime.profiler();
+        let wait_start = profiler.now_us();
         let mut shards: Vec<(LaunchSpec, Vec<K::BlockOut>)> = self
             .shards
             .into_iter()
@@ -159,6 +164,12 @@ impl<'env, K: Kernel> KernelRun<'env, K> {
                 (spec, blocks)
             })
             .collect();
+        profiler.record_span(
+            Track::Host,
+            SpanKind::EventWait,
+            &format!("wait {}", self.name),
+            wait_start,
+        );
         shards.sort_by_key(|(spec, _)| spec.blocks.start);
         shards.into_iter().flat_map(|(_, blocks)| blocks).collect()
     }
@@ -179,6 +190,7 @@ where
 {
     let runtime = rs.runtime();
     let grid = kernel.grid();
+    let name = kernel.name();
     let specs = plan_shards(
         grid.num_blocks,
         runtime.num_devices(),
@@ -196,14 +208,19 @@ where
             let q = std::sync::Arc::clone(&quotas);
             let dev: &'env Device = runtime.device(spec.device);
             let shard_seed = spec.seed;
-            let handle = rs.launch(spec.device, spec.stream, spec.blocks.clone(), move |b| {
-                k.run_block(dev, b, q[b], shard_seed)
-            });
+            let handle = rs.launch_named(
+                spec.device,
+                spec.stream,
+                spec.blocks.clone(),
+                &name,
+                move |b| k.run_block(dev, b, q[b], shard_seed),
+            );
             (spec, handle)
         })
         .collect();
     KernelRun {
         runtime,
+        name,
         shards,
         start,
     }
@@ -214,13 +231,21 @@ where
 /// instance (attributed to the same kernel name, as one rig-wide
 /// `compute-sanitizer` session would).
 pub fn runtime_for(cfg: &EngineConfig, kernel_name: &str) -> Runtime {
-    Runtime::with_sanitizers(
+    let num_devices = cfg.num_devices.max(1);
+    let streams_per_device = cfg.streams_per_device.max(1);
+    let profiler = if cfg.profile {
+        Profiler::new(num_devices, streams_per_device)
+    } else {
+        Profiler::off()
+    };
+    Runtime::with_instrumentation(
         RuntimeConfig {
-            num_devices: cfg.num_devices.max(1),
-            streams_per_device: cfg.streams_per_device.max(1),
+            num_devices,
+            streams_per_device,
             device: cfg.device,
         },
         |_| Sanitizer::new(cfg.sanitize, kernel_name),
+        profiler,
     )
 }
 
@@ -252,6 +277,7 @@ impl<'env, 'e, 'c, E: Estimator + ?Sized> EstimateRun<'env, 'e, 'c, E> {
     pub fn wait_report(self, cfg: &EngineConfig) -> EngineReport {
         let event_ms = self.inner.elapsed_ms();
         let runtime = self.inner.runtime;
+        let kernel_name = self.inner.name.clone();
         let blocks = self.inner.wait();
         let mut estimate = Estimate::default();
         let mut inherited = 0u64;
@@ -268,14 +294,24 @@ impl<'env, 'e, 'c, E: Estimator + ?Sized> EstimateRun<'env, 'e, 'c, E> {
             .iter()
             .map(|c| cfg.model.modeled_ms(c))
             .fold(0.0, f64::max);
+        let wall_ms = event_ms.unwrap_or_else(|| self.t0.elapsed().as_secs_f64() * 1e3);
+        runtime.profiler().on_kernel(
+            &kernel_name,
+            &counters.snapshot(),
+            modeled_ms,
+            wall_ms,
+            estimate.samples,
+            inherited,
+        );
         EngineReport {
             samples_collected: estimate.samples + inherited,
             estimate,
             counters,
             modeled_ms,
             per_device_modeled_ms: per_device.iter().map(|c| cfg.model.modeled_ms(c)).collect(),
-            wall_ms: event_ms.unwrap_or_else(|| self.t0.elapsed().as_secs_f64() * 1e3),
+            wall_ms,
             sanitizer: None,
+            prof: None,
         }
     }
 }
@@ -318,6 +354,9 @@ pub fn run_engine<E: Estimator + ?Sized>(
     report.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     if runtime.sanitizing() {
         report.sanitizer = Some(runtime.sanitizer_report());
+    }
+    if runtime.profiler().enabled() {
+        report.prof = Some(runtime.profiler().report());
     }
     report
 }

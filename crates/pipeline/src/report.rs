@@ -1,7 +1,7 @@
 //! Co-processing run reports.
 
 use gsword_estimators::Estimate;
-use gsword_simt::{KernelCounters, SanitizerReport};
+use gsword_simt::{KernelCounters, ProfReport, SanitizerReport};
 
 /// Outcome of one co-processing run: both the pure sampler estimate and the
 /// trawling estimate, with the timing components of Figure 16.
@@ -29,6 +29,9 @@ pub struct PipelineReport {
     /// Merged sanitizer findings across all sampling batches, when the
     /// engine ran under a non-OFF sanitizer mode.
     pub sanitizer: Option<SanitizerReport>,
+    /// Profiler output across all batches (batch phases show up as
+    /// host-track spans) when the engine ran with `profile`.
+    pub prof: Option<ProfReport>,
 }
 
 impl PipelineReport {
@@ -63,6 +66,7 @@ mod tests {
             gpu_wall_ms: 2.0,
             total_wall_ms: 2.5,
             sanitizer: None,
+            prof: None,
         }
     }
 

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use gsword_enumeration::{count_extensions, EnumLimits};
 use gsword_estimators::{run_partial_sample, Estimate, Estimator, QueryCtx, SampleState};
-use gsword_simt::KernelCounters;
+use gsword_simt::{KernelCounters, SpanKind, Track};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -165,6 +165,7 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
 
     runtime.scope(|rs| {
         for (b, &batch_samples) in batch_budgets.iter().enumerate() {
+            let phase_start = runtime.profiler().now_us();
             // Produce this batch's trawl tasks (the "uniformly selected t
             // samples" transferred to the CPU — O(t·|V_q|) traffic).
             let tasks: Vec<TrawlTask> = (0..trawl.per_batch)
@@ -222,6 +223,12 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
             gpu_modeled_ms += report.modeled_ms;
             gpu_wall_ms += report.wall_ms;
             pending = tasks;
+            runtime.profiler().record_span(
+                Track::Host,
+                SpanKind::Phase,
+                &format!("batch {b}"),
+                phase_start,
+            );
         }
     });
     let sanitizer = runtime.sanitizing().then(|| runtime.sanitizer_report());
@@ -229,6 +236,7 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
     // Grace window for the final batch's tasks: one mean batch duration,
     // ended early once every task has been claimed and finished.
     if !pending.is_empty() {
+        let grace_start = runtime.profiler().now_us();
         let grace_ms = (gpu_wall_ms / batches as f64).min(2_000.0);
         let stop = AtomicBool::new(false);
         let next = AtomicUsize::new(0);
@@ -270,6 +278,9 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
             }
         })
         .expect("pipeline scope panicked");
+        runtime
+            .profiler()
+            .record_span(Track::Host, SpanKind::Phase, "grace window", grace_start);
     }
 
     let contributions = contributions.into_inner();
@@ -290,6 +301,10 @@ pub fn run_coprocessing<E: Estimator + ?Sized>(
         gpu_wall_ms,
         total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         sanitizer,
+        prof: runtime
+            .profiler()
+            .enabled()
+            .then(|| runtime.profiler().report()),
     }
 }
 
@@ -460,6 +475,46 @@ mod tests {
         let rel = (v - truth).abs() / truth;
         assert!(rel < 0.5, "pipeline estimate {v} vs truth {truth}");
         assert!(rep.total_wall_ms >= rep.gpu_wall_ms * 0.5);
+    }
+
+    #[test]
+    fn coprocessing_profile_records_batch_phases() {
+        let (cg, q) = five_cycle_fixture();
+        let order = MatchingOrder::new(&q, vec![0, 1, 2, 3, 4]).unwrap();
+        let ctx = QueryCtx::new(&cg, &order);
+        let engine = EngineConfig {
+            device: small_device(),
+            profile: true,
+            ..EngineConfig::gsword(3_000)
+        };
+        let trawl = TrawlConfig {
+            batches: 3,
+            cpu_threads: 1,
+            per_batch: 10,
+            ..TrawlConfig::default()
+        };
+        let rep = run_coprocessing(&ctx, &Alley, &engine, &trawl);
+        let prof = rep.prof.expect("profiled run attaches a report");
+        prof.validate().expect("pipeline profile is well-formed");
+        let phases: Vec<&str> = prof
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase)
+            .map(|s| s.name.as_str())
+            .collect();
+        for b in 0..3 {
+            let name = format!("batch {b}");
+            assert!(
+                phases.contains(&name.as_str()),
+                "missing {name}: {phases:?}"
+            );
+        }
+        assert!(
+            prof.spans.iter().any(|s| s.kind == SpanKind::Launch),
+            "batches must produce launch spans"
+        );
+        assert_eq!(prof.kernels.len(), 1, "one kernel row across batches");
+        assert_eq!(prof.kernels[0].launches, 3);
     }
 
     #[test]

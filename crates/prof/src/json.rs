@@ -1,0 +1,382 @@
+//! A minimal JSON reader, enough to validate Chrome traces.
+//!
+//! The workspace builds offline with no serde, but the `--trace-out`
+//! export and the CI smoke step both need an independent check that the
+//! emitted file is real JSON with the trace-event shape — a validator
+//! that shares the writer's string-assembly code would rubber-stamp its
+//! own bugs. This parser accepts standard JSON (objects, arrays, strings
+//! with escapes, numbers, booleans, null) and rejects everything else
+//! with a byte offset.
+
+/// A parsed JSON value. Object keys keep their textual order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key of an object (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so it is valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parse a JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(value)
+}
+
+/// What a structurally valid Chrome trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total entries in `traceEvents`.
+    pub events: usize,
+    /// Complete (`"ph": "X"`) span events.
+    pub complete_events: usize,
+    /// Tracks declared via `thread_name` metadata whose name starts with
+    /// "stream" — one per device×stream in our exports.
+    pub stream_tracks: usize,
+    /// Whether a host track was declared.
+    pub host_track: bool,
+}
+
+/// Parse `input` as Chrome trace-event JSON and check the structural
+/// contract our exporter promises: a `traceEvents` array whose entries
+/// are objects carrying string `name`/`ph` and numeric `pid`/`tid`, with
+/// `ts`/`dur` on every complete event.
+pub fn validate_chrome_trace(input: &str) -> Result<TraceSummary, String> {
+    let root = parse(input)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\" key")?
+        .as_array()
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut summary = TraceSummary {
+        events: events.len(),
+        complete_events: 0,
+        stream_tracks: 0,
+        host_track: false,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"ph\""))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric \"{key}\""))?;
+        }
+        match ph {
+            "X" => {
+                summary.complete_events += 1;
+                for key in ["ts", "dur"] {
+                    let v = ev
+                        .get(key)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("event {i}: missing numeric \"{key}\""))?;
+                    if v < 0.0 {
+                        return Err(format!("event {i}: negative \"{key}\""));
+                    }
+                }
+            }
+            "M" if name == "thread_name" => {
+                let track = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: thread_name without args.name"))?;
+                if track.starts_with("stream") {
+                    summary.stream_tracks += 1;
+                } else if track == "host" {
+                    summary.host_track = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5, 3e2, "x\n\"yA", true, false, null], "b": {}}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2].as_f64(), Some(300.0));
+        assert_eq!(a[3].as_str(), Some("x\n\"yA"));
+        assert_eq!(a[4], JsonValue::Bool(true));
+        assert_eq!(a[6], JsonValue::Null);
+        assert_eq!(v.get("b"), Some(&JsonValue::Object(vec![])));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_a_minimal_trace() {
+        let json = r#"{"traceEvents": [
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"stream 0"}},
+            {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"host"}},
+            {"name":"k","cat":"launch","ph":"X","ts":0,"dur":5,"pid":0,"tid":0}
+        ]}"#;
+        let s = validate_chrome_trace(json).unwrap();
+        assert_eq!(s.events, 3);
+        assert_eq!(s.complete_events, 1);
+        assert_eq!(s.stream_tracks, 1);
+        assert!(s.host_track);
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        assert!(validate_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        assert!(validate_chrome_trace(r#"{"traceEvents": [{"ph":"X"}]}"#).is_err());
+        let negative = r#"{"traceEvents": [
+            {"name":"k","ph":"X","ts":-1,"dur":5,"pid":0,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(negative)
+            .unwrap_err()
+            .contains("negative"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Chrome `chrome://tracing` / Perfetto export.
+//!
+//! The trace-event JSON format maps cleanly onto the profiler's model:
+//! each device becomes a *process* (`pid`), each of its streams a
+//! *thread* (`tid`), and the host row one extra process behind the
+//! devices. Metadata (`"ph": "M"`) events name every device×stream track
+//! up front — even streams that never ran a span — so the track layout in
+//! the viewer always reflects the runtime topology. Spans export as
+//! complete (`"ph": "X"`) events with microsecond `ts`/`dur`, which both
+//! `chrome://tracing` and Perfetto load directly.
+//!
+//! The output is hand-assembled (the workspace builds offline, no serde)
+//! and byte-deterministic for a given [`ProfReport`]: metadata in
+//! (pid, tid) order, then spans in the report's sorted order.
+
+use crate::{ProfReport, Track};
+
+/// `pid` assigned to the host track: one past the last device.
+pub fn host_pid(report: &ProfReport) -> u32 {
+    report.num_devices
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_metadata(out: &mut String, kind: &str, pid: u32, tid: u32, name: &str) {
+    out.push_str(&format!(
+        "    {{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\""
+    ));
+    push_escaped(out, name);
+    out.push_str("\"}}");
+}
+
+/// Render `report` as a Chrome trace-event JSON document.
+pub fn to_chrome_trace(report: &ProfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for device in 0..report.num_devices {
+        sep(&mut out);
+        push_metadata(
+            &mut out,
+            "process_name",
+            device,
+            0,
+            &format!("device {device}"),
+        );
+        for stream in 0..report.streams_per_device {
+            sep(&mut out);
+            push_metadata(
+                &mut out,
+                "thread_name",
+                device,
+                stream,
+                &format!("stream {stream}"),
+            );
+        }
+    }
+    let host = host_pid(report);
+    sep(&mut out);
+    push_metadata(&mut out, "process_name", host, 0, "host");
+    sep(&mut out);
+    push_metadata(&mut out, "thread_name", host, 0, "host");
+    for span in &report.spans {
+        let (pid, tid) = match span.track {
+            Track::Stream { device, stream } => (device, stream),
+            Track::Host => (host, 0),
+        };
+        sep(&mut out);
+        out.push_str("    {\"name\":\"");
+        push_escaped(&mut out, &span.name);
+        out.push_str(&format!(
+            "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid}}}",
+            span.kind.category(),
+            span.start_us,
+            span.end_us - span.start_us,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Profiler, Span, SpanKind};
+
+    #[test]
+    fn empty_report_still_declares_every_track() {
+        let report = ProfReport {
+            num_devices: 2,
+            streams_per_device: 2,
+            device_makespan_us: vec![0, 0],
+            ..ProfReport::default()
+        };
+        let json = to_chrome_trace(&report);
+        assert_eq!(json.matches("\"thread_name\"").count(), 5);
+        assert_eq!(json.matches("\"process_name\"").count(), 3);
+        assert!(json.contains("\"name\":\"device 1\""));
+        assert!(json.contains("\"name\":\"host\""));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn spans_become_complete_events() {
+        let p = Profiler::new(1, 1);
+        p.record_span_at(
+            Track::Stream {
+                device: 0,
+                stream: 0,
+            },
+            SpanKind::Launch,
+            "rsv",
+            10,
+            35,
+        );
+        p.record_span_at(Track::Host, SpanKind::EventWait, "wait rsv", 12, 40);
+        let json = p.report().to_chrome_trace();
+        assert!(json.contains(
+            "{\"name\":\"rsv\",\"cat\":\"launch\",\"ph\":\"X\",\"ts\":10,\"dur\":25,\"pid\":0,\"tid\":0}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"wait rsv\",\"cat\":\"wait\",\"ph\":\"X\",\"ts\":12,\"dur\":28,\"pid\":1,\"tid\":0}"
+        ));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let report = ProfReport {
+            num_devices: 1,
+            streams_per_device: 1,
+            spans: vec![Span {
+                track: Track::Host,
+                kind: SpanKind::Phase,
+                name: "a\"b\\c\nd".into(),
+                start_us: 0,
+                end_us: 1,
+            }],
+            device_makespan_us: vec![0],
+            ..ProfReport::default()
+        };
+        let json = to_chrome_trace(&report);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let p = Profiler::new(2, 2);
+        for d in 0..2 {
+            for s in 0..2 {
+                p.record_span_at(
+                    Track::Stream {
+                        device: d,
+                        stream: s,
+                    },
+                    SpanKind::Launch,
+                    "k",
+                    (d * 10 + s * 3) as u64,
+                    (d * 10 + s * 3 + 2) as u64,
+                );
+            }
+        }
+        let summary = crate::json::validate_chrome_trace(&p.report().to_chrome_trace())
+            .expect("export must parse");
+        assert_eq!(summary.stream_tracks, 4);
+        assert!(summary.host_track);
+        assert_eq!(summary.complete_events, 4);
+    }
+}

@@ -41,8 +41,14 @@ pub mod pool;
 pub mod runtime;
 pub mod warp;
 
+/// Re-export: the profiler layer (Chrome-trace export, JSON validation).
+pub use gsword_prof as prof;
+
 pub use counters::KernelCounters;
 pub use device::{Device, DeviceConfig, DeviceModel};
+pub use gsword_prof::{
+    CounterSnapshot, KernelMetrics, ProfReport, Profiler, Span, SpanKind, StreamCounters, Track,
+};
 pub use gsword_sanitizer::{
     Sanitizer, SanitizerMode, SanitizerReport, Space, Violation, ViolationKind, WarpSanitizer,
 };

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use crate::counters::KernelCounters;
 use crate::device::{Device, DeviceConfig, DeviceModel};
+use gsword_prof::{Profiler, SpanKind, Track};
 use gsword_sanitizer::{Sanitizer, SanitizerReport};
 
 /// Runtime topology: how many devices, how many streams on each, and the
@@ -135,6 +136,8 @@ pub struct Runtime {
     streams_per_device: usize,
     /// Counters charged by completed launches, `[device][stream]`.
     board: Mutex<Vec<Vec<KernelCounters>>>,
+    /// Timeline/metrics recorder (the disabled handle when not profiling).
+    profiler: Profiler,
     /// Set when any stream job panicked (surfaced when the scope joins).
     poisoned: AtomicBool,
 }
@@ -148,9 +151,17 @@ impl Runtime {
     /// Build a runtime with a per-device sanitizer instance produced by
     /// `make(device_index)` — the multi-GPU analogue of attaching
     /// `compute-sanitizer` to every device in the rig.
-    pub fn with_sanitizers(
+    pub fn with_sanitizers(config: RuntimeConfig, make: impl FnMut(usize) -> Sanitizer) -> Self {
+        Self::with_instrumentation(config, make, Profiler::off())
+    }
+
+    /// Build a fully instrumented runtime: per-device sanitizers plus a
+    /// profiler recording the launch timeline and counter boards (the
+    /// Nsight analogue; pass [`Profiler::off`] when not profiling).
+    pub fn with_instrumentation(
         config: RuntimeConfig,
         mut make: impl FnMut(usize) -> Sanitizer,
+        profiler: Profiler,
     ) -> Self {
         assert!(config.num_devices > 0, "runtime needs at least one device");
         assert!(config.streams_per_device > 0, "each device needs a stream");
@@ -164,6 +175,7 @@ impl Runtime {
             devices,
             streams_per_device: config.streams_per_device,
             board: Mutex::new(board),
+            profiler,
             poisoned: AtomicBool::new(false),
         }
     }
@@ -183,10 +195,23 @@ impl Runtime {
         &self.devices[d]
     }
 
-    /// Charge counters produced on `(device, stream)` to the board.
+    /// The runtime's profiler handle (disabled unless built with
+    /// [`Runtime::with_instrumentation`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Charge counters produced on `(device, stream)` to the board. The
+    /// profiler mirrors every charge, so per-stream attribution survives
+    /// the board being drained between batches.
     pub fn charge(&self, device: usize, stream: usize, counters: &KernelCounters) {
         let mut board = self.board.lock().expect("counter board");
         board[device][stream].merge(counters);
+        drop(board);
+        if self.profiler.enabled() {
+            self.profiler
+                .on_charge(device, stream, &counters.snapshot());
+        }
     }
 
     /// Counters charged on one stream since the last [`Runtime::take_device_counters`].
@@ -335,12 +360,38 @@ impl<'env> RuntimeScope<'env> {
         R: Send + 'env,
         F: Fn(usize) -> R + Send + Sync + 'env,
     {
+        self.launch_named(device, stream, blocks, "kernel", body)
+    }
+
+    /// [`RuntimeScope::launch`] with an explicit kernel name: the name
+    /// labels the launch's span on the profiler timeline (and is ignored
+    /// when the runtime is not profiling).
+    pub fn launch_named<R, F>(
+        &self,
+        device: usize,
+        stream: usize,
+        blocks: Range<usize>,
+        name: &str,
+        body: F,
+    ) -> LaunchHandle<R>
+    where
+        R: Send + 'env,
+        F: Fn(usize) -> R + Send + Sync + 'env,
+    {
         let dev: &'env Device = self.runtime.device(device);
+        let profiler = self.runtime.profiler.clone();
+        let name = name.to_string();
+        let track = Track::Stream {
+            device: device as u32,
+            stream: stream as u32,
+        };
         let slot: Arc<Mutex<Option<Vec<R>>>> = Arc::new(Mutex::new(None));
         let event = Event::new();
         let (slot2, event2) = (Arc::clone(&slot), event.clone());
         self.submit(device, stream, move || {
+            let start = profiler.now_us();
             let out = dev.launch_blocks(blocks, body);
+            profiler.record_span(track, SpanKind::Launch, &name, start);
             *slot2.lock().expect("launch slot") = Some(out);
             event2.record();
         });
@@ -461,6 +512,55 @@ mod tests {
         let model = DeviceModel::default();
         let expect = model.modeled_ms(&big);
         assert_eq!(rt.modeled_ms(&model), expect);
+    }
+
+    #[test]
+    fn profiled_runtime_records_launch_spans_and_boards() {
+        let rt = Runtime::with_instrumentation(
+            RuntimeConfig {
+                num_devices: 2,
+                streams_per_device: 2,
+                device: DeviceConfig {
+                    num_blocks: 2,
+                    threads_per_block: 32,
+                    host_threads: 1,
+                },
+            },
+            |_| Sanitizer::off(),
+            Profiler::new(2, 2),
+        );
+        rt.scope(|rs| {
+            let mut handles = Vec::new();
+            for d in 0..2 {
+                for s in 0..2 {
+                    handles.push(rs.launch_named(d, s, 0..2, "tiny", |b| b));
+                }
+            }
+            for h in handles {
+                h.wait();
+            }
+        });
+        let mut c = KernelCounters::default();
+        c.warp_load(32, 4);
+        rt.charge(1, 0, &c);
+        let report = rt.profiler().report();
+        report.validate().expect("live profile is well-formed");
+        assert_eq!(report.spans.len(), 4);
+        assert!(report.spans.iter().all(|s| s.name == "tiny"));
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].counters.mem_transactions, 4);
+        // The charge also landed on the ordinary counter board.
+        assert_eq!(rt.stream_counters(1, 0).mem_transactions, 4);
+    }
+
+    #[test]
+    fn unprofiled_launch_records_nothing() {
+        let rt = tiny(1, 1);
+        rt.scope(|rs| {
+            rs.launch(0, 0, 0..4, |b| b).wait();
+        });
+        assert!(!rt.profiler().enabled());
+        assert_eq!(rt.profiler().report(), gsword_prof::ProfReport::default());
     }
 
     #[test]

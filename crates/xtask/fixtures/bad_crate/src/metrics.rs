@@ -1,0 +1,9 @@
+// Lint fixture: violates `prof-confined` — reads the runtime's counter
+// board directly instead of consuming the attributed ProfReport. Never
+// compiled.
+
+pub fn coalescing(rt: &Runtime) -> f64 {
+    let c = rt.stream_counters(0, 0);
+    let drained = rt.take_device_counters();
+    c.mem_transactions as f64 / drained.len().max(1) as f64
+}

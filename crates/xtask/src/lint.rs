@@ -37,6 +37,7 @@ pub fn run(root: &Path) -> Vec<Finding> {
         findings.extend(check_no_seqcst(&shown, &src));
         findings.extend(check_launch_merges(&shown, &src));
         findings.extend(check_launch_confined(&shown, &src));
+        findings.extend(check_prof_confined(&shown, &src));
     }
     findings
 }
@@ -152,6 +153,39 @@ pub fn check_launch_confined(file: &str, src: &str) -> Vec<Finding> {
                 "{file}:{}: launch-confined: direct device launch outside \
                  crates/simt and the engine runtime module (go through \
                  spawn_kernel/spawn_estimate/run_engine)",
+                i + 1
+            ));
+        }
+    }
+    findings
+}
+
+/// Rule 5: counter-board reads (`.stream_counters(` / `.device_counters(`
+/// / `.take_device_counters(`) are confined to the simt and prof crates
+/// and the engine's runtime module. The board is the profiler's raw feed;
+/// everything else consumes the attributed [`ProfReport`] / engine report
+/// instead, so metric definitions stay in one place and a board read
+/// cannot race a stream that is still draining.
+pub fn check_prof_confined(file: &str, src: &str) -> Vec<Finding> {
+    const BOARD_READS: &[&str] = &[
+        ".stream_counters(",
+        ".device_counters(",
+        ".take_device_counters(",
+    ];
+    let normalized = file.replace('\\', "/");
+    let allowed = normalized.split('/').any(|c| c == "simt" || c == "prof")
+        || normalized.ends_with("engine/src/runtime.rs");
+    if allowed {
+        return vec![];
+    }
+    let mut findings = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let code = line.split("//").next().unwrap_or(line);
+        if BOARD_READS.iter().any(|c| code.contains(c)) {
+            findings.push(format!(
+                "{file}:{}: prof-confined: direct counter-board read outside \
+                 crates/simt, crates/prof, and the engine runtime module \
+                 (consume ProfReport / EngineReport instead)",
                 i + 1
             ));
         }
@@ -301,6 +335,33 @@ mod tests {
     }
 
     #[test]
+    fn board_read_outside_prof_flagged() {
+        let src = "let c = runtime.stream_counters(0, 1);\n";
+        let f = check_prof_confined("crates/core/src/builder.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("prof-confined"), "{f:?}");
+        let g = check_prof_confined(
+            "crates/bench/benches/device.rs",
+            "let v = rt.take_device_counters();\n",
+        );
+        assert_eq!(g.len(), 1, "{g:?}");
+    }
+
+    #[test]
+    fn board_read_in_simt_prof_or_engine_runtime_allowed() {
+        let src = "let c = self.device_counters(d);\nlet s = rt.stream_counters(0, 0);\n";
+        assert!(check_prof_confined("crates/simt/src/runtime.rs", src).is_empty());
+        assert!(check_prof_confined("crates/prof/src/lib.rs", src).is_empty());
+        assert!(check_prof_confined("crates/engine/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn board_read_in_comment_not_flagged() {
+        let src = "// read via runtime.stream_counters(d, s) in simt only\n";
+        assert!(check_prof_confined("crates/core/src/builder.rs", src).is_empty());
+    }
+
+    #[test]
     fn workspace_is_clean() {
         let findings = run(crate_root().parent().unwrap());
         assert!(
@@ -333,12 +394,14 @@ mod tests {
             findings.extend(check_no_seqcst(&shown, &src));
             findings.extend(check_launch_merges(&shown, &src));
             findings.extend(check_launch_confined(&shown, &src));
+            findings.extend(check_prof_confined(&shown, &src));
         }
         let text = findings.join("\n");
         assert!(text.contains("primitive-charges-counters"), "{text}");
         assert!(text.contains("no-seqcst"), "{text}");
         assert!(text.contains("launch-merges-counters"), "{text}");
         assert!(text.contains("launch-confined"), "{text}");
+        assert!(text.contains("prof-confined"), "{text}");
     }
 
     fn crate_root() -> PathBuf {

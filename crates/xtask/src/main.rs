@@ -13,8 +13,13 @@ const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [dir]   check repo invariants over `dir` (default: the workspace's
-               crates/ directory, excluding xtask itself)
+  lint [dir]           check repo invariants over `dir` (default: the
+                       workspace's crates/ directory, excluding xtask
+                       itself)
+  check-trace <file>   validate a Chrome trace JSON written by
+                       `gsword estimate --profile --trace-out <file>`
+                       (parses the JSON, checks event shape, reports the
+                       track count) — used by the CI profile-smoke step
 
 invariants enforced by lint:
   1. every warp primitive in src/warp.rs taking &mut KernelCounters
@@ -26,7 +31,11 @@ invariants enforced by lint:
   4. device launches (.launch/.launch_blocks) appear only in crates/simt
      and the engine runtime module; everything else goes through
      spawn_kernel/spawn_estimate/run_engine (the runtime layer owns
-     sharding, stream scheduling, and counter attribution)";
+     sharding, stream scheduling, and counter attribution)
+  5. counter-board reads (.stream_counters/.device_counters/
+     .take_device_counters) appear only in crates/simt, crates/prof, and
+     the engine runtime module; everything else consumes the attributed
+     ProfReport / EngineReport";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +59,36 @@ fn main() -> ExitCode {
                 }
                 eprintln!("xtask lint: {} finding(s)", findings.len());
                 ExitCode::FAILURE
+            }
+        }
+        Some("check-trace") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("xtask check-trace: missing <file>\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            let json = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask check-trace: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match gsword_prof::json::validate_chrome_trace(&json) {
+                Ok(summary) => {
+                    println!(
+                        "xtask check-trace: {path} ok — {} events ({} spans), \
+                         {} stream track(s){}",
+                        summary.events,
+                        summary.complete_events,
+                        summary.stream_tracks,
+                        if summary.host_track { " + host" } else { "" },
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask check-trace: {path}: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         Some("help") | Some("--help") | None => {

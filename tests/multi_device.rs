@@ -111,6 +111,7 @@ fn merge_devices_normalizes_after_summing() {
             counters,
             wall_ms: 1.0,
             sanitizer: None,
+            prof: None,
         }
     };
     let a = mk(fast, 1_000, 500); // 1 500 collected
@@ -148,6 +149,7 @@ fn merge_devices_handles_empty_reports() {
         per_device_modeled_ms: vec![0.5],
         wall_ms: 0.1,
         sanitizer: None,
+        prof: None,
     };
     let merged = EngineReport::merge_devices(&[rep]);
     assert_eq!(merged.samples_collected, 0);
