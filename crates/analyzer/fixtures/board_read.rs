@@ -1,0 +1,9 @@
+// Analyzer fixture: violates `prof-confined` — reads the runtime's
+// counter board directly instead of consuming the attributed ProfReport,
+// racing any stream that is still draining. Never compiled; read as text
+// by the fixture tests.
+
+pub fn board_read(rt: &Runtime) -> u64 {
+    let c = rt.stream_counters(0, 0);
+    c.mem_transactions
+}

@@ -1,0 +1,10 @@
+// Analyzer fixture: violates `pool-race` — an unsynchronized cursor read
+// follows an atomic fetch with no intervening block_barrier, so another
+// warp's concurrent fetch can race the read. The dynamic racecheck flags
+// the same pair. Never compiled; read as text by the fixture tests.
+
+pub fn fetch_then_peek(pool: &SamplePool, san: &WarpSanitizer) -> (usize, usize) {
+    let next = pool.fetch_sanitized(san);
+    let cursor = pool.read_cursor_unsync(san);
+    (next, cursor)
+}

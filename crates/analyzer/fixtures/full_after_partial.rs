@@ -1,0 +1,14 @@
+// Analyzer fixture: violates `divergent-sync` — the executor declared
+// only `mask` converged, but the primitive claims all 32 lanes
+// participate. The dynamic synccheck flags the same call as a
+// SyncMaskMismatch. Never compiled; read as text by the fixture tests.
+
+pub fn full_after_partial(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    pred: &Lanes<bool>,
+) -> u32 {
+    san.set_active(mask);
+    ballot(ctr, san, u32::MAX, pred)
+}

@@ -1,0 +1,18 @@
+// Analyzer fixture: violates `divergent-sync` — a warp primitive invoked
+// inside a per-lane loop (divergent control flow) with the full mask and
+// no set_active declaration. On hardware this is UB: masked-out lanes
+// never arrive at the collective. Never compiled; read as text by the
+// fixture tests.
+
+pub fn per_lane_ballot(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    pred: &Lanes<bool>,
+) -> u32 {
+    let mut acc = 0u32;
+    for lane in lanes_of(mask) {
+        acc |= ballot(ctr, san, FULL_MASK, pred);
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+// Analyzer fixture: violates `no-seqcst` — the device model is Relaxed
+// counters plus Acquire/Release hand-off by design; SeqCst papers over
+// missing ordering reasoning and costs a full fence per access. Never
+// compiled; read as text by the fixture tests.
+
+pub fn seqcst_ordering(cursor: &AtomicUsize) -> usize {
+    cursor.load(Ordering::SeqCst)
+}

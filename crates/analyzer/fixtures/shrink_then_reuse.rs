@@ -1,0 +1,17 @@
+// Analyzer fixture: violates `divergent-sync` — after shrinking the
+// converged set with set_active(live), a later primitive still passes the
+// original (stale) mask, claiming participation from lanes that exited.
+// Never compiled; read as text by the fixture tests.
+
+pub fn shrink_then_reuse(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    exited: &Lanes<bool>,
+    vals: &Lanes<f64>,
+) -> f64 {
+    let gone = ballot(ctr, san, mask, exited);
+    let live = mask & !gone;
+    san.set_active(live);
+    reduce_sum(ctr, san, mask, vals)
+}

@@ -1,0 +1,10 @@
+// Analyzer fixture: violates `launch-merges-counters` — launches a kernel
+// and drops the per-block counters on the floor, so the device report's
+// modeled time excludes the whole kernel. (Placed under a `simt/` path so
+// the launch-confined allow-list keeps this to exactly one diagnostic.)
+// Never compiled; read as text by the fixture tests.
+
+pub fn dropped_counters(device: &Device) -> f64 {
+    let results = device.launch(|block| simulate(block));
+    results.iter().map(|r| r.estimate).sum()
+}

@@ -1,0 +1,13 @@
+// Analyzer fixture: violates `launch-confined` — a direct device launch
+// outside crates/simt and the engine runtime module, bypassing the
+// runtime layer's sharding, stream scheduling, and counter attribution.
+// (It merges counters, so only the confinement rule fires.) Never
+// compiled; read as text by the fixture tests.
+
+pub fn stray_launch(device: &Device, report: &mut EngineReport) -> Vec<f64> {
+    let (results, counters) = device.launch(|block| simulate(block));
+    for c in &counters {
+        report.counters.merge(c);
+    }
+    results
+}

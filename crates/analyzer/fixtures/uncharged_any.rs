@@ -1,0 +1,16 @@
+// Analyzer fixture: violates `primitive-charges-counters` — a warp
+// primitive that takes the kernel counters but never charges them, so
+// the modeled device time silently excludes this instruction. Never
+// compiled; read as text by the fixture tests.
+
+pub fn uncharged_any(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    pred: &Lanes<bool>,
+) -> bool {
+    san.sync_op("any", mask);
+    pred.iter()
+        .enumerate()
+        .any(|(i, &p)| mask & (1 << i) != 0 && p)
+}

@@ -1,0 +1,702 @@
+//! The uniformity dataflow and the kernel-body rules.
+//!
+//! Three analyses run over each kernel function's CFG:
+//!
+//! 1. **Divergence seeding** (flow-insensitive fixpoint): a variable is
+//!    *Divergent* if it is bound by a per-lane loop (`for lane in
+//!    lanes_of(mask)`, `0..WARP_SIZE`, iteration over a `Lanes` container)
+//!    or assigned from an expression that reads divergent data (a
+//!    lane-indexed container element or another divergent variable).
+//!    Warp-primitive results are *Uniform* by construction — cross-lane
+//!    communication collapses divergence — so `ballot(..) != mask` is a
+//!    uniform branch even though `ballot` reads per-lane data.
+//! 2. **Declared-mask dataflow** (flow-sensitive, forward): tracks the
+//!    most recent `set_active(expr)` declaration along each path, joining
+//!    to *Unknown* (permissive) where paths disagree. Rule `divergent-sync`
+//!    fires when a warp primitive's participation mask contradicts the
+//!    declaration: full mask under divergent control with no declaration,
+//!    full mask when only a subset is declared converged, or a mask that
+//!    is neither the declared expression nor derived from it by
+//!    intersection.
+//! 3. **Pool-access dataflow** (flow-sensitive, forward): abstracts the
+//!    block-shared `SamplePool` cursor as `Clear < Atomic < Plain`. Rule
+//!    `pool-race` fires when an unsynchronized cursor read follows any
+//!    pool access (or an atomic access follows an unsynchronized read)
+//!    with no `block_barrier` on some path — the static counterpart of
+//!    the sanitizer's racecheck.
+//!
+//! Rule `primitive-charges-counters` is per-function rather than per-path:
+//! a `pub fn` taking `&mut KernelCounters` must charge the counters
+//! through that parameter or forward it to a callee.
+
+use std::collections::HashSet;
+
+use crate::cfg::{extract_calls_spanned, lower, Action, Call, Cfg, Guard};
+use crate::lex::{Tok, TokKind};
+use crate::parse::{join, FnDef};
+
+/// A rule finding before the file name is attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    pub line: Option<u32>,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// The six warp-synchronous primitives (mask at argument index 2).
+const PRIMS: &[&str] = &[
+    "any",
+    "ballot",
+    "shfl",
+    "reduce_sum",
+    "reduce_count",
+    "reduce_max_by_key",
+];
+
+/// Free calls whose result is warp-uniform (cross-lane communication).
+const UNIFORM_RESULT: &[&str] = &[
+    "any",
+    "ballot",
+    "shfl",
+    "reduce_sum",
+    "reduce_count",
+    "reduce_max_by_key",
+    "first_lane",
+];
+
+/// Free calls whose result is a per-lane container.
+const CONTAINER_RESULT: &[&str] = &["warp_load", "warp_scan"];
+
+/// Counter-charging methods (the dynamic cost model's entry points).
+const CHARGE: &[&str] = &["warp_instruction", "warp_load", "warp_store", "diverge"];
+
+/// Pool accesses that go through the atomic cursor.
+const POOL_ATOMIC: &[&str] = &["fetch", "fetch_many", "fetch_sanitized"];
+/// Pool accesses that read the cursor without synchronization.
+const POOL_PLAIN: &[&str] = &["read_cursor_unsync"];
+/// Block-wide synchronization points that clear pool-race state.
+const POOL_BARRIER: &[&str] = &["block_barrier"];
+
+/// Is this function subject to the kernel-body rules?
+pub fn is_kernel_fn(file: &str, f: &FnDef) -> bool {
+    if f.in_test {
+        return false;
+    }
+    if file.replace('\\', "/").ends_with("kernel.rs") {
+        return true;
+    }
+    const KERNEL_TYPES: &[&str] = &[
+        "Lanes",
+        "WarpMask",
+        "SamplePool",
+        "KernelCounters",
+        "WarpSanitizer",
+    ];
+    f.params
+        .iter()
+        .any(|p| KERNEL_TYPES.iter().any(|t| p.ty.contains(t)))
+}
+
+/// Run every kernel-body rule on one function.
+pub fn analyze_kernel_fn(f: &FnDef) -> Vec<RawFinding> {
+    let cfg = lower(&f.body);
+    let div = Divergence::build(f, &cfg);
+    let mut out = check_flow_rules(&cfg, &div);
+    out.extend(check_charges(f, &cfg));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Divergence seeding
+// ---------------------------------------------------------------------------
+
+/// The divergence environment: which variables hold per-lane (divergent)
+/// scalars and which hold per-lane containers.
+pub struct Divergence {
+    divergent: HashSet<String>,
+    containers: HashSet<String>,
+}
+
+impl Divergence {
+    fn build(f: &FnDef, cfg: &Cfg) -> Self {
+        let mut d = Divergence {
+            divergent: HashSet::new(),
+            containers: HashSet::new(),
+        };
+        for p in &f.params {
+            if p.ty.contains("Lanes") || p.ty.contains("WARP_SIZE") {
+                d.containers.insert(p.name.clone());
+            }
+        }
+        // Fixpoint: divergence propagates through assignments, and lane
+        // loops over freshly discovered containers seed new bindings.
+        loop {
+            let before = (d.divergent.len(), d.containers.len());
+            for g in &cfg.guards {
+                if let Guard::Loop { iter, bindings } = g {
+                    if d.lane_loop(iter) {
+                        d.divergent.extend(bindings.iter().cloned());
+                    }
+                }
+            }
+            for node in &cfg.nodes {
+                for a in &node.actions {
+                    if let Action::Def { names, rhs, ty } = a {
+                        let ty_s = join(ty);
+                        if ty_s.contains("Lanes")
+                            || ty_s.contains("WARP_SIZE")
+                            || rhs_makes_container(rhs)
+                        {
+                            d.containers.extend(names.iter().cloned());
+                        }
+                        if d.expr_divergent(rhs) {
+                            d.divergent.extend(names.iter().cloned());
+                        }
+                    }
+                }
+            }
+            if (d.divergent.len(), d.containers.len()) == before {
+                break;
+            }
+        }
+        d
+    }
+
+    /// Does iterating this expression visit lanes individually?
+    fn lane_loop(&self, iter: &[Tok]) -> bool {
+        let mentions = |name: &str| iter.iter().any(|t| t.is_ident(name));
+        if mentions("lanes_of") || mentions("WARP_SIZE") {
+            return true;
+        }
+        // Iterating a per-lane container (`for v in vals.iter()` …).
+        if iter
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && self.containers.contains(&t.text))
+        {
+            return true;
+        }
+        self.expr_divergent(iter)
+    }
+
+    /// Does this expression read divergent (per-lane) data?
+    fn expr_divergent(&self, toks: &[Tok]) -> bool {
+        // Warp-primitive results are uniform: mask out their whole spans so
+        // per-lane arguments inside them don't leak divergence.
+        let mut masked = vec![false; toks.len()];
+        for (c, (s, e)) in extract_calls_spanned(toks) {
+            if !c.is_method && UNIFORM_RESULT.contains(&c.name.as_str()) {
+                for m in masked.iter_mut().take(e + 1).skip(s) {
+                    *m = true;
+                }
+            }
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if masked[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            if self.divergent.contains(&t.text) {
+                return true;
+            }
+            if self.containers.contains(&t.text) && toks.get(i + 1).is_some_and(|n| n.is_punct("["))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is any guard governing this node warp-divergent?
+    fn control_divergent(&self, cfg: &Cfg, node: usize) -> bool {
+        cfg.nodes[node]
+            .guards
+            .iter()
+            .any(|&g| match &cfg.guards[g] {
+                Guard::Cond(toks) => self.expr_divergent(toks),
+                Guard::Loop { iter, .. } => self.lane_loop(iter),
+            })
+    }
+}
+
+/// Container-producing initializer: a `[init; WARP_SIZE]` array literal or
+/// a call returning `Lanes` (`warp_load` / `warp_scan`).
+fn rhs_makes_container(rhs: &[Tok]) -> bool {
+    if rhs.first().is_some_and(|t| t.is_punct("[")) && rhs.iter().any(|t| t.is_ident("WARP_SIZE")) {
+        return true;
+    }
+    if rhs.iter().any(|t| t.is_ident("Lanes")) {
+        return true;
+    }
+    extract_calls_spanned(rhs)
+        .iter()
+        .any(|(c, _)| !c.is_method && CONTAINER_RESULT.contains(&c.name.as_str()))
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive state: declared mask × pool access
+// ---------------------------------------------------------------------------
+
+/// The `set_active` declaration lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Decl {
+    /// Unreachable.
+    Bottom,
+    /// No declaration yet on any path.
+    None,
+    /// Every path declared exactly this mask expression.
+    Expr(String),
+    /// Paths disagree — be permissive.
+    Unknown,
+}
+
+/// Pool-access lattice: `Bottom < Clear < Atomic < Plain` (join = max).
+type Pool = u8;
+const POOL_BOTTOM: Pool = 0;
+const POOL_CLEAR: Pool = 1;
+const POOL_ATOMIC_ST: Pool = 2;
+const POOL_PLAIN_ST: Pool = 3;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    decl: Decl,
+    pool: Pool,
+}
+
+impl State {
+    fn bottom() -> State {
+        State {
+            decl: Decl::Bottom,
+            pool: POOL_BOTTOM,
+        }
+    }
+
+    fn entry() -> State {
+        State {
+            decl: Decl::None,
+            pool: POOL_CLEAR,
+        }
+    }
+
+    fn join(&self, other: &State) -> State {
+        let decl = match (&self.decl, &other.decl) {
+            (Decl::Bottom, d) | (d, Decl::Bottom) => d.clone(),
+            (a, b) if a == b => a.clone(),
+            _ => Decl::Unknown,
+        };
+        State {
+            decl,
+            pool: self.pool.max(other.pool),
+        }
+    }
+}
+
+/// Apply one call's effect to the state (no finding emission).
+fn transfer_call(state: &mut State, c: &Call) {
+    if c.name == "set_active" {
+        if let Some(arg) = c.args.first() {
+            state.decl = Decl::Expr(join(arg));
+        }
+        return;
+    }
+    let n = c.name.as_str();
+    if POOL_BARRIER.contains(&n) {
+        state.pool = POOL_CLEAR;
+    } else if POOL_ATOMIC.contains(&n) {
+        state.pool = state.pool.max(POOL_ATOMIC_ST);
+    } else if POOL_PLAIN.contains(&n) {
+        state.pool = POOL_PLAIN_ST;
+    }
+}
+
+fn transfer_node(mut state: State, node: &crate::cfg::Node) -> State {
+    for a in &node.actions {
+        if let Action::Call(c) = a {
+            transfer_call(&mut state, c);
+        }
+    }
+    state
+}
+
+/// Solve the forward dataflow to fixpoint; returns each node's entry state.
+fn solve(cfg: &Cfg) -> Vec<State> {
+    let n = cfg.nodes.len();
+    let preds = cfg.preds();
+    let mut outs = vec![State::bottom(); n];
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let mut inp = if i == 0 {
+                State::entry()
+            } else {
+                State::bottom()
+            };
+            for &p in &preds[i] {
+                inp = inp.join(&outs[p]);
+            }
+            let out = transfer_node(inp, &cfg.nodes[i]);
+            if out != outs[i] {
+                outs[i] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return entry_states(cfg, &outs);
+        }
+    }
+}
+
+fn entry_states(cfg: &Cfg, outs: &[State]) -> Vec<State> {
+    let preds = cfg.preds();
+    (0..cfg.nodes.len())
+        .map(|i| {
+            let mut inp = if i == 0 {
+                State::entry()
+            } else {
+                State::bottom()
+            };
+            for &p in &preds[i] {
+                inp = inp.join(&outs[p]);
+            }
+            inp
+        })
+        .collect()
+}
+
+/// Syntactically a full (all-lanes) mask?
+fn is_full_mask(m: &str) -> bool {
+    m == "u32 :: MAX"
+        || m == "WarpMask :: MAX"
+        || m.ends_with("FULL_MASK")
+        || m == "! 0"
+        || m == "! 0u32"
+        || m == "0xffff_ffff"
+        || m == "0xffffffff"
+}
+
+/// Replay the fixpoint states through each node and emit findings for the
+/// `divergent-sync` and `pool-race` rules.
+fn check_flow_rules(cfg: &Cfg, div: &Divergence) -> Vec<RawFinding> {
+    let states = solve(cfg);
+    let mut out = Vec::new();
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let mut st = states[i].clone();
+        if st.pool == POOL_BOTTOM {
+            continue; // unreachable
+        }
+        let ctrl_div = div.control_divergent(cfg, i);
+        for a in &node.actions {
+            let Action::Call(c) = a else { continue };
+            if !c.is_method && PRIMS.contains(&c.name.as_str()) {
+                if let Some(mask) = c.args.get(2) {
+                    check_prim_mask(c, mask, &st, ctrl_div, cfg, &mut out);
+                }
+            }
+            let n = c.name.as_str();
+            if POOL_PLAIN.contains(&n) && st.pool >= POOL_ATOMIC_ST {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    rule: "pool-race",
+                    message: format!(
+                        "unsynchronized pool cursor read `{n}` races an earlier \
+                         pool access on some path (insert block_barrier first)"
+                    ),
+                });
+            } else if POOL_ATOMIC.contains(&n) && st.pool == POOL_PLAIN_ST {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    rule: "pool-race",
+                    message: format!(
+                        "atomic pool access `{n}` follows an unsynchronized \
+                         cursor read on some path (insert block_barrier between \
+                         them)"
+                    ),
+                });
+            }
+            transfer_call(&mut st, c);
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out.dedup();
+    out
+}
+
+fn check_prim_mask(
+    c: &Call,
+    mask: &[Tok],
+    st: &State,
+    ctrl_div: bool,
+    cfg: &Cfg,
+    out: &mut Vec<RawFinding>,
+) {
+    let m = join(mask);
+    match &st.decl {
+        Decl::None => {
+            if ctrl_div && is_full_mask(&m) {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    rule: "divergent-sync",
+                    message: format!(
+                        "warp primitive `{}` called with a full mask under \
+                         divergent control flow and no set_active declaration",
+                        c.name
+                    ),
+                });
+            }
+        }
+        Decl::Expr(declared) => {
+            if m == *declared || is_full_mask(declared) {
+                return;
+            }
+            if is_full_mask(&m) {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    rule: "divergent-sync",
+                    message: format!(
+                        "warp primitive `{}` called with full mask but \
+                         set_active declared only `{declared}` converged",
+                        c.name
+                    ),
+                });
+            } else if !derived_by_intersection(&m, declared, cfg) {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    rule: "divergent-sync",
+                    message: format!(
+                        "warp primitive `{}` called with stale mask `{m}` but \
+                         set_active declared `{declared}`",
+                        c.name
+                    ),
+                });
+            }
+        }
+        Decl::Bottom | Decl::Unknown => {}
+    }
+}
+
+/// Is mask text `m` derived from declared mask `d` by intersection —
+/// either literally (`d & …`) or through a variable whose definition
+/// intersects with `d`?
+fn derived_by_intersection(m: &str, d: &str, cfg: &Cfg) -> bool {
+    if m.contains(d) && m.contains('&') {
+        return true;
+    }
+    for node in &cfg.nodes {
+        for a in &node.actions {
+            if let Action::Def { names, rhs, .. } = a {
+                if names.iter().any(|n| n == m) {
+                    let r = join(rhs);
+                    if r.contains(d) && r.contains('&') {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// primitive-charges-counters
+// ---------------------------------------------------------------------------
+
+/// A `pub fn` taking `&mut KernelCounters` must charge the counters
+/// through that parameter or forward it to a callee that does.
+fn check_charges(f: &FnDef, cfg: &Cfg) -> Vec<RawFinding> {
+    if !f.is_pub {
+        return Vec::new();
+    }
+    let Some(p) = f
+        .params
+        .iter()
+        .find(|p| p.ty.contains("mut KernelCounters"))
+    else {
+        return Vec::new();
+    };
+    let pname = &p.name;
+    let charged = cfg.nodes.iter().flat_map(|n| &n.actions).any(|a| {
+        let Action::Call(c) = a else { return false };
+        if c.is_method && CHARGE.contains(&c.name.as_str()) && c.recv.as_deref() == Some(pname) {
+            return true;
+        }
+        // Forwarding the counters to a callee also counts as charging —
+        // the callee is checked at its own definition.
+        c.args.iter().any(|arg| arg_is_var(arg, pname))
+    });
+    if charged {
+        Vec::new()
+    } else {
+        vec![RawFinding {
+            line: None,
+            rule: "primitive-charges-counters",
+            message: format!(
+                "pub fn {} takes &mut KernelCounters but never charges them \
+                 (warp_instruction/warp_load/warp_store/diverge)",
+                f.name
+            ),
+        }]
+    }
+}
+
+/// Is this argument exactly the variable `name`, modulo `&` / `mut` / `*`?
+fn arg_is_var(arg: &[Tok], name: &str) -> bool {
+    let mut i = 0;
+    while i < arg.len() && (arg[i].is_punct("&") || arg[i].is_ident("mut") || arg[i].is_punct("*"))
+    {
+        i += 1;
+    }
+    arg.len() == i + 1 && arg[i].is_ident(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn kernel_findings(src: &str) -> Vec<RawFinding> {
+        let fns = parse_file(&lex(src));
+        fns.iter().flat_map(analyze_kernel_fn).collect()
+    }
+
+    #[test]
+    fn full_mask_in_lane_loop_is_divergent_sync() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) -> u32 {\n\
+            let mut acc = 0u32;\n\
+            for lane in lanes_of(mask) {\n\
+                acc |= ballot(ctr, san, FULL_MASK, pred);\n\
+            }\n\
+            acc\n\
+        }";
+        let f = kernel_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "divergent-sync");
+        assert_eq!(f[0].line, Some(4));
+    }
+
+    #[test]
+    fn masked_prim_outside_divergence_is_clean() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) -> u32 {\n\
+            ballot(ctr, san, mask, pred)\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn stale_mask_after_set_active_flagged() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+            let gone = ballot(ctr, san, mask, pred);\n\
+            let live = mask & !gone;\n\
+            san.set_active(live);\n\
+            reduce_count(ctr, san, mask, pred);\n\
+        }";
+        let f = kernel_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "divergent-sync");
+        assert!(f[0].message.contains("stale mask `mask`"), "{f:?}");
+    }
+
+    #[test]
+    fn declared_mask_and_subsets_are_clean() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+            san.set_active(mask);\n\
+            ballot(ctr, san, mask, pred);\n\
+            let sub = mask & 0xff;\n\
+            reduce_count(ctr, san, sub, pred);\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn full_declaration_allows_full_mask() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+            san.set_active(u32::MAX);\n\
+            ballot(ctr, san, u32::MAX, pred);\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn conflicting_declarations_join_permissively() {
+        // A loop whose body re-declares: back edge joins Decl::None with
+        // Expr(mask) -> Unknown, so no finding.
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+            loop {\n\
+                if any(ctr, san, mask, pred) { break; }\n\
+                san.set_active(mask);\n\
+            }\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn uniform_branch_on_primitive_result_is_clean() {
+        let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+            let b = ballot(ctr, san, mask, pred);\n\
+            if b != 0 && b != mask {\n\
+                reduce_count(ctr, san, mask, pred);\n\
+            }\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn plain_read_after_atomic_fetch_is_pool_race() {
+        let src = "pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+            let s = pool.fetch_sanitized(san);\n\
+            let c = pool.read_cursor_unsync(san);\n\
+            s + c\n\
+        }";
+        let f = kernel_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "pool-race");
+        assert_eq!(f[0].line, Some(3));
+    }
+
+    #[test]
+    fn barrier_between_accesses_clears_pool_race() {
+        let src = "pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+            let s = pool.fetch_sanitized(san);\n\
+            san.block_barrier();\n\
+            pool.read_cursor_unsync(san) + s\n\
+        }";
+        assert!(kernel_findings(src).is_empty());
+    }
+
+    #[test]
+    fn race_on_one_path_only_still_flagged() {
+        let src = "pub fn k(pool: &SamplePool, san: &WarpSanitizer, c: bool) -> usize {\n\
+            if c {\n\
+                pool.fetch_sanitized(san);\n\
+            } else {\n\
+                san.block_barrier();\n\
+            }\n\
+            pool.read_cursor_unsync(san)\n\
+        }";
+        let f = kernel_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "pool-race");
+    }
+
+    #[test]
+    fn uncharged_counters_param_flagged() {
+        let src = "pub fn bad(ctr: &mut KernelCounters, mask: WarpMask) -> u32 {\n\
+            mask.count_ones()\n\
+        }";
+        let f = kernel_findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "primitive-charges-counters");
+        assert_eq!(f[0].line, None);
+        assert!(f[0].message.contains("pub fn bad"), "{f:?}");
+    }
+
+    #[test]
+    fn charging_and_forwarding_both_count() {
+        let direct = "pub fn good(ctr: &mut KernelCounters, mask: WarpMask) {\n\
+            ctr.warp_instruction(mask);\n\
+        }";
+        assert!(kernel_findings(direct).is_empty());
+        let forwarded = "pub fn fwd(ctr: &mut KernelCounters, mask: WarpMask) {\n\
+            helper(ctr, mask);\n\
+        }";
+        assert!(kernel_findings(forwarded).is_empty());
+    }
+}

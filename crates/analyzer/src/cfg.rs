@@ -1,0 +1,499 @@
+//! Statement-level control-flow graph.
+//!
+//! Each [`FnDef`] body lowers to a graph of [`Node`]s holding ordered
+//! [`Action`]s (calls and definitions). A node carries the stack of
+//! [`Guard`]s governing its execution — the conditions and loops it is
+//! nested under — which is what the uniformity analysis consults to decide
+//! whether control flow at a call site is warp-divergent.
+//!
+//! Construction is structural: `if`/`match` fork and re-join, `while`/
+//! `for`/`loop` produce a header with a back edge, `return`/`break`/
+//! `continue` divert the edge and leave the rest of their block on a
+//! fresh, predecessor-less node (unreachable code stays analyzable but
+//! never contributes reachable-state findings).
+
+use crate::lex::{Tok, TokKind};
+use crate::parse::{matching, split_top, Block, Stmt};
+
+/// A call site extracted from expression tokens.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub line: u32,
+    /// Last path segment (`ballot` for `warp::ballot`) or method name.
+    pub name: String,
+    pub is_method: bool,
+    /// Dotted receiver chain for simple method calls (`self . san`);
+    /// `None` when the receiver is a compound expression.
+    pub recv: Option<String>,
+    /// Argument token slices, split at top-level commas.
+    pub args: Vec<Vec<Tok>>,
+}
+
+/// One step of straight-line execution inside a node.
+#[derive(Debug, Clone)]
+pub enum Action {
+    Call(Call),
+    /// A binding or assignment: `names` receive a value derived from `rhs`.
+    Def {
+        names: Vec<String>,
+        rhs: Vec<Tok>,
+        ty: Vec<Tok>,
+    },
+}
+
+/// A control condition a node executes under.
+#[derive(Debug, Clone)]
+pub enum Guard {
+    /// `if` / `while` / `match`-arm / `let-else` condition tokens.
+    Cond(Vec<Tok>),
+    /// A `for` loop: iterated expression plus the loop pattern's bindings.
+    Loop {
+        iter: Vec<Tok>,
+        bindings: Vec<String>,
+    },
+}
+
+#[derive(Debug, Default)]
+pub struct Node {
+    pub actions: Vec<Action>,
+    /// Indices into [`Cfg::guards`], outermost first.
+    pub guards: Vec<usize>,
+    pub succs: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub guards: Vec<Guard>,
+}
+
+impl Cfg {
+    /// Predecessor lists, derived from `succs`.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &s in &n.succs {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
+}
+
+struct Builder {
+    cfg: Cfg,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(usize, usize)>,
+}
+
+/// Lower a parsed function body into a CFG. Node 0 is the entry.
+pub fn lower(body: &Block) -> Cfg {
+    let mut b = Builder {
+        cfg: Cfg::default(),
+        loops: Vec::new(),
+    };
+    let entry = b.new_node(Vec::new());
+    debug_assert_eq!(entry, 0);
+    b.lower_block(body, entry, &[]);
+    b.cfg
+}
+
+impl Builder {
+    fn new_node(&mut self, guards: Vec<usize>) -> usize {
+        self.cfg.nodes.push(Node {
+            guards,
+            ..Node::default()
+        });
+        self.cfg.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.cfg.nodes[from].succs.contains(&to) {
+            self.cfg.nodes[from].succs.push(to);
+        }
+    }
+
+    fn guard(&mut self, g: Guard) -> usize {
+        self.cfg.guards.push(g);
+        self.cfg.guards.len() - 1
+    }
+
+    fn push_calls(&mut self, node: usize, toks: &[Tok]) {
+        for c in extract_calls(toks) {
+            self.cfg.nodes[node].actions.push(Action::Call(c));
+        }
+    }
+
+    /// Lower `block` starting in node `cur` under guard stack `g`;
+    /// returns the node control falls out of.
+    fn lower_block(&mut self, block: &Block, mut cur: usize, g: &[usize]) -> usize {
+        for stmt in &block.stmts {
+            cur = self.lower_stmt(stmt, cur, g);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, mut cur: usize, g: &[usize]) -> usize {
+        match stmt {
+            Stmt::Let {
+                names,
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                self.push_calls(cur, init);
+                self.cfg.nodes[cur].actions.push(Action::Def {
+                    names: names.clone(),
+                    rhs: init.clone(),
+                    ty: ty.clone(),
+                });
+                if let Some(eb) = else_block {
+                    let gid = self.guard(Guard::Cond(init.clone()));
+                    let mut eg = g.to_vec();
+                    eg.push(gid);
+                    let e = self.new_node(eg.clone());
+                    self.edge(cur, e);
+                    let e_exit = self.lower_block(eb, e, &eg);
+                    let join = self.new_node(g.to_vec());
+                    self.edge(cur, join);
+                    self.edge(e_exit, join);
+                    cur = join;
+                }
+                cur
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.push_calls(cur, value);
+                self.cfg.nodes[cur].actions.push(Action::Def {
+                    names: vec![target.clone()],
+                    rhs: value.clone(),
+                    ty: Vec::new(),
+                });
+                cur
+            }
+            Stmt::Expr(toks) => {
+                self.push_calls(cur, toks);
+                cur
+            }
+            Stmt::Return(toks) => {
+                self.push_calls(cur, toks);
+                self.new_node(g.to_vec())
+            }
+            Stmt::Break => match self.loops.last() {
+                Some(&(_, brk)) => {
+                    self.edge(cur, brk);
+                    self.new_node(g.to_vec())
+                }
+                None => cur,
+            },
+            Stmt::Continue => match self.loops.last() {
+                Some(&(cont, _)) => {
+                    self.edge(cur, cont);
+                    self.new_node(g.to_vec())
+                }
+                None => cur,
+            },
+            Stmt::Block(b) => self.lower_block(b, cur, g),
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                self.push_calls(cur, cond);
+                let gid = self.guard(Guard::Cond(cond.clone()));
+                let mut tg = g.to_vec();
+                tg.push(gid);
+                let t = self.new_node(tg.clone());
+                self.edge(cur, t);
+                let t_exit = self.lower_block(then_b, t, &tg);
+                let join = self.new_node(g.to_vec());
+                self.edge(t_exit, join);
+                match else_b {
+                    Some(eb) => {
+                        let e = self.new_node(tg.clone());
+                        self.edge(cur, e);
+                        let e_exit = self.lower_block(eb, e, &tg);
+                        self.edge(e_exit, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_node(g.to_vec());
+                self.edge(cur, header);
+                self.push_calls(header, cond);
+                let gid = self.guard(Guard::Cond(cond.clone()));
+                let mut bg = g.to_vec();
+                bg.push(gid);
+                let b = self.new_node(bg.clone());
+                self.edge(header, b);
+                let exit = self.new_node(g.to_vec());
+                self.edge(header, exit);
+                self.loops.push((header, exit));
+                let b_exit = self.lower_block(body, b, &bg);
+                self.loops.pop();
+                self.edge(b_exit, header);
+                exit
+            }
+            Stmt::Loop { body } => {
+                let header = self.new_node(g.to_vec());
+                self.edge(cur, header);
+                let exit = self.new_node(g.to_vec());
+                self.loops.push((header, exit));
+                let b_exit = self.lower_block(body, header, g);
+                self.loops.pop();
+                self.edge(b_exit, header);
+                exit
+            }
+            Stmt::For {
+                bindings,
+                iter,
+                body,
+            } => {
+                self.push_calls(cur, iter);
+                let header = self.new_node(g.to_vec());
+                self.edge(cur, header);
+                let gid = self.guard(Guard::Loop {
+                    iter: iter.clone(),
+                    bindings: bindings.clone(),
+                });
+                let mut bg = g.to_vec();
+                bg.push(gid);
+                let b = self.new_node(bg.clone());
+                self.edge(header, b);
+                let exit = self.new_node(g.to_vec());
+                self.edge(header, exit);
+                self.loops.push((header, exit));
+                let b_exit = self.lower_block(body, b, &bg);
+                self.loops.pop();
+                self.edge(b_exit, header);
+                exit
+            }
+            Stmt::Match { scrutinee, arms } => {
+                self.push_calls(cur, scrutinee);
+                let join = self.new_node(g.to_vec());
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                let gid = self.guard(Guard::Cond(scrutinee.clone()));
+                for (bindings, body) in arms {
+                    let mut ag = g.to_vec();
+                    ag.push(gid);
+                    let a = self.new_node(ag.clone());
+                    self.edge(cur, a);
+                    if !bindings.is_empty() {
+                        self.cfg.nodes[a].actions.push(Action::Def {
+                            names: bindings.clone(),
+                            rhs: scrutinee.clone(),
+                            ty: Vec::new(),
+                        });
+                    }
+                    let a_exit = self.lower_block(body, a, &ag);
+                    self.edge(a_exit, join);
+                }
+                join
+            }
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NOT_CALLS: &[&str] = &["if", "while", "for", "match", "return", "in", "as", "move"];
+
+/// Extract every call site from an expression token slice, in source
+/// order. Macros (`name!(..)`) are skipped as calls, but calls nested in
+/// their arguments are still found by the linear scan.
+pub fn extract_calls(toks: &[Tok]) -> Vec<Call> {
+    extract_calls_spanned(toks)
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Like [`extract_calls`] but with each call's `(start, end)` token span
+/// (name/path start through closing paren), for masking sub-expressions.
+pub fn extract_calls_spanned(toks: &[Tok]) -> Vec<(Call, (usize, usize))> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct("(") || i == 0 {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        if prev.kind != TokKind::Ident || NOT_CALLS.contains(&prev.text.as_str()) {
+            continue;
+        }
+        // Macro call `name ! (`: skip (arguments are scanned linearly).
+        if i >= 2 && toks[i - 2].is_punct("!") {
+            continue;
+        }
+        let name = prev.text.clone();
+        let close = matching(toks, i);
+        let args: Vec<Vec<Tok>> = if close > i + 1 {
+            split_top(&toks[i + 1..close], ",")
+                .into_iter()
+                .map(<[Tok]>::to_vec)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Walk back to classify: `recv . name (` method vs `path :: name (`.
+        let (is_method, recv) = if i >= 2 && toks[i - 2].is_punct(".") {
+            (true, receiver_chain(&toks[..i - 2]))
+        } else {
+            (false, None)
+        };
+        out.push((
+            Call {
+                line: prev.line,
+                name,
+                is_method,
+                recv,
+                args,
+            },
+            (i - 1, close),
+        ));
+    }
+    out
+}
+
+/// Walk back over a `a . b . c` chain ending at `toks.len()`. Returns the
+/// normalized chain (`a . b . c`) or `None` for compound receivers.
+fn receiver_chain(toks: &[Tok]) -> Option<String> {
+    let mut parts = Vec::new();
+    let mut i = toks.len();
+    loop {
+        if i == 0 {
+            break;
+        }
+        let t = &toks[i - 1];
+        if t.kind == TokKind::Ident {
+            parts.push(t.text.clone());
+            i -= 1;
+            if i == 0 {
+                break;
+            }
+            if toks[i - 1].is_punct(".") {
+                i -= 1;
+                continue;
+            }
+            break;
+        }
+        // Anything else (`)`, `]`, literal): compound receiver.
+        return None;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join(" . "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let fns = parse_file(&lex(src));
+        lower(&fns[0].body)
+    }
+
+    fn all_calls(cfg: &Cfg) -> Vec<String> {
+        cfg.nodes
+            .iter()
+            .flat_map(|n| &n.actions)
+            .filter_map(|a| match a {
+                Action::Call(c) => Some(c.name.clone()),
+                Action::Def { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_single_node() {
+        let cfg = cfg_of("fn f() { let a = g(); h(a); }");
+        assert_eq!(cfg.nodes.len(), 1);
+        assert_eq!(all_calls(&cfg), vec!["g", "h"]);
+    }
+
+    #[test]
+    fn if_forks_and_joins() {
+        let cfg = cfg_of("fn f(c: bool) { if c { t(); } else { e(); } after(); }");
+        assert!(all_calls(&cfg).contains(&"after".to_string()));
+        // then + else nodes carry the guard; entry and join do not.
+        let guarded = cfg.nodes.iter().filter(|n| !n.guards.is_empty()).count();
+        assert_eq!(guarded, 2);
+    }
+
+    #[test]
+    fn loops_have_back_edges() {
+        let cfg = cfg_of("fn f() { for i in 0..4 { body(); } }");
+        let preds = cfg.preds();
+        // Some node (the loop header) has 2+ predecessors: entry + back edge.
+        assert!(preds.iter().any(|p| p.len() >= 2));
+        assert!(matches!(cfg.guards[0], Guard::Loop { .. }));
+    }
+
+    #[test]
+    fn return_detaches_following_code() {
+        let cfg = cfg_of("fn f(c: bool) { if c { return; } reachable(); }");
+        // reachable() must live on a node that still has predecessors.
+        let preds = cfg.preds();
+        for (i, n) in cfg.nodes.iter().enumerate() {
+            let has_reachable = n
+                .actions
+                .iter()
+                .any(|a| matches!(a, Action::Call(c) if c.name == "reachable"));
+            if has_reachable {
+                assert!(!preds[i].is_empty(), "reachable() ended up unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn calls_classify_method_vs_free() {
+        let src =
+            "fn f() { warp::ballot(c, s, m, p); self.san.set_active(m); pred.iter().any(|p| p); }";
+        let cfg = cfg_of(src);
+        let calls: Vec<Call> = cfg
+            .nodes
+            .iter()
+            .flat_map(|n| &n.actions)
+            .filter_map(|a| match a {
+                Action::Call(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        let ballot = calls.iter().find(|c| c.name == "ballot").unwrap();
+        assert!(!ballot.is_method);
+        assert_eq!(ballot.args.len(), 4);
+        let sa = calls.iter().find(|c| c.name == "set_active").unwrap();
+        assert!(sa.is_method);
+        assert_eq!(sa.recv.as_deref(), Some("self . san"));
+        let any = calls.iter().find(|c| c.name == "any").unwrap();
+        assert!(any.is_method, "iterator .any must be a method call");
+        assert!(any.recv.is_none(), "chained receiver is compound");
+    }
+
+    #[test]
+    fn macros_are_not_calls_but_args_are_scanned() {
+        let cfg = cfg_of("fn f() { assert_eq!(inner(1), 2); }");
+        let names = all_calls(&cfg);
+        assert!(!names.contains(&"assert_eq".to_string()));
+        assert!(names.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn match_arms_fork() {
+        let cfg = cfg_of(
+            "fn f(o: Option<u32>) { match o { Some(x) => { a(x); } None => { b(); } } done(); }",
+        );
+        let names = all_calls(&cfg);
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"done".to_string()));
+        let guarded = cfg.nodes.iter().filter(|n| !n.guards.is_empty()).count();
+        assert_eq!(guarded, 2);
+    }
+}

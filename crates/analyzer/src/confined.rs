@@ -1,0 +1,191 @@
+//! Path-aware repo-invariant rules, migrated from the old textual lint.
+//!
+//! These run on the whole token stream of each file — including test
+//! modules, matching the old lint's behavior — and use the lexer's
+//! comment/string stripping instead of per-line `split("//")`, so a
+//! `SeqCst` in a string literal or a `.launch(` in a doc comment can no
+//! longer confuse them. Finding messages are kept byte-identical to the
+//! textual rules they replace so CI diffs stay readable.
+
+use crate::analysis::RawFinding;
+use crate::cfg::extract_calls_spanned;
+use crate::lex::Tok;
+
+/// Run every file-level rule. `file` is the path label used both for
+/// reporting and for the allow-lists (component checks on `/`-separated
+/// paths).
+pub fn check_file(file: &str, toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    out.extend(check_no_seqcst(toks));
+    out.extend(check_launch_merges(toks));
+    out.extend(check_launch_confined(file, toks));
+    out.extend(check_prof_confined(file, toks));
+    out
+}
+
+/// Does the normalized path have `name` as a component?
+fn has_component(file: &str, name: &str) -> bool {
+    file.replace('\\', "/").split('/').any(|c| c == name)
+}
+
+fn ends_with_path(file: &str, suffix: &str) -> bool {
+    file.replace('\\', "/").ends_with(suffix)
+}
+
+/// No `SeqCst` atomic orderings: the device model is Relaxed counters plus
+/// Acquire/Release hand-off by design. One finding per source line.
+fn check_no_seqcst(toks: &[Tok]) -> Vec<RawFinding> {
+    let mut out: Vec<RawFinding> = Vec::new();
+    for t in toks {
+        if t.is_ident("SeqCst") {
+            if out.last().is_some_and(|f| f.line == Some(t.line)) {
+                continue;
+            }
+            out.push(RawFinding {
+                line: Some(t.line),
+                rule: "no-seqcst",
+                message: "SeqCst ordering is banned (use Relaxed or \
+                          Acquire/Release and document why)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// A file that calls `Device::launch` must also merge `KernelCounters`.
+/// The definition site itself (`fn launch`) is exempt.
+fn check_launch_merges(toks: &[Tok]) -> Vec<RawFinding> {
+    let calls = extract_calls_spanned(toks);
+    let calls_launch = calls.iter().any(|(c, _)| c.is_method && c.name == "launch");
+    let merges = calls.iter().any(|(c, _)| c.is_method && c.name == "merge");
+    let defines_launch = toks
+        .windows(2)
+        .any(|w| w[0].is_ident("fn") && w[1].is_ident("launch"));
+    if calls_launch && !merges && !defines_launch {
+        vec![RawFinding {
+            line: None,
+            rule: "launch-merges-counters",
+            message: "calls Device::launch but never merges the per-block \
+                      KernelCounters"
+                .to_string(),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Direct device launches are confined to `crates/simt` and the engine's
+/// runtime module; everything else goes through the runtime layer.
+fn check_launch_confined(file: &str, toks: &[Tok]) -> Vec<RawFinding> {
+    if has_component(file, "simt") || ends_with_path(file, "engine/src/runtime.rs") {
+        return Vec::new();
+    }
+    extract_calls_spanned(toks)
+        .iter()
+        .filter(|(c, _)| c.is_method && (c.name == "launch" || c.name == "launch_blocks"))
+        .map(|(c, _)| RawFinding {
+            line: Some(c.line),
+            rule: "launch-confined",
+            message: "direct device launch outside crates/simt and the engine \
+                      runtime module (go through \
+                      spawn_kernel/spawn_estimate/run_engine)"
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Counter-board reads are confined to `crates/simt`, `crates/prof`, and
+/// the engine's runtime module; everything else consumes the attributed
+/// reports.
+fn check_prof_confined(file: &str, toks: &[Tok]) -> Vec<RawFinding> {
+    const BOARD_READS: &[&str] = &["stream_counters", "device_counters", "take_device_counters"];
+    if has_component(file, "simt")
+        || has_component(file, "prof")
+        || ends_with_path(file, "engine/src/runtime.rs")
+    {
+        return Vec::new();
+    }
+    extract_calls_spanned(toks)
+        .iter()
+        .filter(|(c, _)| c.is_method && BOARD_READS.contains(&c.name.as_str()))
+        .map(|(c, _)| RawFinding {
+            line: Some(c.line),
+            rule: "prof-confined",
+            message: "direct counter-board read outside crates/simt, \
+                      crates/prof, and the engine runtime module (consume \
+                      ProfReport / EngineReport instead)"
+                .to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn findings(file: &str, src: &str) -> Vec<String> {
+        check_file(file, &lex(src))
+            .into_iter()
+            .map(|f| format!("{}:{:?}", f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn seqcst_flagged_with_line_but_not_in_comments_or_strings() {
+        let src =
+            "// SeqCst would be wrong\nlet y = b.load(Ordering::SeqCst);\nlet s = \"SeqCst\";\n";
+        let f = findings("f.rs", src);
+        assert_eq!(f, vec!["no-seqcst:Some(2)"]);
+    }
+
+    #[test]
+    fn launch_without_merge_flagged_and_definition_exempt() {
+        assert_eq!(
+            findings(
+                "crates/simt/src/x.rs",
+                "let out = device.launch(|b| run(b));"
+            ),
+            vec!["launch-merges-counters:None"]
+        );
+        assert!(findings(
+            "crates/simt/src/x.rs",
+            "pub fn launch(&self) {}\nlet out = d.launch(f);"
+        )
+        .is_empty());
+        assert!(findings(
+            "crates/simt/src/x.rs",
+            "let out = d.launch(f);\nctr.merge(&out[0]);"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn launch_confined_respects_allowlist() {
+        let src = "let out = device.launch_blocks(0..4, |b| run(b));\nc.merge(&out[0]);";
+        assert!(findings("crates/simt/src/runtime.rs", src).is_empty());
+        assert!(findings("crates/engine/src/runtime.rs", src).is_empty());
+        let f = findings("crates/core/src/builder.rs", src);
+        assert_eq!(f, vec!["launch-confined:Some(1)"]);
+    }
+
+    #[test]
+    fn launch_in_comment_not_flagged() {
+        assert!(findings(
+            "crates/core/src/builder.rs",
+            "// call device.launch(body) through the runtime instead\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn board_reads_confined_to_simt_prof_and_engine_runtime() {
+        let src = "let c = rt.stream_counters(0, 0);\nlet v = rt.take_device_counters();";
+        assert!(findings("crates/prof/src/lib.rs", src).is_empty());
+        assert!(findings("crates/simt/src/runtime.rs", src).is_empty());
+        assert!(findings("crates/engine/src/runtime.rs", src).is_empty());
+        let f = findings("crates/core/src/builder.rs", src);
+        assert_eq!(f, vec!["prof-confined:Some(1)", "prof-confined:Some(2)"]);
+    }
+}

@@ -1,0 +1,357 @@
+//! A lossy Rust lexer: identifiers, punctuation, and literals with line
+//! numbers; comments stripped, string/char contents kept opaque.
+//!
+//! The analyzer never needs to look *inside* a literal, so a string
+//! becomes a single [`TokKind::Lit`] token whose braces, `//`, or `SeqCst`
+//! content can never confuse the downstream passes — the property the old
+//! textual lint approximated with per-line `split("//")`.
+
+/// Token class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (multi-character operators are one token: `::`, `=>`,
+    /// `..`, `&&`, …).
+    Punct,
+    /// Number, string, char, or byte literal (contents opaque).
+    Lit,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this punctuation with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "->", "=>", "..", "&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Tokenize `src`. Never fails: unrecognized bytes become single-character
+/// punctuation, which at worst makes a statement opaque to the parser.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = lex_string(&b, i, line, &mut out, &mut line),
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                i = lex_raw_or_byte(&b, i, &mut out, &mut line)
+            }
+            '\'' => i = lex_quote(&b, i, line, &mut out),
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                // Lenient number: digits plus suffixes/underscores/radix
+                // letters; `0..` must not swallow the range dots.
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                let rest: String = b[i..b.len().min(i + 3)].iter().collect();
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if rest.starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    out.push(Tok {
+                        kind: TokKind::Punct,
+                        text: op.to_string(),
+                        line,
+                    });
+                    i += op.len();
+                } else {
+                    out.push(Tok {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." | b'..'
+    match b[i] {
+        'r' => matches!(b.get(i + 1), Some('"') | Some('#')),
+        'b' => matches!(b.get(i + 1), Some('"') | Some('\'') | Some('r')),
+        _ => false,
+    }
+}
+
+fn lex_string(
+    b: &[char],
+    start: usize,
+    start_line: u32,
+    out: &mut Vec<Tok>,
+    line: &mut u32,
+) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    out.push(Tok {
+        kind: TokKind::Lit,
+        text: "\"…\"".to_string(),
+        line: start_line,
+    });
+    i
+}
+
+fn lex_raw_or_byte(b: &[char], start: usize, out: &mut Vec<Tok>, line: &mut u32) -> usize {
+    let start_line = *line;
+    let mut i = start;
+    // Skip the `b` / `r` / `br` prefix.
+    while i < b.len() && (b[i] == 'b' || b[i] == 'r') {
+        i += 1;
+    }
+    if b.get(i) == Some(&'\'') {
+        // Byte char literal b'x'.
+        let end = lex_quote(b, i, start_line, out);
+        out.pop(); // replace the char token with a byte-lit token
+        out.push(Tok {
+            kind: TokKind::Lit,
+            text: "b'…'".to_string(),
+            line: start_line,
+        });
+        return end;
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&'"') {
+        // Not actually a string (e.g. the identifier `r#keyword`); emit the
+        // prefix as an identifier and resume.
+        let mut j = start;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '#') {
+            j += 1;
+        }
+        out.push(Tok {
+            kind: TokKind::Ident,
+            text: b[start..j].iter().collect(),
+            line: start_line,
+        });
+        return j;
+    }
+    i += 1; // opening quote
+    loop {
+        if i >= b.len() {
+            break;
+        }
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if b.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                i += 1 + hashes;
+                break;
+            }
+        }
+        i += 1;
+    }
+    out.push(Tok {
+        kind: TokKind::Lit,
+        text: "r\"…\"".to_string(),
+        line: start_line,
+    });
+    i
+}
+
+/// Lex a `'` — either a char literal or a lifetime.
+fn lex_quote(b: &[char], start: usize, line: u32, out: &mut Vec<Tok>) -> usize {
+    let mut i = start + 1;
+    // Lifetime: 'ident not followed by a closing quote.
+    if i < b.len() && (b[i].is_alphabetic() || b[i] == '_') {
+        let mut j = i;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        if b.get(j) != Some(&'\'') {
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: format!("'{}", b[i..j].iter().collect::<String>()),
+                line,
+            });
+            return j;
+        }
+    }
+    // Char literal, possibly escaped.
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    out.push(Tok {
+        kind: TokKind::Lit,
+        text: "'…'".to_string(),
+        line,
+    });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("let x = 1;\nlet y = x;");
+        assert!(toks[0].is_ident("let"));
+        assert_eq!(toks[0].line, 1);
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex(
+            "a; // SeqCst in a comment\nlet s = \"SeqCst { } .launch(\"; /* more\nSeqCst */ b;",
+        );
+        assert!(!toks.iter().any(|t| t.is_ident("SeqCst")));
+        // Braces inside the string must not appear as puncts.
+        assert!(!toks.iter().any(|t| t.is_punct("{")));
+        assert!(toks.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.contains(&"'a".to_string()));
+        assert!(t.contains(&"'…'".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_hashes() {
+        let t = texts("let s = r#\"a \" b\"#; done");
+        assert!(t.contains(&"done".to_string()));
+        assert!(t.contains(&"r\"…\"".to_string()));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let t = texts("a::b => c..d ..= e != f");
+        for op in ["::", "=>", "..", "..=", "!="] {
+            assert!(t.contains(&op.to_string()), "{op} missing from {t:?}");
+        }
+    }
+
+    #[test]
+    fn range_from_zero_keeps_dots() {
+        let t = texts("0..WARP_SIZE");
+        assert_eq!(t, vec!["0", "..", "WARP_SIZE"]);
+    }
+
+    #[test]
+    fn floats_lex_as_one_literal() {
+        let t = texts("x > 0.5 && y < 1e3");
+        assert!(t.contains(&"0.5".to_string()));
+    }
+}

@@ -1,0 +1,183 @@
+//! gsword-analyzer: static lockstep-safety analysis for SIMT kernel code.
+//!
+//! The workspace's SIMT kernels rely on warp-synchronous discipline that
+//! the type system cannot express: primitive participation masks must
+//! match the lanes actually converged, block-shared pool accesses must be
+//! separated by barriers, and every primitive must charge the device cost
+//! model. The dynamic sanitizer (gsword-sanitizer) checks the paths a run
+//! happens to execute; this crate checks *all* paths, statically.
+//!
+//! Pipeline: a lossy but comment/string-exact lexer ([`lex`]) feeds a
+//! partial parser ([`parse`]) that extracts function bodies, which lower
+//! to statement-level control-flow graphs ([`cfg`]) analyzed by a
+//! uniformity dataflow plus flow-sensitive mask/pool lattices
+//! ([`analysis`]). Path-aware repo invariants migrated from the old
+//! textual lint live in [`confined`].
+//!
+//! The front-end is purpose-built on `std` alone rather than `syn`: the
+//! workspace builds hermetically from vendored stubs (see
+//! `vendor/README.md`) and carries no real parsing dependency, so the
+//! analyzer implements the small Rust subset the kernel corpus uses. Any
+//! statement it cannot classify degrades to an opaque expression whose
+//! call sites are still visible to the analyses.
+//!
+//! Entry points: [`analyze_source`] for one file, [`analyze_tree`] for a
+//! directory walk (used by `cargo xtask analyze` and `cargo xtask lint`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod analysis;
+pub mod cfg;
+pub mod confined;
+pub mod lex;
+pub mod parse;
+
+use analysis::{analyze_kernel_fn, is_kernel_fn};
+
+/// One diagnostic, formatted `file:line: rule: message` (line omitted for
+/// file-scoped rules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: Option<u32>,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{}:{line}: {}: {}", self.file, self.rule, self.message),
+            None => write!(f, "{}: {}: {}", self.file, self.rule, self.message),
+        }
+    }
+}
+
+/// Analyze one source file. `file` is the path label used for reporting
+/// and for the path-based allow-lists.
+pub fn analyze_source(file: &str, src: &str) -> Vec<Finding> {
+    let toks = lex::lex(src);
+    let mut raw = confined::check_file(file, &toks);
+    for f in parse::parse_file(&toks) {
+        if is_kernel_fn(file, &f) {
+            raw.extend(analyze_kernel_fn(&f));
+        }
+    }
+    raw.into_iter()
+        .map(|r| Finding {
+            file: file.to_string(),
+            line: r.line,
+            rule: r.rule,
+            message: r.message,
+        })
+        .collect()
+}
+
+/// Names of the functions in `src` that the kernel-body rules cover.
+/// Used by the clean-corpus test to assert the analyzer actually sees the
+/// kernels it claims to verify.
+pub fn kernel_fn_names(file: &str, src: &str) -> Vec<String> {
+    parse::parse_file(&lex::lex(src))
+        .into_iter()
+        .filter(|f| is_kernel_fn(file, f))
+        .map(|f| f.name)
+        .collect()
+}
+
+/// Walk `root` and analyze every `.rs` file. Skips `xtask` (its lint
+/// fixtures violate the rules on purpose), `fixtures` trees (same, for
+/// this crate), and `target`.
+pub fn analyze_tree(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if rel.components().any(|c| {
+            ["xtask", "fixtures", "target"].contains(&c.as_os_str().to_str().unwrap_or(""))
+        }) {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        out.extend(analyze_source(&rel.display().to_string(), &src));
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_matches_legacy_format() {
+        let with_line = Finding {
+            file: "core/src/builder.rs".into(),
+            line: Some(7),
+            rule: "launch-confined",
+            message: "direct device launch".into(),
+        };
+        assert_eq!(
+            with_line.to_string(),
+            "core/src/builder.rs:7: launch-confined: direct device launch"
+        );
+        let no_line = Finding {
+            file: "warp.rs".into(),
+            line: None,
+            rule: "primitive-charges-counters",
+            message: "pub fn bad takes &mut KernelCounters".into(),
+        };
+        assert_eq!(
+            no_line.to_string(),
+            "warp.rs: primitive-charges-counters: pub fn bad takes &mut KernelCounters"
+        );
+    }
+
+    #[test]
+    fn kernel_fn_detection_by_file_and_signature() {
+        let src = "pub fn plain(x: usize) -> usize { x }\n\
+                   pub fn kern(mask: WarpMask) -> u32 { mask }\n";
+        assert_eq!(kernel_fn_names("some/module.rs", src), vec!["kern"]);
+        // Everything in a kernel.rs is kernel code.
+        assert_eq!(
+            kernel_fn_names("engine/src/kernel.rs", src),
+            vec!["plain", "kern"]
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_kernel_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn helper(mask: WarpMask) -> u32 { mask }\n}\n";
+        assert!(kernel_fn_names("some/module.rs", src).is_empty());
+    }
+
+    #[test]
+    fn analyze_source_combines_file_and_kernel_rules() {
+        let src = "pub fn bad(ctr: &mut KernelCounters) -> u64 {\n\
+                   let x = a.load(Ordering::SeqCst);\nx\n}\n";
+        let f = analyze_source("m.rs", src);
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"no-seqcst"), "{f:?}");
+        assert!(rules.contains(&"primitive-charges-counters"), "{f:?}");
+    }
+}

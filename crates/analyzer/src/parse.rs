@@ -1,0 +1,843 @@
+//! Function extractor and statement-level parser.
+//!
+//! Turns the token stream of a Rust source file into a list of [`FnDef`]s,
+//! each with its parameter list and a structured [`Block`] body. The parser
+//! is deliberately partial: any statement it cannot classify becomes an
+//! opaque [`Stmt::Expr`] whose call sites are still extracted, so analyses
+//! degrade to conservatism rather than failing.
+
+use crate::lex::{Tok, TokKind};
+
+/// A function parameter: binding name plus normalized type text.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Type tokens joined by single spaces, e.g. `& mut KernelCounters`.
+    pub ty: String,
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    pub is_pub: bool,
+    /// Inside a `#[cfg(test)]` module or carrying `#[test]`.
+    pub in_test: bool,
+    pub params: Vec<Param>,
+    pub body: Block,
+}
+
+/// A `{ ... }` block: a sequence of statements.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement. Token slices keep their source lines.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let pat (: ty)? = init;` — `names` are the identifiers bound by the
+    /// pattern; `else_block` is the let-else divergent arm if present.
+    Let {
+        names: Vec<String>,
+        ty: Vec<Tok>,
+        init: Vec<Tok>,
+        else_block: Option<Block>,
+        line: u32,
+    },
+    /// `target op= value;` for `=`, `+=`, `|=`, …
+    Assign {
+        /// Base variable of the assignment target (`s` for `s[lane] = …`,
+        /// `weight_sum` for `self.weight_sum += …`).
+        target: String,
+        value: Vec<Tok>,
+        line: u32,
+    },
+    If {
+        cond: Vec<Tok>,
+        then_b: Block,
+        else_b: Option<Block>,
+    },
+    While {
+        cond: Vec<Tok>,
+        body: Block,
+    },
+    Loop {
+        body: Block,
+    },
+    For {
+        /// Identifiers bound by the loop pattern.
+        bindings: Vec<String>,
+        iter: Vec<Tok>,
+        body: Block,
+    },
+    Match {
+        scrutinee: Vec<Tok>,
+        /// (pattern bindings, arm body) per arm.
+        arms: Vec<(Vec<String>, Block)>,
+    },
+    /// Bare `{ ... }` (including `unsafe { ... }`).
+    Block(Block),
+    /// `return expr?;`
+    Return(Vec<Tok>),
+    /// `break expr?;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Anything else: expression statement, nested item, etc.
+    Expr(Vec<Tok>),
+}
+
+/// Keywords that can never be pattern bindings.
+const KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "if", "else", "while", "loop", "for", "in", "match", "return", "break",
+    "continue", "fn", "pub", "self", "Self", "true", "false", "as", "move", "box", "_",
+];
+
+/// Parse every function in a lexed file.
+pub fn parse_file(toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    scan_items(toks, false, &mut out);
+    out
+}
+
+/// Recursive item-level scan: descends into `mod`/`impl`/`trait` bodies,
+/// tracking whether we are inside test-only code.
+fn scan_items(toks: &[Tok], in_test: bool, out: &mut Vec<FnDef>) {
+    let mut i = 0;
+    let mut is_pub = false;
+    let mut attr_test = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("#") {
+            // Attribute: slurp `[...]` (or `![...]`) and inspect it.
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct("!") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("[") {
+                let end = matching(toks, j);
+                let txt = join(&toks[j..=end.min(toks.len() - 1)]);
+                if txt.contains("cfg ( test") || txt == "[ test ]" {
+                    attr_test = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("pub") {
+            is_pub = true;
+            i += 1;
+            // Skip `(crate)` / `(super)` visibility qualifiers.
+            if i < toks.len() && toks[i].is_punct("(") {
+                i = matching(toks, i) + 1;
+            }
+            continue;
+        }
+        if t.is_ident("mod") {
+            // `mod name;` or `mod name { ... }`
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct("{") {
+                let end = matching(toks, j);
+                scan_items(&toks[j + 1..end], in_test || attr_test, out);
+                i = end + 1;
+            } else {
+                i = j + 1;
+            }
+            is_pub = false;
+            attr_test = false;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let (def, next) = parse_fn(toks, i, is_pub, in_test || attr_test);
+            if let Some(def) = def {
+                out.push(def);
+            }
+            i = next;
+            is_pub = false;
+            attr_test = false;
+            continue;
+        }
+        if t.is_punct("{") {
+            // impl / trait / enum body — recurse so methods are found.
+            let end = matching(toks, i);
+            scan_items(&toks[i + 1..end], in_test || attr_test, out);
+            i = end + 1;
+            is_pub = false;
+            attr_test = false;
+            continue;
+        }
+        if t.is_punct(";") {
+            is_pub = false;
+            attr_test = false;
+        }
+        i += 1;
+    }
+}
+
+/// Parse a fn starting at the `fn` keyword. Returns the def (None if the
+/// signature is malformed or has no body) and the index to resume scanning.
+fn parse_fn(toks: &[Tok], at: usize, is_pub: bool, in_test: bool) -> (Option<FnDef>, usize) {
+    let line = toks[at].line;
+    let mut i = at + 1;
+    let name = match toks.get(i) {
+        Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+        _ => return (None, at + 1),
+    };
+    i += 1;
+    // Skip generics `<...>` (tracking `<`/`>` nesting; `>>` closes two).
+    if i < toks.len() && toks[i].is_punct("<") {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match toks[i].text.as_str() {
+                "<" if toks[i].kind == TokKind::Punct => depth += 1,
+                ">" if toks[i].kind == TokKind::Punct => depth -= 1,
+                ">>" if toks[i].kind == TokKind::Punct => depth -= 2,
+                _ => {}
+            }
+            i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    if i >= toks.len() || !toks[i].is_punct("(") {
+        return (None, i);
+    }
+    let pend = matching(toks, i);
+    let params = parse_params(&toks[i + 1..pend]);
+    i = pend + 1;
+    // Return type + where clause: first top-level `{` starts the body; a
+    // top-level `;` means no body (trait method decl).
+    let mut depth = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                ";" if depth == 0 => return (None, i + 1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return (None, i);
+    }
+    let bend = matching(toks, i);
+    let body = parse_block(&toks[i + 1..bend.min(toks.len())]);
+    (
+        Some(FnDef {
+            name,
+            line,
+            is_pub,
+            in_test,
+            params,
+            body,
+        }),
+        bend + 1,
+    )
+}
+
+/// Split the parameter token slice at top-level commas; each piece with a
+/// top-level `:` becomes a Param (so `self`, `&mut self` are skipped).
+fn parse_params(toks: &[Tok]) -> Vec<Param> {
+    split_top(toks, ",")
+        .into_iter()
+        .filter_map(|piece| {
+            let colon = find_top(piece, ":")?;
+            let name = piece[..colon]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str()))?
+                .text
+                .clone();
+            Some(Param {
+                name,
+                ty: join(&piece[colon + 1..]),
+            })
+        })
+        .collect()
+}
+
+/// Parse the statements of a block body (tokens between the braces).
+pub fn parse_block(toks: &[Tok]) -> Block {
+    let mut stmts = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(";") {
+            i += 1;
+            continue;
+        }
+        if t.is_punct("#") {
+            // Attribute on a statement: skip it.
+            let j = i + 1;
+            if j < toks.len() && toks[j].is_punct("[") {
+                i = matching(toks, j) + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            let (s, n) = parse_let(toks, i);
+            stmts.push(s);
+            i = n;
+        } else if t.is_ident("if") {
+            let (s, n) = parse_if(toks, i);
+            stmts.push(s);
+            i = n;
+        } else if t.is_ident("while") {
+            let hdr = scan_to_body(toks, i + 1);
+            let end = matching(toks, hdr);
+            stmts.push(Stmt::While {
+                cond: toks[i + 1..hdr].to_vec(),
+                body: parse_block(&toks[hdr + 1..end]),
+            });
+            i = end + 1;
+        } else if t.is_ident("loop") {
+            let hdr = scan_to_body(toks, i + 1);
+            let end = matching(toks, hdr);
+            stmts.push(Stmt::Loop {
+                body: parse_block(&toks[hdr + 1..end]),
+            });
+            i = end + 1;
+        } else if t.is_ident("for") {
+            let (s, n) = parse_for(toks, i);
+            stmts.push(s);
+            i = n;
+        } else if t.is_ident("match") {
+            let (s, n) = parse_match(toks, i);
+            stmts.push(s);
+            i = n;
+        } else if t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            let end = matching(toks, i + 1);
+            stmts.push(Stmt::Block(parse_block(&toks[i + 2..end])));
+            i = end + 1;
+        } else if t.is_punct("{") {
+            let end = matching(toks, i);
+            stmts.push(Stmt::Block(parse_block(&toks[i + 1..end])));
+            i = end + 1;
+        } else if t.is_ident("return") {
+            let (expr, n) = scan_stmt_end(toks, i + 1);
+            stmts.push(Stmt::Return(expr.to_vec()));
+            i = n;
+        } else if t.is_ident("break") {
+            let (_, n) = scan_stmt_end(toks, i + 1);
+            stmts.push(Stmt::Break);
+            i = n;
+        } else if t.is_ident("continue") {
+            let (_, n) = scan_stmt_end(toks, i + 1);
+            stmts.push(Stmt::Continue);
+            i = n;
+        } else {
+            let (expr, n) = scan_stmt_end(toks, i);
+            stmts.push(classify_expr(expr));
+            i = n;
+        }
+    }
+    Block { stmts }
+}
+
+/// An expression statement is an Assign if it has a top-level assignment
+/// operator, else an opaque Expr.
+fn classify_expr(toks: &[Tok]) -> Stmt {
+    const ASSIGN_OPS: &[&str] = &[
+        "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+    ];
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            op if depth == 0 && ASSIGN_OPS.contains(&op) => {
+                let target = assign_target(&toks[..i]);
+                if let Some(target) = target {
+                    return Stmt::Assign {
+                        target,
+                        value: toks[i + 1..].to_vec(),
+                        line: t.line,
+                    };
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    Stmt::Expr(toks.to_vec())
+}
+
+/// Base variable of an assignment target: strip a trailing `[...]` index,
+/// then take the last identifier of the remaining path.
+fn assign_target(toks: &[Tok]) -> Option<String> {
+    let mut end = toks.len();
+    if end > 0 && toks[end - 1].is_punct("]") {
+        // Walk back to the matching `[`.
+        let mut depth = 0i32;
+        let mut j = end;
+        while j > 0 {
+            j -= 1;
+            match toks[j].text.as_str() {
+                "]" if toks[j].kind == TokKind::Punct => depth += 1,
+                "[" if toks[j].kind == TokKind::Punct => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks[..end]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && t.text != "self")
+        .map(|t| t.text.clone())
+}
+
+fn parse_let(toks: &[Tok], at: usize) -> (Stmt, usize) {
+    let line = toks[at].line;
+    // Pattern runs to the first top-level `:` or `=`.
+    let mut i = at + 1;
+    let mut depth = 0i32;
+    let pat_start = i;
+    let mut colon = None;
+    let mut eq = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth == 0 && colon.is_none() && eq.is_none() => colon = Some(i),
+                "=" if depth == 0 => {
+                    eq = Some(i);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let pat_end = colon.or(eq).unwrap_or(i);
+    let names = pattern_bindings(&toks[pat_start..pat_end]);
+    let ty = match (colon, eq) {
+        (Some(c), Some(e)) => toks[c + 1..e].to_vec(),
+        (Some(c), None) => toks[c + 1..i].to_vec(),
+        _ => Vec::new(),
+    };
+    let (init_all, next) = match eq {
+        Some(e) => scan_stmt_end(toks, e + 1),
+        None => (&toks[i..i], i + 1),
+    };
+    // let-else: `... = init else { block };`
+    let mut init = init_all.to_vec();
+    let mut else_block = None;
+    if let Some(epos) = find_top_ident(init_all, "else") {
+        if init_all.get(epos + 1).is_some_and(|t| t.is_punct("{")) {
+            let bstart = epos + 1;
+            let bend = matching(init_all, bstart);
+            else_block = Some(parse_block(&init_all[bstart + 1..bend.min(init_all.len())]));
+            init = init_all[..epos].to_vec();
+        }
+    }
+    (
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            else_block,
+            line,
+        },
+        next,
+    )
+}
+
+fn parse_if(toks: &[Tok], at: usize) -> (Stmt, usize) {
+    let hdr = scan_to_body(toks, at + 1);
+    let end = matching(toks, hdr);
+    let cond = toks[at + 1..hdr].to_vec();
+    let then_b = parse_block(&toks[hdr + 1..end.min(toks.len())]);
+    let mut i = end + 1;
+    let mut else_b = None;
+    if toks.get(i).is_some_and(|t| t.is_ident("else")) {
+        if toks.get(i + 1).is_some_and(|t| t.is_ident("if")) {
+            let (nested, n) = parse_if(toks, i + 1);
+            else_b = Some(Block {
+                stmts: vec![nested],
+            });
+            i = n;
+        } else if toks.get(i + 1).is_some_and(|t| t.is_punct("{")) {
+            let bend = matching(toks, i + 1);
+            else_b = Some(parse_block(&toks[i + 2..bend.min(toks.len())]));
+            i = bend + 1;
+        }
+    }
+    (
+        Stmt::If {
+            cond,
+            then_b,
+            else_b,
+        },
+        i,
+    )
+}
+
+fn parse_for(toks: &[Tok], at: usize) -> (Stmt, usize) {
+    // `for pat in iter { body }` — find top-level `in`.
+    let mut i = at + 1;
+    let mut depth = 0i32;
+    let pat_start = i;
+    let mut in_pos = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        } else if depth == 0 && t.is_ident("in") {
+            in_pos = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    let Some(in_pos) = in_pos else {
+        let (_, n) = scan_stmt_end(toks, at);
+        return (Stmt::Expr(toks[at..n.min(toks.len())].to_vec()), n);
+    };
+    let bindings = pattern_bindings(&toks[pat_start..in_pos]);
+    let hdr = scan_to_body(toks, in_pos + 1);
+    let end = matching(toks, hdr);
+    (
+        Stmt::For {
+            bindings,
+            iter: toks[in_pos + 1..hdr].to_vec(),
+            body: parse_block(&toks[hdr + 1..end.min(toks.len())]),
+        },
+        end + 1,
+    )
+}
+
+fn parse_match(toks: &[Tok], at: usize) -> (Stmt, usize) {
+    let hdr = scan_to_body(toks, at + 1);
+    let end = matching(toks, hdr);
+    let scrutinee = toks[at + 1..hdr].to_vec();
+    let inner = &toks[hdr + 1..end.min(toks.len())];
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        // Pattern (with optional guard) up to top-level `=>`.
+        let arrow = match find_top(&inner[i..], "=>") {
+            Some(a) => i + a,
+            None => break,
+        };
+        let bindings = pattern_bindings(&inner[i..arrow]);
+        let mut j = arrow + 1;
+        let body = if inner.get(j).is_some_and(|t| t.is_punct("{")) {
+            let bend = matching(inner, j);
+            let b = parse_block(&inner[j + 1..bend.min(inner.len())]);
+            j = bend + 1;
+            b
+        } else {
+            // Expression arm: runs to top-level `,` or end of match body.
+            let stop = find_top(&inner[j..], ",").map_or(inner.len(), |c| j + c);
+            let b = parse_block(&inner[j..stop]);
+            j = stop;
+            b
+        };
+        arms.push((bindings, body));
+        if inner.get(j).is_some_and(|t| t.is_punct(",")) {
+            j += 1;
+        }
+        i = j;
+    }
+    (Stmt::Match { scrutinee, arms }, end + 1)
+}
+
+/// Identifiers bound by a pattern: lower-or-underscore-initial idents that
+/// are not keywords and not immediately followed by `::` / `(` / `{` / `:`
+/// (those are paths, tuple structs, struct patterns, field names).
+fn pattern_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let first = t.text.chars().next().unwrap_or('_');
+        if first.is_uppercase() {
+            continue;
+        }
+        if let Some(next) = toks.get(i + 1) {
+            if next.is_punct("::") || next.is_punct("(") || next.is_punct("{") {
+                continue;
+            }
+        }
+        if let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) {
+            if prev.is_punct("::") || prev.is_punct(".") {
+                continue;
+            }
+        }
+        if !out.contains(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Index of the matching close bracket for the open bracket at `open`.
+/// Counts all three bracket kinds together, which is valid for lexed Rust.
+pub fn matching(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// First top-level `{` at or after `from` (header scan for if/while/for/
+/// match). Struct literals never appear bare in these headers in this
+/// codebase, so the first depth-0 `{` is the body.
+fn scan_to_body(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Statement end: the slice up to (not including) the terminating top-level
+/// `;`, and the index just past it. A statement that ends the block (no
+/// semicolon) runs to the end of the slice.
+fn scan_stmt_end(toks: &[Tok], from: usize) -> (&[Tok], usize) {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return (&toks[from..i], i + 1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (&toks[from..], i)
+}
+
+/// Split a token slice at top-level occurrences of punct `sep`.
+pub fn split_top<'a>(toks: &'a [Tok], sep: &str) -> Vec<&'a [Tok]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                s if depth == 0 && s == sep => {
+                    out.push(&toks[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+/// Index of the first top-level punct `sep`, bracket-aware.
+pub fn find_top(toks: &[Tok], sep: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                s if depth == 0 && s == sep => return Some(i),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Index of the first top-level ident `word`, bracket-aware.
+fn find_top_ident(toks: &[Tok], word: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        } else if depth == 0 && t.is_ident(word) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Join token texts with single spaces (normalized type / expr text).
+pub fn join(toks: &[Tok]) -> String {
+    toks.iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn extracts_fn_with_params() {
+        let f = fns("pub fn any(ctr: &mut KernelCounters, mask: WarpMask) -> bool { true }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "any");
+        assert!(f[0].is_pub);
+        assert_eq!(f[0].params[0].name, "ctr");
+        assert_eq!(f[0].params[0].ty, "& mut KernelCounters");
+        assert_eq!(f[0].params[1].ty, "WarpMask");
+    }
+
+    #[test]
+    fn finds_methods_inside_impl_and_marks_test_mods() {
+        let src = "impl<'a, T: Clone> Foo<'a, T> {\n  fn run(&mut self) { self.x = 1; }\n}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn check() { }\n}";
+        let f = fns(src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].name, "run");
+        assert!(!f[0].in_test);
+        assert!(f[1].in_test);
+    }
+
+    #[test]
+    fn where_clause_does_not_confuse_body_start() {
+        let f = fns("pub fn launch<R, F>(&self, body: F) -> Vec<R>\nwhere R: Send, F: Fn(usize) -> R + Sync {\n  let v = body(0);\n  vec![v]\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn statements_classify() {
+        let src = "fn k(mask: u32) {\n  let mut acc = 0u32;\n  for lane in 0..WARP_SIZE { acc += 1; }\n  if mask != 0 { acc = 2; } else { acc = 3; }\n  while acc > 0 { acc -= 1; }\n  match acc { 0 => {}, _ => {} }\n  loop { break; }\n}";
+        let f = fns(src);
+        let b = &f[0].body;
+        assert!(matches!(b.stmts[0], Stmt::Let { .. }));
+        assert!(matches!(b.stmts[1], Stmt::For { .. }));
+        assert!(matches!(b.stmts[2], Stmt::If { .. }));
+        assert!(matches!(b.stmts[3], Stmt::While { .. }));
+        assert!(matches!(b.stmts[4], Stmt::Match { .. }));
+        assert!(matches!(b.stmts[5], Stmt::Loop { .. }));
+    }
+
+    #[test]
+    fn let_else_splits_off_diverging_block() {
+        let f = fns("fn k() { let Some(x) = opt else { return; }; use_it(x); }");
+        match &f[0].body.stmts[0] {
+            Stmt::Let {
+                names, else_block, ..
+            } => {
+                assert_eq!(names, &vec!["x".to_string()]);
+                assert!(else_block.is_some());
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_targets_strip_indexing() {
+        let f = fns("fn k() { s[lane] = ps; self.weight_sum += w; mask = m2; }");
+        let targets: Vec<_> = f[0]
+            .body
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Assign { target, .. } => target.clone(),
+                other => panic!("expected assign, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(targets, vec!["s", "weight_sum", "mask"]);
+    }
+
+    #[test]
+    fn for_pattern_bindings() {
+        let f = fns("fn k() { for (i, w) in ws.iter().enumerate() { use_it(i, w); } }");
+        match &f[0].body.stmts[0] {
+            Stmt::For { bindings, .. } => {
+                assert_eq!(bindings, &vec!["i".to_string(), "w".to_string()])
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_arms_bind_patterns_not_variants() {
+        let f = fns(
+            "fn k(o: Option<usize>) { match o { None => {}, Some(b) if b > 0 => { hit(b); }, keep => drop(keep), } }",
+        );
+        match &f[0].body.stmts[0] {
+            Stmt::Match { arms, .. } => {
+                assert_eq!(arms.len(), 3);
+                assert!(arms[1].0.contains(&"b".to_string()));
+                assert!(arms[2].0.contains(&"keep".to_string()));
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trait_method_decls_without_body_are_skipped() {
+        let f = fns("trait T { fn a(&self) -> usize; fn b(&self) { } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "b");
+    }
+}

@@ -23,8 +23,10 @@
 //! The handle is zero-cost when disabled: [`Sanitizer`] is an
 //! `Option<Arc<..>>` and every hook starts with an inlined `None` check,
 //! so kernels pay one branch per instrumentation point in normal runs.
-//! Violations are capped, deduplicated per call site by nature of the
-//! cap, and surfaced as a structured [`SanitizerReport`] sorted into a
+//! Detailed violations are capped *per call site* ([`VIOLATION_CAP`],
+//! keyed by [`ViolationKind::site`]) so one hot instrumentation point
+//! cannot evict diagnostics from every other site; the total count keeps
+//! incrementing past the cap, and the report is sorted into a
 //! deterministic order.
 
 use std::collections::HashMap;
@@ -40,9 +42,16 @@ pub const WARP_SIZE: usize = 32;
 
 const FULL_MASK: u32 = u32::MAX;
 
-/// Maximum violations kept with full detail; the total count keeps
-/// incrementing past the cap.
+/// Maximum violations kept with full detail *per call site* (see
+/// [`ViolationKind::site`]); the total count keeps incrementing past the
+/// cap.
 pub const VIOLATION_CAP: usize = 64;
+
+/// Identity of the instrumentation point class that produced a violation:
+/// the variant name plus its static operand (primitive name or address
+/// space), with dynamic operands (addresses, lanes, warps) erased. The
+/// detail cap is applied per site.
+pub type Site = (&'static str, &'static str, Option<Space>);
 
 /// Which checking tools are active (mirrors compute-sanitizer's
 /// `--tool synccheck|racecheck|initcheck`, combinable here).
@@ -148,6 +157,23 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
+    /// The call-site class this violation belongs to, for the per-site
+    /// detail cap: variant plus the primitive name or address space. Two
+    /// violations from the same primitive (or the same racing space) share
+    /// a site even when their dynamic operands differ.
+    pub fn site(&self) -> Site {
+        match self {
+            ViolationKind::SyncMaskMismatch { primitive, .. } => {
+                ("sync-mask-mismatch", primitive, None)
+            }
+            ViolationKind::SyncEmptyMask { primitive } => ("sync-empty-mask", primitive, None),
+            ViolationKind::ShflInvalidSource { .. } => ("shfl-invalid-source", "shfl", None),
+            ViolationKind::WriteWriteRace { space, .. } => ("write-write-race", "", Some(*space)),
+            ViolationKind::ReadWriteRace { space, .. } => ("read-write-race", "", Some(*space)),
+            ViolationKind::UninitRead { space, .. } => ("uninit-read", "", Some(*space)),
+        }
+    }
+
     /// Which tool produced this violation.
     pub fn tool(&self) -> &'static str {
         match self {
@@ -233,8 +259,9 @@ impl fmt::Display for Violation {
 pub struct SanitizerReport {
     /// Kernel name the sanitizer was attached to.
     pub kernel: String,
-    /// Violations kept in detail (at most [`VIOLATION_CAP`]), sorted by
-    /// (block, warp, description) for determinism across host threads.
+    /// Violations kept in detail (at most [`VIOLATION_CAP`] per call
+    /// site), sorted by (block, warp, description) for determinism across
+    /// host threads.
     pub violations: Vec<Violation>,
     /// Total violations observed, including those past the cap.
     pub total: u64,
@@ -255,14 +282,22 @@ impl SanitizerReport {
 
     /// Fold another launch's report into this one (multi-launch runs such
     /// as the co-processing pipeline). Detailed violations stay capped at
-    /// [`VIOLATION_CAP`]; `total` keeps the exact count.
+    /// [`VIOLATION_CAP`] per call site; `total` keeps the exact count.
     pub fn merge(&mut self, other: &SanitizerReport) {
         if self.kernel.is_empty() {
             self.kernel = other.kernel.clone();
         }
-        let room = VIOLATION_CAP.saturating_sub(self.violations.len());
-        self.violations
-            .extend(other.violations.iter().take(room).cloned());
+        let mut per_site: HashMap<Site, usize> = HashMap::new();
+        for v in &self.violations {
+            *per_site.entry(v.kind.site()).or_default() += 1;
+        }
+        for v in &other.violations {
+            let n = per_site.entry(v.kind.site()).or_default();
+            if *n < VIOLATION_CAP {
+                self.violations.push(v.clone());
+                *n += 1;
+            }
+        }
         self.total += other.total;
     }
 }
@@ -283,7 +318,7 @@ impl fmt::Display for SanitizerReport {
         if self.total > self.violations.len() as u64 {
             writeln!(
                 f,
-                "  ... {} more (cap {})",
+                "  ... {} more (cap {} per call site)",
                 self.total - self.violations.len() as u64,
                 VIOLATION_CAP
             )?;
@@ -339,11 +374,19 @@ impl InitShadow {
     }
 }
 
+/// Detailed violations plus the per-site counts enforcing the cap, kept
+/// under one lock so the count and the kept list cannot drift apart.
+#[derive(Debug, Default)]
+struct Detail {
+    kept: Vec<Violation>,
+    per_site: HashMap<Site, usize>,
+}
+
 #[derive(Debug)]
 struct Inner {
     mode: SanitizerMode,
     kernel: String,
-    violations: Mutex<Vec<Violation>>,
+    detail: Mutex<Detail>,
     total: AtomicU64,
     blocks: Mutex<HashMap<usize, BlockShadow>>,
     allocs: Mutex<HashMap<Space, InitShadow>>,
@@ -352,9 +395,11 @@ struct Inner {
 impl Inner {
     fn record(&self, block: usize, warp: usize, kind: ViolationKind) {
         self.total.fetch_add(1, Ordering::Relaxed);
-        let mut v = self.violations.lock();
-        if v.len() < VIOLATION_CAP {
-            v.push(Violation {
+        let mut d = self.detail.lock();
+        let seen = d.per_site.entry(kind.site()).or_default();
+        if *seen < VIOLATION_CAP {
+            *seen += 1;
+            d.kept.push(Violation {
                 kernel: self.kernel.clone(),
                 block,
                 warp,
@@ -382,7 +427,7 @@ impl Sanitizer {
             inner: Some(Arc::new(Inner {
                 mode,
                 kernel: kernel.to_string(),
-                violations: Mutex::new(Vec::new()),
+                detail: Mutex::new(Detail::default()),
                 total: AtomicU64::new(0),
                 blocks: Mutex::new(HashMap::new()),
                 allocs: Mutex::new(HashMap::new()),
@@ -445,7 +490,7 @@ impl Sanitizer {
         let Some(inner) = &self.inner else {
             return SanitizerReport::default();
         };
-        let mut violations = inner.violations.lock().clone();
+        let mut violations = inner.detail.lock().kept.clone();
         violations.sort_by(|a, b| {
             (a.block, a.warp, format!("{}", a.kind)).cmp(&(b.block, b.warp, format!("{}", b.kind)))
         });
@@ -798,6 +843,57 @@ mod tests {
         assert_eq!(blocks, sorted);
         assert!(!rep.is_clean());
         assert!(format!("{rep}").contains("more (cap"));
+    }
+
+    #[test]
+    fn cap_is_per_call_site() {
+        let san = Sanitizer::new(SanitizerMode::FULL, "k");
+        let ws = san.warp(0, 0);
+        ws.set_active(0b1);
+        // Flood one site far past the cap...
+        for _ in 0..VIOLATION_CAP * 3 {
+            ws.sync_op("ballot", 0b11);
+        }
+        // ...then hit a different site once: it must still be kept in
+        // detail rather than evicted by the flood.
+        ws.sync_op("reduce_sum", 0);
+        let rep = san.report();
+        assert_eq!(rep.total, (VIOLATION_CAP * 3 + 1) as u64);
+        assert_eq!(rep.violations.len(), VIOLATION_CAP + 1);
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::SyncEmptyMask { primitive } if primitive == "reduce_sum")),
+            "second call site was evicted by the first site's flood"
+        );
+    }
+
+    #[test]
+    fn merge_caps_per_site() {
+        let make = |n_ballot: usize, n_empty: usize| {
+            let san = Sanitizer::new(SanitizerMode::FULL, "k");
+            let ws = san.warp(0, 0);
+            ws.set_active(0b1);
+            for _ in 0..n_ballot {
+                ws.sync_op("ballot", 0b11);
+            }
+            for _ in 0..n_empty {
+                ws.sync_op("shfl", 0);
+            }
+            san.report()
+        };
+        let mut merged = make(VIOLATION_CAP, 1);
+        merged.merge(&make(VIOLATION_CAP, 1));
+        // The flooded site stays at its cap; the rare site keeps both
+        // occurrences instead of losing the second to the flood.
+        assert_eq!(merged.total, 2 * (VIOLATION_CAP + 1) as u64);
+        assert_eq!(merged.violations.len(), VIOLATION_CAP + 2);
+        let empties = merged
+            .violations
+            .iter()
+            .filter(|v| matches!(v.kind, ViolationKind::SyncEmptyMask { .. }))
+            .count();
+        assert_eq!(empties, 2);
     }
 
     #[test]

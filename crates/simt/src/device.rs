@@ -28,8 +28,38 @@ impl Default for DeviceConfig {
 }
 
 impl DeviceConfig {
+    /// Checked constructor: rejects geometries the SIMT model cannot
+    /// execute instead of panicking later inside a launch. The block size
+    /// must be a positive multiple of 32 (whole warps only — a ragged
+    /// trailing warp would need per-lane predication the lockstep model
+    /// deliberately does not have), and the grid must be non-empty.
+    /// `host_threads` is clamped to at least 1.
+    pub fn checked(
+        num_blocks: usize,
+        threads_per_block: usize,
+        host_threads: usize,
+    ) -> Result<Self, ConfigError> {
+        if threads_per_block == 0 || !threads_per_block.is_multiple_of(32) {
+            return Err(ConfigError::RaggedBlock { threads_per_block });
+        }
+        if num_blocks == 0 {
+            return Err(ConfigError::EmptyGrid);
+        }
+        Ok(DeviceConfig {
+            num_blocks,
+            threads_per_block,
+            host_threads: host_threads.max(1),
+        })
+    }
+
     /// Warps per block.
     pub fn warps_per_block(&self) -> usize {
+        debug_assert!(
+            self.threads_per_block > 0 && self.threads_per_block.is_multiple_of(32),
+            "DeviceConfig bypassed validation: threads_per_block = {} is not a \
+             positive multiple of 32 (use DeviceConfig::checked)",
+            self.threads_per_block
+        );
         self.threads_per_block / 32
     }
 
@@ -38,6 +68,29 @@ impl DeviceConfig {
         self.num_blocks * self.threads_per_block
     }
 }
+
+/// Rejected launch geometry from [`DeviceConfig::checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads_per_block` is zero or not a multiple of 32.
+    RaggedBlock { threads_per_block: usize },
+    /// `num_blocks` is zero.
+    EmptyGrid,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RaggedBlock { threads_per_block } => write!(
+                f,
+                "threads_per_block = {threads_per_block} must be a positive multiple of 32"
+            ),
+            ConfigError::EmptyGrid => write!(f, "num_blocks must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The software device: executes kernels block-parallel on host threads.
 #[derive(Debug, Clone, Default)]
@@ -300,6 +353,34 @@ mod tests {
         let m = DeviceModel::default();
         let c = KernelCounters::default();
         assert!((m.modeled_ms(&c) - m.launch_overhead_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_rejects_bad_geometry() {
+        assert_eq!(
+            DeviceConfig::checked(4, 33, 2),
+            Err(ConfigError::RaggedBlock {
+                threads_per_block: 33
+            })
+        );
+        assert_eq!(
+            DeviceConfig::checked(4, 0, 2),
+            Err(ConfigError::RaggedBlock {
+                threads_per_block: 0
+            })
+        );
+        assert_eq!(DeviceConfig::checked(0, 64, 2), Err(ConfigError::EmptyGrid));
+        let err = DeviceConfig::checked(4, 48, 2).unwrap_err();
+        assert!(err.to_string().contains("multiple of 32"), "{err}");
+    }
+
+    #[test]
+    fn checked_accepts_and_clamps() {
+        let c = DeviceConfig::checked(4, 128, 0).unwrap();
+        assert_eq!(c.num_blocks, 4);
+        assert_eq!(c.threads_per_block, 128);
+        assert_eq!(c.host_threads, 1, "host_threads clamped to at least 1");
+        assert_eq!(c.warps_per_block(), 4);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod warp;
 pub use gsword_prof as prof;
 
 pub use counters::KernelCounters;
-pub use device::{Device, DeviceConfig, DeviceModel};
+pub use device::{ConfigError, Device, DeviceConfig, DeviceModel};
 pub use gsword_prof::{
     CounterSnapshot, KernelMetrics, ProfReport, Profiler, Span, SpanKind, StreamCounters, Track,
 };

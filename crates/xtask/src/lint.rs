@@ -1,365 +1,32 @@
-//! The repo-invariant lint rules.
+//! The repo-invariant lint, now a thin alias for the static analyzer.
 //!
-//! These are textual checks, deliberately simple: they parse just enough
-//! Rust (brace matching, signature scanning) to enforce invariants the
-//! type system cannot express, and they run on every file under the lint
-//! root except `xtask` itself (whose fixtures intentionally violate them).
+//! The textual rules that used to live here (brace-matching signature
+//! scans, per-line `split("//")` comment stripping) migrated to
+//! `gsword-analyzer`, which lexes and parses the source properly and adds
+//! the kernel-body dataflow rules (`divergent-sync`, `pool-race`) on top.
+//! `cargo xtask lint` and `cargo xtask analyze` are the same check; the
+//! lint name is kept so existing CI invocations don't break. Finding
+//! messages for the migrated rules are byte-identical to the old ones.
 
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// A single lint finding, formatted `file: rule: message`.
+/// A single finding, formatted `file[:line]: rule: message`.
 pub type Finding = String;
 
-/// Walk `root` and apply every rule to each `.rs` file. Paths containing
-/// an `xtask` component are skipped — the lint's own fixtures violate the
-/// rules on purpose.
+/// Walk `root` and run every analyzer rule on each `.rs` file. Paths
+/// containing an `xtask` or `fixtures` component are skipped — both
+/// fixture trees violate the rules on purpose.
 pub fn run(root: &Path) -> Vec<Finding> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
-    files.sort();
-    let mut findings = Vec::new();
-    for path in files {
-        // Skip xtask itself (fixtures violate the rules on purpose), but
-        // only relative to the lint root — pointing the lint *at* a
-        // fixture tree still checks it.
-        let rel = path.strip_prefix(root).unwrap_or(&path);
-        if rel.components().any(|c| c.as_os_str() == "xtask") {
-            continue;
-        }
-        let Ok(src) = fs::read_to_string(&path) else {
-            continue;
-        };
-        let shown = rel.display().to_string();
-        if path.file_name().is_some_and(|n| n == "warp.rs") {
-            findings.extend(check_primitives_charge(&shown, &src));
-        }
-        findings.extend(check_no_seqcst(&shown, &src));
-        findings.extend(check_launch_merges(&shown, &src));
-        findings.extend(check_launch_confined(&shown, &src));
-        findings.extend(check_prof_confined(&shown, &src));
-    }
-    findings
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-const CHARGE_CALLS: &[&str] = &[
-    "ctr.warp_instruction(",
-    "ctr.warp_load(",
-    "ctr.warp_store(",
-    "ctr.diverge(",
-];
-
-/// Rule 1: every `pub fn` in a `warp.rs` whose signature takes
-/// `ctr: &mut KernelCounters` must charge the counters in its body. A warp
-/// primitive that forgets to charge silently corrupts the modeled device
-/// time every kernel reports.
-pub fn check_primitives_charge(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (name, sig, body) in public_fns(src) {
-        if !sig.contains("ctr: &mut KernelCounters") {
-            continue;
-        }
-        if !CHARGE_CALLS.iter().any(|c| body.contains(c)) {
-            findings.push(format!(
-                "{file}: primitive-charges-counters: pub fn {name} takes \
-                 &mut KernelCounters but never charges them \
-                 (warp_instruction/warp_load/warp_store/diverge)"
-            ));
-        }
-    }
-    findings
-}
-
-/// Rule 2: no `SeqCst` atomic orderings. The simulator's concurrency is
-/// designed around Relaxed counters plus Acquire/Release hand-off; a
-/// SeqCst that creeps in usually papers over an ordering bug instead of
-/// fixing it, and costs a full fence on every access.
-pub fn check_no_seqcst(file: &str, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let code = line.split("//").next().unwrap_or(line);
-        if code.contains("SeqCst") {
-            findings.push(format!(
-                "{file}:{}: no-seqcst: SeqCst ordering is banned (use \
-                 Relaxed or Acquire/Release and document why)",
-                i + 1
-            ));
-        }
-    }
-    findings
-}
-
-/// Rule 3: a file that calls `Device::launch` must also merge
-/// `KernelCounters` (`.merge(`). A launch path that drops the per-block
-/// counters produces reports whose modeled time excludes that kernel.
-pub fn check_launch_merges(file: &str, src: &str) -> Vec<Finding> {
-    let mut calls_launch = false;
-    let mut merges = false;
-    for line in src.lines() {
-        let code = line.split("//").next().unwrap_or(line);
-        if code.contains(".launch(") {
-            calls_launch = true;
-        }
-        if code.contains(".merge(") {
-            merges = true;
-        }
-    }
-    // Skip the definition site itself: `pub fn launch` lives in the simt
-    // crate and has no counters to merge.
-    if calls_launch && !merges && !src.contains("pub fn launch") {
-        vec![format!(
-            "{file}: launch-merges-counters: calls Device::launch but never \
-             merges the per-block KernelCounters"
-        )]
-    } else {
-        vec![]
-    }
-}
-
-/// Rule 4: device launches (`.launch(` / `.launch_blocks(`) are confined
-/// to the simt crate and the engine's runtime module. Everything else must
-/// go through the runtime layer (`spawn_kernel` / `spawn_estimate` /
-/// `run_engine`), which owns sharding, stream scheduling, and counter
-/// attribution — a stray direct launch bypasses all three.
-pub fn check_launch_confined(file: &str, src: &str) -> Vec<Finding> {
-    let normalized = file.replace('\\', "/");
-    let allowed =
-        normalized.split('/').any(|c| c == "simt") || normalized.ends_with("engine/src/runtime.rs");
-    if allowed {
-        return vec![];
-    }
-    let mut findings = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let code = line.split("//").next().unwrap_or(line);
-        if code.contains(".launch(") || code.contains(".launch_blocks(") {
-            findings.push(format!(
-                "{file}:{}: launch-confined: direct device launch outside \
-                 crates/simt and the engine runtime module (go through \
-                 spawn_kernel/spawn_estimate/run_engine)",
-                i + 1
-            ));
-        }
-    }
-    findings
-}
-
-/// Rule 5: counter-board reads (`.stream_counters(` / `.device_counters(`
-/// / `.take_device_counters(`) are confined to the simt and prof crates
-/// and the engine's runtime module. The board is the profiler's raw feed;
-/// everything else consumes the attributed [`ProfReport`] / engine report
-/// instead, so metric definitions stay in one place and a board read
-/// cannot race a stream that is still draining.
-pub fn check_prof_confined(file: &str, src: &str) -> Vec<Finding> {
-    const BOARD_READS: &[&str] = &[
-        ".stream_counters(",
-        ".device_counters(",
-        ".take_device_counters(",
-    ];
-    let normalized = file.replace('\\', "/");
-    let allowed = normalized.split('/').any(|c| c == "simt" || c == "prof")
-        || normalized.ends_with("engine/src/runtime.rs");
-    if allowed {
-        return vec![];
-    }
-    let mut findings = Vec::new();
-    for (i, line) in src.lines().enumerate() {
-        let code = line.split("//").next().unwrap_or(line);
-        if BOARD_READS.iter().any(|c| code.contains(c)) {
-            findings.push(format!(
-                "{file}:{}: prof-confined: direct counter-board read outside \
-                 crates/simt, crates/prof, and the engine runtime module \
-                 (consume ProfReport / EngineReport instead)",
-                i + 1
-            ));
-        }
-    }
-    findings
-}
-
-/// Yield `(name, signature, body)` for each `pub fn` in `src`, using brace
-/// matching. Good enough for the controlled style of this workspace; not a
-/// general Rust parser.
-fn public_fns(src: &str) -> Vec<(String, String, String)> {
-    let mut out = Vec::new();
-    let bytes = src.as_bytes();
-    let mut search_from = 0;
-    while let Some(rel) = src[search_from..].find("pub fn ") {
-        let start = search_from + rel;
-        let name_start = start + "pub fn ".len();
-        let name_end = src[name_start..]
-            .find(['(', '<'])
-            .map_or(src.len(), |i| name_start + i);
-        let name = src[name_start..name_end].trim().to_string();
-
-        // Signature: up to the opening `{` (or, for a bodiless trait
-        // declaration, a `;`) — but only outside parens/brackets, so a
-        // `;` inside `&[bool; 32]` doesn't end the signature early.
-        let mut body_open = None;
-        let mut nest = 0i32;
-        for (i, &b) in bytes[start..].iter().enumerate() {
-            match b {
-                b'(' | b'[' | b'<' => nest += 1,
-                b')' | b']' | b'>' => nest -= 1,
-                b'{' if nest <= 0 => {
-                    body_open = Some(start + i);
-                    break;
-                }
-                b';' if nest <= 0 => break,
-                _ => {}
-            }
-        }
-        let Some(body_open) = body_open else {
-            search_from = name_end;
-            continue;
-        };
-        let sig = src[start..body_open].to_string();
-
-        // Body: brace-match from `body_open`.
-        let mut depth = 0usize;
-        let mut end = body_open;
-        for (i, &b) in bytes[body_open..].iter().enumerate() {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = body_open + i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        out.push((name, sig, src[body_open..end].to_string()));
-        search_from = end.max(body_open + 1);
-    }
-    out
+    gsword_analyzer::analyze_tree(root)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn charging_primitive_passes() {
-        let src = "pub fn any(ctr: &mut KernelCounters, mask: u32) -> bool {\n    ctr.warp_instruction(mask);\n    true\n}\n";
-        assert!(check_primitives_charge("warp.rs", src).is_empty());
-    }
-
-    #[test]
-    fn non_charging_primitive_flagged() {
-        let src =
-            "pub fn bad(ctr: &mut KernelCounters, mask: u32) -> u32 {\n    mask.count_ones()\n}\n";
-        let f = check_primitives_charge("warp.rs", src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("pub fn bad"), "{f:?}");
-    }
-
-    #[test]
-    fn fns_without_counters_ignored() {
-        let src = "pub fn first_lane(ballot: u32) -> Option<usize> {\n    None\n}\n";
-        assert!(check_primitives_charge("warp.rs", src).is_empty());
-    }
-
-    #[test]
-    fn seqcst_flagged_with_line() {
-        let src = "let x = a.load(Ordering::Relaxed);\nlet y = b.load(Ordering::SeqCst);\n";
-        let f = check_no_seqcst("f.rs", src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("f.rs:2"), "{f:?}");
-    }
-
-    #[test]
-    fn seqcst_in_comment_allowed() {
-        let src = "// SeqCst would be wrong here\nlet x = a.load(Ordering::Relaxed);\n";
-        assert!(check_no_seqcst("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn launch_without_merge_flagged() {
-        let src = "let out = device.launch(|b| run(b));\n";
-        assert_eq!(check_launch_merges("f.rs", src).len(), 1);
-    }
-
-    #[test]
-    fn launch_with_merge_passes() {
-        let src = "let out = device.launch(|b| run(b));\nfor c in &out { counters.merge(c); }\n";
-        assert!(check_launch_merges("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn launch_definition_site_exempt() {
-        let src = "pub fn launch<R, F>(&self, body: F) -> Vec<R> {\n    self.run(body)\n}\nlet x = d.launch(f);\n";
-        assert!(check_launch_merges("device.rs", src).is_empty());
-    }
-
-    #[test]
-    fn launch_outside_runtime_flagged() {
-        let src = "let out = device.launch(|b| run(b));\n";
-        let f = check_launch_confined("crates/pipeline/src/trawl.rs", src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("launch-confined"), "{f:?}");
-        let g = check_launch_confined("crates/engine/src/kernel.rs", "x.launch_blocks(0..2, f);\n");
-        assert_eq!(g.len(), 1, "{g:?}");
-    }
-
-    #[test]
-    fn launch_in_simt_or_engine_runtime_allowed() {
-        let src = "let out = device.launch_blocks(0..4, |b| run(b));\n";
-        assert!(check_launch_confined("crates/simt/src/runtime.rs", src).is_empty());
-        assert!(check_launch_confined("crates/simt/src/device.rs", src).is_empty());
-        assert!(check_launch_confined("crates/engine/src/runtime.rs", src).is_empty());
-    }
-
-    #[test]
-    fn launch_in_comment_not_flagged() {
-        let src = "// call device.launch(body) through the runtime instead\n";
-        assert!(check_launch_confined("crates/core/src/builder.rs", src).is_empty());
-    }
-
-    #[test]
-    fn board_read_outside_prof_flagged() {
-        let src = "let c = runtime.stream_counters(0, 1);\n";
-        let f = check_prof_confined("crates/core/src/builder.rs", src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("prof-confined"), "{f:?}");
-        let g = check_prof_confined(
-            "crates/bench/benches/device.rs",
-            "let v = rt.take_device_counters();\n",
-        );
-        assert_eq!(g.len(), 1, "{g:?}");
-    }
-
-    #[test]
-    fn board_read_in_simt_prof_or_engine_runtime_allowed() {
-        let src = "let c = self.device_counters(d);\nlet s = rt.stream_counters(0, 0);\n";
-        assert!(check_prof_confined("crates/simt/src/runtime.rs", src).is_empty());
-        assert!(check_prof_confined("crates/prof/src/lib.rs", src).is_empty());
-        assert!(check_prof_confined("crates/engine/src/runtime.rs", src).is_empty());
-    }
-
-    #[test]
-    fn board_read_in_comment_not_flagged() {
-        let src = "// read via runtime.stream_counters(d, s) in simt only\n";
-        assert!(check_prof_confined("crates/core/src/builder.rs", src).is_empty());
-    }
+    use std::path::PathBuf;
 
     #[test]
     fn workspace_is_clean() {
@@ -373,10 +40,10 @@ mod tests {
 
     #[test]
     fn fixture_crate_fails_every_rule() {
+        // The bad_crate fixtures live under crates/xtask/, which `run`
+        // skips — analyze the fixture tree directly, as the old textual
+        // lint's test did.
         let fixtures = crate_root().join("fixtures");
-        // Fixtures live under crates/xtask/, which `run` skips — lint the
-        // fixture tree directly.
-        let mut findings = Vec::new();
         let mut files = Vec::new();
         collect_rs_files(&fixtures, &mut files);
         files.sort();
@@ -385,16 +52,15 @@ mod tests {
             "missing lint fixtures at {}",
             fixtures.display()
         );
+        let mut findings = Vec::new();
         for path in files {
             let src = std::fs::read_to_string(&path).unwrap();
             let shown = path.file_name().unwrap().to_string_lossy().to_string();
-            if shown == "warp.rs" {
-                findings.extend(check_primitives_charge(&shown, &src));
-            }
-            findings.extend(check_no_seqcst(&shown, &src));
-            findings.extend(check_launch_merges(&shown, &src));
-            findings.extend(check_launch_confined(&shown, &src));
-            findings.extend(check_prof_confined(&shown, &src));
+            findings.extend(
+                gsword_analyzer::analyze_source(&shown, &src)
+                    .iter()
+                    .map(ToString::to_string),
+            );
         }
         let text = findings.join("\n");
         assert!(text.contains("primitive-charges-counters"), "{text}");
@@ -402,6 +68,46 @@ mod tests {
         assert!(text.contains("launch-merges-counters"), "{text}");
         assert!(text.contains("launch-confined"), "{text}");
         assert!(text.contains("prof-confined"), "{text}");
+    }
+
+    #[test]
+    fn finding_format_is_unchanged() {
+        // The migrated rules must keep the legacy message text so CI diffs
+        // and tooling that greps lint output stay stable.
+        let f = gsword_analyzer::analyze_source(
+            "warp.rs",
+            "pub fn bad(ctr: &mut KernelCounters, mask: u32) -> u32 { mask }\n",
+        );
+        assert_eq!(
+            f[0].to_string(),
+            "warp.rs: primitive-charges-counters: pub fn bad takes &mut \
+             KernelCounters but never charges them \
+             (warp_instruction/warp_load/warp_store/diverge)"
+        );
+        let g = gsword_analyzer::analyze_source(
+            "core/src/builder.rs",
+            "fn f() { let c = rt.stream_counters(0, 0); }\n",
+        );
+        assert_eq!(
+            g[0].to_string(),
+            "core/src/builder.rs:1: prof-confined: direct counter-board read \
+             outside crates/simt, crates/prof, and the engine runtime module \
+             (consume ProfReport / EngineReport instead)"
+        );
+    }
+
+    fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                collect_rs_files(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
     }
 
     fn crate_root() -> PathBuf {

@@ -1,8 +1,10 @@
 //! Repo maintenance tasks, invoked as `cargo xtask <task>`.
 //!
-//! The only task so far is `lint`: a repo-invariant checker that enforces
-//! rules the compiler cannot (see [`lint`] for the rule list). It runs in
-//! CI next to clippy and fails the build on any finding.
+//! `analyze` runs the gsword-analyzer static checks (uniformity dataflow
+//! over kernel CFGs plus the migrated repo invariants) over the
+//! workspace's crates and fails on any finding; `lint` is an alias kept
+//! for existing CI invocations. `check-trace` validates Chrome trace JSON
+//! emitted by the profiler.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,51 +15,60 @@ const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [dir]           check repo invariants over `dir` (default: the
-                       workspace's crates/ directory, excluding xtask
-                       itself)
+  analyze [dir]        run the static lockstep-safety analyzer over `dir`
+                       (default: the workspace's crates/ directory,
+                       excluding xtask and fixture trees); reports
+                       machine-readable findings `file:line: rule:
+                       message` and fails on any
+  lint [dir]           alias for analyze (the textual lint's rules are
+                       now analyzer visitors; kept so CI invocations
+                       don't break)
   check-trace <file>   validate a Chrome trace JSON written by
                        `gsword estimate --profile --trace-out <file>`
                        (parses the JSON, checks event shape, reports the
                        track count) — used by the CI profile-smoke step
 
-invariants enforced by lint:
-  1. every warp primitive in src/warp.rs taking &mut KernelCounters
+rules enforced by analyze/lint:
+  1. divergent-sync: warp primitives (any/ballot/shfl/reduce_*) must not
+     claim a full or stale participation mask that contradicts the
+     set_active declaration or divergent control flow (static synccheck)
+  2. pool-race: block-shared SamplePool accesses need a block_barrier
+     between an atomic fetch and an unsynchronized cursor read on every
+     path (static racecheck)
+  3. primitive-charges-counters: every pub fn taking &mut KernelCounters
      charges the counters (warp_instruction/warp_load/warp_store/diverge)
-  2. no SeqCst atomic orderings (the device model is Relaxed/Acquire/
-     Release by design; SeqCst hides missing reasoning about ordering)
-  3. every Device::launch call site merges per-block KernelCounters
-     (a launch path that drops counters silently corrupts modeled time)
-  4. device launches (.launch/.launch_blocks) appear only in crates/simt
-     and the engine runtime module; everything else goes through
-     spawn_kernel/spawn_estimate/run_engine (the runtime layer owns
-     sharding, stream scheduling, and counter attribution)
-  5. counter-board reads (.stream_counters/.device_counters/
-     .take_device_counters) appear only in crates/simt, crates/prof, and
-     the engine runtime module; everything else consumes the attributed
-     ProfReport / EngineReport";
+     or forwards them to a callee
+  4. no-seqcst: no SeqCst atomic orderings (the device model is
+     Relaxed/Acquire/Release by design)
+  5. launch-merges-counters: every Device::launch call site merges the
+     per-block KernelCounters
+  6. launch-confined: device launches (.launch/.launch_blocks) appear
+     only in crates/simt and the engine runtime module
+  7. prof-confined: counter-board reads (.stream_counters/
+     .device_counters/.take_device_counters) appear only in crates/simt,
+     crates/prof, and the engine runtime module";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
+        Some(task @ ("analyze" | "lint")) => {
             let root = match args.get(1) {
                 Some(p) => PathBuf::from(p),
-                None => default_lint_root(),
+                None => default_analyze_root(),
             };
             if !root.exists() {
-                eprintln!("xtask lint: no such directory: {}", root.display());
+                eprintln!("xtask {task}: no such directory: {}", root.display());
                 return ExitCode::from(2);
             }
             let findings = lint::run(&root);
             if findings.is_empty() {
-                println!("xtask lint: clean ({})", root.display());
+                println!("xtask {task}: clean ({})", root.display());
                 ExitCode::SUCCESS
             } else {
                 for f in &findings {
                     eprintln!("{f}");
                 }
-                eprintln!("xtask lint: {} finding(s)", findings.len());
+                eprintln!("xtask {task}: {} finding(s)", findings.len());
                 ExitCode::FAILURE
             }
         }
@@ -103,7 +114,7 @@ fn main() -> ExitCode {
 }
 
 /// The workspace's `crates/` directory (xtask lives at `crates/xtask`).
-fn default_lint_root() -> PathBuf {
+fn default_analyze_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .expect("xtask sits inside crates/")

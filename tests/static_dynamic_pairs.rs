@@ -1,0 +1,306 @@
+//! Cross-validation of the static analyzer against the dynamic layers.
+//!
+//! Every rule `cargo xtask analyze` enforces exists because some runtime
+//! misbehavior is real. Each test here has two halves:
+//!
+//!  * **static**: a minimal bad snippet, analyzed with
+//!    `gsword_analyzer::analyze_source`, yields exactly the rule's
+//!    diagnostic;
+//!  * **dynamic**: the same bug pattern, executed against the simulator,
+//!    produces the concrete failure the rule predicts — a sanitizer
+//!    violation, a silently wrong device-time estimate, or lost counter
+//!    attribution.
+//!
+//! The pairing table lives in DESIGN.md §10. This suite sits at the
+//! workspace root (outside the `crates/` tree the analyzer walks) so its
+//! own deliberately-misbehaving runtime calls are not self-flagged.
+
+use gsword_analyzer::Finding;
+use gsword_simt::{
+    warp, Device, DeviceConfig, DeviceModel, KernelCounters, Runtime, RuntimeConfig, SamplePool,
+    Sanitizer, SanitizerMode, ViolationKind, WARP_SIZE,
+};
+
+/// Analyze `src` under the path label `label` and assert the analyzer
+/// reports exactly one finding, for `rule`.
+fn assert_single_finding(label: &str, src: &str, rule: &str) -> Finding {
+    let findings = gsword_analyzer::analyze_source(label, src);
+    assert_eq!(
+        findings.len(),
+        1,
+        "{label}: expected exactly one {rule} finding, got:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(findings[0].rule, rule, "{}", findings[0]);
+    findings[0].clone()
+}
+
+// ---------------------------------------------------------------------------
+// divergent-sync  <->  synccheck
+// ---------------------------------------------------------------------------
+
+/// Static: a kernel declares the full mask to a warp primitive right after
+/// telling the executor only a subset of lanes is converged. Dynamic: the
+/// same call sequence trips synccheck's `SyncMaskMismatch` — on hardware
+/// the stray lanes make the primitive's result undefined.
+#[test]
+fn divergent_sync_pairs_with_synccheck() {
+    assert_single_finding(
+        "kernel.rs",
+        "pub fn collapse(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) -> u32 {
+            san.set_active(mask);
+            ballot(ctr, san, u32::MAX, pred)
+        }",
+        "divergent-sync",
+    );
+
+    let sz = Sanitizer::new(SanitizerMode::FULL, "pair-sync");
+    let ws = sz.warp(0, 0);
+    let mut ctr = KernelCounters::default();
+    ws.set_active(0x0000_FFFF);
+    warp::ballot(&mut ctr, &ws, u32::MAX, &[false; WARP_SIZE]);
+    let rep = sz.report();
+    assert_eq!(rep.count_for("synccheck"), 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::SyncMaskMismatch {
+            declared: 0xFFFF_FFFF,
+            active: 0x0000_FFFF,
+            ..
+        }
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// pool-race  <->  racecheck
+// ---------------------------------------------------------------------------
+
+/// Static: an atomic pool fetch followed by an unsynchronized cursor read
+/// with no barrier between them. Dynamic: another warp's plain read of the
+/// cursor races the atomic increment and racecheck reports it.
+#[test]
+fn pool_race_pairs_with_racecheck() {
+    assert_single_finding(
+        "kernel.rs",
+        "pub fn drain_and_peek(pool: &SamplePool, san: &WarpSanitizer) -> u64 {
+            let _task = pool.fetch_sanitized(san);
+            pool.read_cursor_unsync(san)
+        }",
+        "pool-race",
+    );
+
+    let sz = Sanitizer::new(SanitizerMode::FULL, "pair-race");
+    let pool = SamplePool::new(64);
+    let w0 = sz.warp(0, 0);
+    let w1 = sz.warp(0, 1);
+    assert!(pool.fetch_sanitized(&w0).is_some());
+    pool.read_cursor_unsync(&w1); // plain read races warp 0's atomic write
+    let rep = sz.report();
+    assert!(rep.count_for("racecheck") >= 1, "{rep}");
+    assert!(matches!(
+        rep.violations[0].kind,
+        ViolationKind::ReadWriteRace { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// primitive-charges-counters  <->  the device-time model
+// ---------------------------------------------------------------------------
+
+/// Static: a pub fn takes `&mut KernelCounters` and never charges them.
+/// Dynamic: work that skips charging is invisible to the device-time
+/// model — the modeled kernel time collapses to bare launch overhead, so
+/// every optimization ratio computed from it is garbage.
+#[test]
+fn uncharged_counters_pair_with_zero_modeled_time() {
+    assert_single_finding(
+        "kernel.rs",
+        "pub fn phantom_work(ctr: &mut KernelCounters, items: &Lanes<u32>) -> u32 {
+            items.iter().sum()
+        }",
+        "primitive-charges-counters",
+    );
+
+    let model = DeviceModel::default();
+    let uncharged = KernelCounters::default();
+    assert!(
+        (model.modeled_ms(&uncharged) - model.launch_overhead_ms).abs() < 1e-12,
+        "uncharged work is invisible to the time model"
+    );
+    let mut charged = KernelCounters::default();
+    for _ in 0..10_000 {
+        charged.warp_instruction(u32::MAX);
+    }
+    assert!(
+        model.modeled_ms(&charged) > model.modeled_ms(&uncharged),
+        "charging is what makes work cost modeled time"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// no-seqcst  <->  Relaxed is sufficient
+// ---------------------------------------------------------------------------
+
+/// Static: a SeqCst ordering is flagged. Dynamic: the pool's Relaxed CAS
+/// hands out every task exactly once under real thread contention — the
+/// device model's invariants never needed the full fence SeqCst pays for.
+#[test]
+fn no_seqcst_pairs_with_relaxed_exactness() {
+    assert_single_finding(
+        "pool.rs",
+        "fn cursor_value(cursor: &AtomicU64) -> u64 {
+            cursor.load(Ordering::SeqCst)
+        }",
+        "no-seqcst",
+    );
+
+    let pool = SamplePool::new(10_000);
+    let count = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                while pool.fetch().is_some() {
+                    count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 10_000);
+    assert_eq!(pool.issued(), 10_000);
+}
+
+// ---------------------------------------------------------------------------
+// launch-merges-counters  <->  dropped counters underestimate device time
+// ---------------------------------------------------------------------------
+
+/// Static: a launch whose per-block counters are never merged. Dynamic:
+/// dropping any block's counters makes the modeled kernel time strictly
+/// smaller — a silent underestimate, not an error.
+#[test]
+fn unmerged_launch_pairs_with_underestimated_time() {
+    assert_single_finding(
+        "simt/runner.rs",
+        "pub fn estimate_without_counters(device: &Device) -> f64 {
+            let parts = device.launch(|b| block_estimate(b));
+            parts.iter().sum()
+        }",
+        "launch-merges-counters",
+    );
+
+    let dev = Device::new(DeviceConfig {
+        num_blocks: 4,
+        threads_per_block: 64,
+        host_threads: 2,
+    });
+    let per_block: Vec<KernelCounters> = dev.launch(|_b| {
+        let mut c = KernelCounters::default();
+        for _ in 0..10_000 {
+            c.warp_instruction(u32::MAX);
+        }
+        c
+    });
+    let mut all = KernelCounters::default();
+    for c in &per_block {
+        all.merge(c);
+    }
+    let mut dropped = KernelCounters::default();
+    dropped.merge(&per_block[0]); // merged only the first block
+    let model = DeviceModel::default();
+    assert!(
+        model.modeled_ms(&all) > model.modeled_ms(&dropped),
+        "dropping block counters silently underestimates kernel time"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// launch-confined  <->  bypassing the runtime loses attribution
+// ---------------------------------------------------------------------------
+
+/// Static: a direct `device.launch` outside crates/simt and the engine
+/// runtime module. Dynamic: a launch that bypasses the runtime's counter
+/// board leaves the board empty — the work happened but no stream or
+/// device is charged for it until the runtime layer does the charging.
+#[test]
+fn stray_launch_pairs_with_lost_attribution() {
+    assert_single_finding(
+        "core/src/estimate.rs",
+        "pub fn direct_launch(device: &Device, report: &mut EngineReport) {
+            let parts = device.launch(|b| run_block(b));
+            for c in parts {
+                report.counters.merge(c);
+            }
+        }",
+        "launch-confined",
+    );
+
+    let rt = Runtime::new(RuntimeConfig {
+        num_devices: 1,
+        streams_per_device: 1,
+        device: DeviceConfig {
+            num_blocks: 2,
+            threads_per_block: 32,
+            host_threads: 1,
+        },
+    });
+    let per_block: Vec<KernelCounters> = rt.device(0).launch(|_b| {
+        let mut c = KernelCounters::default();
+        c.warp_instruction(u32::MAX);
+        c
+    });
+    assert_eq!(
+        rt.device_counters(0),
+        KernelCounters::default(),
+        "a launch that bypasses the runtime charges nothing to the board"
+    );
+    for c in &per_block {
+        rt.charge(0, 0, c);
+    }
+    assert_ne!(
+        rt.device_counters(0),
+        KernelCounters::default(),
+        "routing the launch through the runtime restores attribution"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// prof-confined  <->  board reads race the runtime's own drain
+// ---------------------------------------------------------------------------
+
+/// Static: a direct counter-board read outside crates/simt, crates/prof,
+/// and the engine runtime module. Dynamic: the board is drained by
+/// `take_device_counters` between batches, so an outside reader sees
+/// whatever is left — here, nothing — while the report layers
+/// (ProfReport / EngineReport) persist the charge.
+#[test]
+fn board_read_pairs_with_drain_data_loss() {
+    assert_single_finding(
+        "core/src/metrics.rs",
+        "pub fn stream_time(rt: &Runtime, model: &DeviceModel) -> f64 {
+            model.modeled_ms(&rt.stream_counters(0, 0))
+        }",
+        "prof-confined",
+    );
+
+    let rt = Runtime::new(RuntimeConfig::default());
+    let mut c = KernelCounters::default();
+    c.warp_instruction(u32::MAX);
+    rt.charge(0, 0, &c);
+    assert_ne!(rt.stream_counters(0, 0), KernelCounters::default());
+
+    // The engine runtime drains the board between batches; a drained
+    // snapshot keeps the data...
+    let drained = rt.take_device_counters();
+    assert_ne!(drained[0], KernelCounters::default());
+    // ...but any outside reader consulting the board afterwards sees
+    // zeros: direct board reads are only coherent inside the layer that
+    // owns the drain schedule.
+    assert_eq!(
+        rt.stream_counters(0, 0),
+        KernelCounters::default(),
+        "board reads after a drain observe nothing"
+    );
+}
