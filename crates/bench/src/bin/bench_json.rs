@@ -1,0 +1,275 @@
+//! Quick-mode bench rail: times the sampling and candidate-build groups
+//! plus legacy-vs-adaptive variants of the two intersection consumers, and
+//! writes `BENCH_sampling.json` (median ns per op, keyed by bench id and
+//! git rev) at the workspace root. Run via `cargo xtask bench --json`.
+//!
+//! The `/legacy` rows re-implement the exact pre-adaptive-engine code
+//! paths (two-pointer merge local-set assembly; per-element binary-search
+//! Alley Refine) over identical inputs, so the `/adaptive` ratio is the
+//! engine's speedup, self-documented in the artifact.
+
+use std::time::Instant;
+
+use gsword_core::prelude::*;
+use gsword_graph::intersect::{self, BitmapIndex};
+
+/// Median wall nanoseconds of `samples` timed calls (after one warmup).
+fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
+    op();
+    let mut ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            op();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
+}
+
+/// The pre-PR candidate-builder intersection: unconditional two-pointer
+/// merge (verbatim shape of the deleted `intersect_sorted_into`).
+fn legacy_intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Alley minus the batched-Refine override: `refine_into` falls back to
+/// the trait default (one binary search per candidate per segment), which
+/// is exactly the pre-PR Refine path.
+struct LegacyAlley;
+
+impl Estimator for LegacyAlley {
+    fn needs_refine(&self) -> bool {
+        true
+    }
+    fn refine_one(&self, segs: &[Segment<'_>], v: VertexId) -> bool {
+        segs.iter().all(|(seg, _)| intersect::member(seg, v))
+    }
+    fn validate(&self, _segs: &[Segment<'_>], s: &SampleState, v: VertexId) -> bool {
+        !s.contains(v)
+    }
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Alley
+    }
+}
+
+/// One timed row of the artifact.
+struct Row {
+    id: String,
+    median_ns: f64,
+}
+
+/// The local-set assembly hot loop of `build_candidate_graph`, over the
+/// already-built global sets, in either the adaptive or the legacy flavor.
+/// Returns total local-set length as a side-effect sink.
+fn assemble_local_sets(
+    data: &Graph,
+    query: &QueryGraph,
+    cg: &CandidateGraph,
+    adaptive: bool,
+) -> usize {
+    const BITMAP_MIN_PIVOT: usize = 64;
+    const BITMAP_MIN_REUSE: usize = 8;
+    let mut local = Vec::new();
+    let mut total = 0usize;
+    let mut pivot_index = BitmapIndex::new();
+    for (u, u2) in query.edges() {
+        let cu2 = cg.global(u2);
+        let cu = cg.global(u);
+        let use_bitmap = adaptive && cu2.len() >= BITMAP_MIN_PIVOT && cu.len() >= BITMAP_MIN_REUSE;
+        if use_bitmap {
+            pivot_index.build(cu2);
+        }
+        for &v in cu {
+            local.clear();
+            if use_bitmap {
+                pivot_index.intersect_into(data.neighbors(v), &mut local);
+            } else if adaptive {
+                intersect::intersect_into(data.neighbors(v), cu2, &mut local);
+            } else {
+                legacy_intersect_sorted_into(data.neighbors(v), cu2, &mut local);
+            }
+            total += local.len();
+        }
+    }
+    total
+}
+
+/// Refine scenarios drawn from the candidate graph: for each query edge,
+/// the destination's global set filtered through the local sets of a few
+/// source candidates — the shape Alley sees every iteration.
+fn refine_scenarios<'a>(
+    query: &QueryGraph,
+    cg: &'a CandidateGraph,
+) -> Vec<(&'a [VertexId], Vec<Segment<'a>>)> {
+    let mut out = Vec::new();
+    for (u, u2) in query.edges() {
+        let Some(k) = cg.edge_index(u, u2) else {
+            continue;
+        };
+        let cand = cg.global(u2);
+        if cand.is_empty() {
+            continue;
+        }
+        // Refine cost concentrates on hub candidates: their local sets are
+        // the big backward segments. Take the heaviest ones per edge.
+        let mut by_weight: Vec<&VertexId> = cg
+            .global(u)
+            .iter()
+            .filter(|&&v| !cg.local(k, v).is_empty())
+            .collect();
+        by_weight.sort_by_key(|&&v| std::cmp::Reverse(cg.local(k, v).len()));
+        for chunk in by_weight.chunks(3).take(8) {
+            let segs: Vec<Segment<'a>> = chunk.iter().map(|&&v| (cg.local(k, v), 0usize)).collect();
+            out.push((cand, segs));
+        }
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("GSWORD_FAST").is_ok();
+    let samples = if quick { 9 } else { 25 };
+    let budget: u64 = if quick { 2_000 } else { 10_000 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let data = gsword_core::datasets::dataset("yeast");
+    let query = QueryGraph::extract(&data, 8, 0xBE).expect("yeast query");
+    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+    let order = quicksi_order(&query, &data);
+    let ctx = QueryCtx::new(&cg, &order);
+
+    // --- sampling group (the cpu_sampling bench, quick-mode) ---
+    for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
+        let ns = median_ns(samples, || {
+            gsword_core::estimators::with_estimator(kind, |est| {
+                std::hint::black_box(
+                    gsword_core::estimators::run_sequential(&ctx, est, budget, 7)
+                        .estimate
+                        .value(),
+                );
+            })
+        });
+        rows.push(Row {
+            id: format!("cpu_sampling/{}/yeast", kind.short()),
+            median_ns: ns,
+        });
+    }
+
+    // --- candidate group: full build plus the assembly hot loop both ways ---
+    let ns = median_ns(samples, || {
+        std::hint::black_box(
+            build_candidate_graph(&data, &query, &BuildConfig::default())
+                .0
+                .byte_size(),
+        );
+    });
+    rows.push(Row {
+        id: "candidate_build/full/yeast".into(),
+        median_ns: ns,
+    });
+    let adaptive_ns = median_ns(samples, || {
+        std::hint::black_box(assemble_local_sets(&data, &query, &cg, true));
+    });
+    let legacy_ns = median_ns(samples, || {
+        std::hint::black_box(assemble_local_sets(&data, &query, &cg, false));
+    });
+    assert_eq!(
+        assemble_local_sets(&data, &query, &cg, true),
+        assemble_local_sets(&data, &query, &cg, false),
+        "legacy and adaptive assembly must produce identical local sets"
+    );
+    rows.push(Row {
+        id: "candidate_build/adaptive/yeast".into(),
+        median_ns: adaptive_ns,
+    });
+    rows.push(Row {
+        id: "candidate_build/legacy/yeast".into(),
+        median_ns: legacy_ns,
+    });
+    let build_speedup = legacy_ns / adaptive_ns;
+
+    // --- Alley Refine group: batched k-way vs per-element binary search ---
+    let scenarios = refine_scenarios(&query, &cg);
+    assert!(!scenarios.is_empty(), "yeast query yields refine scenarios");
+    let mut out = Vec::new();
+    let refine_adaptive_ns = median_ns(samples, || {
+        for (cand, segs) in &scenarios {
+            out.clear();
+            Alley.refine_into(segs, cand, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    let refine_legacy_ns = median_ns(samples, || {
+        for (cand, segs) in &scenarios {
+            out.clear();
+            LegacyAlley.refine_into(segs, cand, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    for (cand, segs) in &scenarios {
+        let (mut a, mut l) = (Vec::new(), Vec::new());
+        Alley.refine_into(segs, cand, &mut a);
+        LegacyAlley.refine_into(segs, cand, &mut l);
+        assert_eq!(a, l, "batched Refine must match the per-element path");
+    }
+    rows.push(Row {
+        id: "alley_refine/adaptive/yeast".into(),
+        median_ns: refine_adaptive_ns,
+    });
+    rows.push(Row {
+        id: "alley_refine/legacy/yeast".into(),
+        median_ns: refine_legacy_ns,
+    });
+    let refine_speedup = refine_legacy_ns / refine_adaptive_ns;
+
+    // --- artifact ---
+    let root = std::fs::canonicalize(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .expect("workspace root exists");
+    let root = root.to_str().expect("utf-8 workspace path");
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"git_rev\": \"{rev}\",\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"speedup\": {{\"candidate_build\": {build_speedup:.2}, \"alley_refine\": {refine_speedup:.2}}},\n"
+    ));
+    json.push_str("  \"benches\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
+            row.id, row.median_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = format!("{root}/BENCH_sampling.json");
+    std::fs::write(&path, &json).expect("write BENCH_sampling.json");
+
+    for row in &rows {
+        println!("{}: {:.1} ns", row.id, row.median_ns);
+    }
+    println!("candidate-build speedup (legacy/adaptive): {build_speedup:.2}x");
+    println!("alley-refine speedup (legacy/adaptive):    {refine_speedup:.2}x");
+    println!("wrote {path}");
+}

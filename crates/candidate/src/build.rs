@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use gsword_graph::intersect::{self, BitmapIndex};
 use gsword_graph::{Graph, VertexId};
 use gsword_query::{QueryGraph, QueryVertex};
 
@@ -80,6 +81,14 @@ pub struct BuildStats {
 
 const PCIE_BYTES_PER_MS: f64 = 12.0e9 / 1e3;
 
+/// Minimum pivot-set size before a [`BitmapIndex`] build can pay off: below
+/// this, adaptive merge/gallop beats the `O(|pivot| + span/64)` build.
+const BITMAP_MIN_PIVOT: usize = 64;
+
+/// Minimum number of probe sets (candidates of the source side) sharing one
+/// pivot before the bitmap build amortizes.
+const BITMAP_MIN_REUSE: usize = 8;
+
 /// Build the candidate graph for `query` on `data` under `config`.
 ///
 /// The result is *sound*: every embedding of the query in the data graph is
@@ -131,9 +140,7 @@ pub fn build_candidate_graph(
             for &v in &global_sets[u as usize] {
                 let ok = query.neighbors(u).all(|u2| {
                     let cu2 = &global_sets[u2 as usize];
-                    data.neighbors(v)
-                        .iter()
-                        .any(|w| cu2.binary_search(w).is_ok())
+                    data.neighbors(v).iter().any(|&w| intersect::member(cu2, w))
                 });
                 if ok {
                     kept.push(v);
@@ -173,15 +180,29 @@ pub fn build_candidate_graph(
     let mut cand_vtx: Vec<VertexId> = Vec::new();
     let mut local_off = vec![0usize];
     let mut local: Vec<VertexId> = Vec::new();
+    let mut pivot_index = BitmapIndex::new();
     for u in 0..n {
         for &dst in &edge_dst[edge_off[u]..edge_off[u + 1]] {
             let u2 = dst as usize;
             let cu2 = &global_sets[u2];
+            // The pivot C(u') is intersected against N(v) for *every*
+            // v ∈ C(u), so for large pivots with enough reuse one bitmap
+            // build amortizes to O(1) membership per neighbor. Small or
+            // rarely-reused pivots fall back to the adaptive pairwise
+            // strategy (merge / gallop by skew). Every strategy produces
+            // the same sorted local sets — only the cost differs.
+            let use_bitmap =
+                cu2.len() >= BITMAP_MIN_PIVOT && global_sets[u].len() >= BITMAP_MIN_REUSE;
+            if use_bitmap {
+                pivot_index.build(cu2);
+            }
             for &v in &global_sets[u] {
                 cand_vtx.push(v);
-                // N(v) ∩ C(u'): both sorted — merge, galloping on the
-                // smaller side.
-                intersect_sorted_into(data.neighbors(v), cu2, &mut local);
+                if use_bitmap {
+                    pivot_index.intersect_into(data.neighbors(v), &mut local);
+                } else {
+                    intersect::intersect_into(data.neighbors(v), cu2, &mut local);
+                }
                 local_off.push(local.len());
             }
             cand_off.push(cand_vtx.len());
@@ -219,38 +240,6 @@ fn nlf_pass(data: &Graph, v: VertexId, required: &[u16]) -> bool {
         }
     }
     required.iter().zip(&have).all(|(r, h)| h >= r)
-}
-
-/// Append `a ∩ b` (both strictly sorted) to `out`; output stays sorted.
-fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
-    if a.len() > 8 * b.len() {
-        for &x in b {
-            if a.binary_search(&x).is_ok() {
-                out.push(x);
-            }
-        }
-        return;
-    }
-    if b.len() > 8 * a.len() {
-        for &x in a {
-            if b.binary_search(&x).is_ok() {
-                out.push(x);
-            }
-        }
-        return;
-    }
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -427,17 +416,32 @@ mod tests {
     }
 
     #[test]
-    fn intersect_sorted_cases() {
-        let mut out = Vec::new();
-        intersect_sorted_into(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut out);
-        assert_eq!(out, vec![3, 7]);
-        out.clear();
-        intersect_sorted_into(&[], &[1, 2], &mut out);
-        assert!(out.is_empty());
-        out.clear();
-        // Galloping path: large vs small.
-        let big: Vec<u32> = (0..1000).collect();
-        intersect_sorted_into(&big, &[5, 999, 1001], &mut out);
-        assert_eq!(out, vec![5, 999]);
+    fn bitmap_and_pairwise_paths_agree() {
+        // Force both local-set assembly paths over the same inputs: a data
+        // graph big enough that some pivot clears BITMAP_MIN_PIVOT with
+        // BITMAP_MIN_REUSE probes, cross-checked per candidate against the
+        // adaptive pairwise intersection.
+        let mut b = GraphBuilder::new();
+        for i in 0..200u32 {
+            b.add_vertex((i % 2) as gsword_graph::Label);
+        }
+        for i in 0..200u32 {
+            for j in (i + 1)..200u32 {
+                if (i * 7 + j * 13) % 3 == 0 {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        let g = b.build().unwrap();
+        let q = QueryGraph::new(vec![0, 1], &[(0, 1)]).unwrap();
+        let (cg, _) = build_candidate_graph(&g, &q, &BuildConfig::unfiltered());
+        for (u, u2) in q.edges() {
+            let k = cg.edge_index(u, u2).unwrap();
+            for &v in cg.global(u) {
+                let mut want = Vec::new();
+                intersect::intersect_into(g.neighbors(v), cg.global(u2), &mut want);
+                assert_eq!(cg.local(k, v), &want[..], "local set mismatch at v={v}");
+            }
+        }
     }
 }

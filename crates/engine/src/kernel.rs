@@ -13,7 +13,7 @@
 //! devices, streams, shards — is the [`crate::runtime`] module's job.
 
 use gsword_estimators::{Estimate, Estimator, QueryCtx, SampleState, Segment};
-use gsword_graph::VertexId;
+use gsword_graph::{intersect, VertexId};
 use gsword_simt::memory::{warp_load, warp_scan, LaneAddr};
 use gsword_simt::warp::{self, Lanes, WarpMask};
 use gsword_simt::{
@@ -309,6 +309,15 @@ struct WarpExec<'e, 'c, E: ?Sized> {
     scratch: Vec<Vec<VertexId>>,
     /// Per-lane backward segments, resolved once per iteration.
     segs: Vec<Vec<Segment<'c>>>,
+    /// Per-lane gallop cursors, one per backward segment, reset at every
+    /// refine call. Candidates scan in ascending order, so each cursor
+    /// advances monotonically through its segment — the engine's actual
+    /// probe pattern, which the memory model is charged with.
+    cursors: Vec<Vec<usize>>,
+    /// Per-lane probe element addresses recorded by the current refine or
+    /// validate step, drained in lockstep rounds by
+    /// [`WarpExec::charge_recorded_probes`].
+    probe_bufs: Vec<Vec<usize>>,
 }
 
 impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
@@ -341,6 +350,8 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             inherited: 0,
             scratch: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
             segs: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
+            cursors: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
+            probe_bufs: (0..WARP_SIZE).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -434,9 +445,9 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         let mut chosen: Lanes<Option<(VertexId, f64)>> = [None; WARP_SIZE];
         if self.est.needs_refine() && !self.ctx.backward(d).is_empty() {
             if self.cfg.streaming {
-                self.streaming_refine_sample(mask, d, &cand, &mut chosen);
+                self.streaming_refine_sample(mask, &cand, &mut chosen);
             } else {
-                self.serial_refine_sample(mask, d, &cand, &mut chosen);
+                self.serial_refine_sample(mask, &cand, &mut chosen);
             }
         } else {
             self.direct_sample(mask, &cand, &mut chosen);
@@ -449,7 +460,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 valid[lane] = self.est.validate(&self.segs[lane], &s[lane], v);
             }
         }
-        self.charge_validate(mask, d);
+        self.charge_validate(mask, &chosen);
         for lane in lanes_of(mask) {
             if valid[lane] {
                 let (v, p) = chosen[lane].expect("valid lane has a sampled vertex");
@@ -505,11 +516,9 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
     fn serial_refine_sample(
         &mut self,
         mask: WarpMask,
-        d: usize,
         cand: &Lanes<Option<LaneCand<'c>>>,
         chosen: &mut Lanes<Option<(VertexId, f64)>>,
     ) {
-        let probes = self.ctx.backward(d).len();
         let max_clen = lanes_of(mask)
             .map(|lane| cand[lane].map_or(0, |c| c.cand.len()))
             .max()
@@ -517,6 +526,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         for lane in lanes_of(mask) {
             self.scratch[lane].clear();
         }
+        self.reset_cursors(mask);
         for t in 0..max_clen {
             let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
             let mut step_mask: WarpMask = 0;
@@ -531,7 +541,12 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 break;
             }
             warp_load(&mut self.ctr, &self.san, &addrs);
-            self.charge_probe_loads(step_mask, d, probes, t);
+            self.clear_probe_bufs();
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                self.record_lane_probes(lane, lc.cand[t]);
+            }
+            self.charge_recorded_probes();
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
                 let v = lc.cand[t];
@@ -558,11 +573,9 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
     fn streaming_refine_sample(
         &mut self,
         mask: WarpMask,
-        d: usize,
         cand: &Lanes<Option<LaneCand<'c>>>,
         chosen: &mut Lanes<Option<(VertexId, f64)>>,
     ) {
-        let probes = self.ctx.backward(d).len();
         let mut cur_iter = [0usize; WARP_SIZE];
         let mut cur_v: Lanes<Option<VertexId>> = [None; WARP_SIZE];
         let mut cur_total = [0.0f64; WARP_SIZE];
@@ -596,7 +609,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 lc.addr + base,
                 WARP_SIZE,
             );
-            self.charge_streaming_probes(d, probes);
+            self.charge_streaming_probes(leader, lc.cand, base);
 
             let mut keys = [0.0f64; WARP_SIZE];
             let mut pass = [false; WARP_SIZE];
@@ -632,6 +645,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         }
 
         // --- Independent phase ---------------------------------------------
+        self.reset_cursors(mask);
         loop {
             let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
             let mut step_mask: WarpMask = 0;
@@ -646,7 +660,12 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 break;
             }
             warp_load(&mut self.ctr, &self.san, &addrs);
-            self.charge_probe_loads(step_mask, d, probes, 0);
+            self.clear_probe_bufs();
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                self.record_lane_probes(lane, lc.cand[cur_iter[lane]]);
+            }
+            self.charge_recorded_probes();
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
                 let v = lc.cand[cur_iter[lane]];
@@ -749,7 +768,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         let mut chosen: Lanes<Option<(VertexId, f64)>> = [None; WARP_SIZE];
         let any_backward = lanes_of(mask).any(|lane| !self.ctx.backward(depth[lane]).is_empty());
         if self.est.needs_refine() && any_backward {
-            self.serial_refine_sample_mixed(mask, depth, &cand, &mut chosen);
+            self.serial_refine_sample_mixed(mask, &cand, &mut chosen);
         } else {
             self.direct_sample(mask, &cand, &mut chosen);
         }
@@ -787,7 +806,6 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
     fn serial_refine_sample_mixed(
         &mut self,
         mask: WarpMask,
-        depth: &[usize; WARP_SIZE],
         cand: &Lanes<Option<LaneCand<'c>>>,
         chosen: &mut Lanes<Option<(VertexId, f64)>>,
     ) {
@@ -808,6 +826,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         for lane in lanes_of(mask) {
             self.scratch[lane].clear();
         }
+        self.reset_cursors(mask);
         for t in 0..max_clen {
             let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
             let mut step_mask: WarpMask = 0;
@@ -822,21 +841,15 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
                 break;
             }
             warp_load(&mut self.ctr, &self.san, &addrs);
-            // Probe loads at each lane's own depth.
-            let max_probes = lanes_of(step_mask)
-                .map(|lane| self.ctx.backward(depth[lane]).len())
-                .max()
-                .unwrap_or(0);
-            for p in 0..max_probes {
-                let mut paddrs: Lanes<LaneAddr> = [None; WARP_SIZE];
-                for lane in lanes_of(step_mask) {
-                    if p < self.segs[lane].len() {
-                        let (seg, base) = self.segs[lane][p];
-                        paddrs[lane] = Some((Region::LOCAL, base + probe_offset(seg.len(), t)));
-                    }
-                }
-                warp_load(&mut self.ctr, &self.san, &paddrs);
+            // Probe loads at each lane's own depth: the actual gallop
+            // traces into that lane's segments, which scatter further than
+            // the sample-sync path because segment sets differ per lane.
+            self.clear_probe_bufs();
+            for lane in lanes_of(step_mask) {
+                let lc = cand[lane].expect("active lane");
+                self.record_lane_probes(lane, lc.cand[t]);
             }
+            self.charge_recorded_probes();
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");
                 let v = lc.cand[t];
@@ -881,104 +894,116 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
         }
     }
 
-    /// Membership probes of a refine step: binary searches into every
-    /// backward segment beyond the minimum one the candidate came from.
-    /// Each search costs ~log2(len) line touches, scattered across lanes
-    /// (every lane probes a different partial instance's segments).
-    fn charge_probe_loads(&mut self, step_mask: WarpMask, _d: usize, probes: usize, t: usize) {
-        for p in 0..probes.saturating_sub(1) {
-            let max_lines = lanes_of(step_mask)
-                .map(|lane| {
-                    self.segs[lane]
-                        .get(p)
-                        .map_or(0, |(seg, _)| probe_line_count(seg.len()))
-                })
-                .max()
-                .unwrap_or(0);
-            for step in 0..max_lines {
-                let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
-                for lane in lanes_of(step_mask) {
-                    if let Some(&(seg, base)) = self.segs[lane].get(p) {
-                        if step < probe_line_count(seg.len()) {
-                            addrs[lane] = Some((
-                                Region::LOCAL,
-                                base + probe_offset(seg.len(), t + step * 37),
-                            ));
-                        }
-                    }
+    /// Reset every active lane's gallop cursors, one per backward segment.
+    /// Called at the start of each refine scan so the following ascending
+    /// candidate walk gallops forward from the segment heads.
+    fn reset_cursors(&mut self, mask: WarpMask) {
+        for lane in lanes_of(mask) {
+            let k = self.segs[lane].len();
+            self.cursors[lane].clear();
+            self.cursors[lane].resize(k, 0);
+        }
+    }
+
+    /// Clear the per-lane probe recordings of the previous step.
+    fn clear_probe_bufs(&mut self) {
+        for buf in &mut self.probe_bufs {
+            buf.clear();
+        }
+    }
+
+    /// Record the element addresses actually probed when testing `v`
+    /// against every backward segment of `lane` except the minimum one the
+    /// candidate was drawn from: a gallop (exponential probe + binary
+    /// search) from the lane's persistent cursor into each segment.
+    fn record_lane_probes(&mut self, lane: usize, v: VertexId) {
+        let segs = &self.segs[lane];
+        let min_idx = min_segment_index(segs);
+        let cursors = &mut self.cursors[lane];
+        let buf = &mut self.probe_bufs[lane];
+        for (p, &(seg, base)) in segs.iter().enumerate() {
+            if p == min_idx {
+                continue;
+            }
+            intersect::gallop_member_probes(seg, &mut cursors[p], v, |off| buf.push(base + off));
+        }
+    }
+
+    /// Charge the recorded per-lane probe addresses to the coalescing
+    /// memory model in lockstep rounds: round `r` loads every lane's
+    /// `r`-th probe, so cross-lane divergence in search depth shows up as
+    /// partially-filled transactions exactly as it would on a device.
+    fn charge_recorded_probes(&mut self) {
+        let rounds = self.probe_bufs.iter().map(Vec::len).max().unwrap_or(0);
+        for r in 0..rounds {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for (lane, buf) in self.probe_bufs.iter().enumerate() {
+                if let Some(&a) = buf.get(r) {
+                    addrs[lane] = Some((Region::LOCAL, a));
                 }
-                warp_load(&mut self.ctr, &self.san, &addrs);
+            }
+            warp_load(&mut self.ctr, &self.san, &addrs);
+        }
+    }
+
+    /// Collaborative-phase probes: the 32 worker lanes test 32 consecutive
+    /// candidates of the leader against the *leader's* non-min backward
+    /// segments — independent binary searches into shared segments, whose
+    /// early probes land on the same midpoints and coalesce (the win
+    /// streaming buys over per-lane scattered segments).
+    fn charge_streaming_probes(&mut self, leader: usize, cand: &[VertexId], base: usize) {
+        self.clear_probe_bufs();
+        let segs = &self.segs[leader];
+        let min_idx = min_segment_index(segs);
+        let bufs = &mut self.probe_bufs;
+        for (t, buf) in bufs.iter_mut().enumerate().take(WARP_SIZE) {
+            let v = cand[base + t];
+            for (p, &(seg, sbase)) in segs.iter().enumerate() {
+                if p == min_idx {
+                    continue;
+                }
+                intersect::member_with_probes(seg, v, |off| buf.push(sbase + off));
             }
         }
+        self.charge_recorded_probes();
     }
 
-    /// Streaming-phase probes: all lanes probe the *leader's* backward
-    /// segments — shared segments, coalesced within each.
-    fn charge_streaming_probes(&mut self, _d: usize, probes: usize) {
-        let k = probes.saturating_sub(1);
-        for _ in 0..k {
-            // 32 binary searches into one shared segment: the touched lines
-            // cluster inside that segment. Model as a scan of 32 words.
-            self.ctr.warp_load(WARP_SIZE as u32, 4);
-        }
-    }
-
-    /// Validate loads: WanderJoin probes every backward segment; Alley's
-    /// validate is a register-only duplicate check.
-    fn charge_validate(&mut self, mask: WarpMask, d: usize) {
+    /// Validate loads: WanderJoin binary-searches every backward segment
+    /// for the lane's sampled vertex (the actual search paths are
+    /// charged); Alley's validate is a register-only duplicate check.
+    fn charge_validate(&mut self, mask: WarpMask, chosen: &Lanes<Option<(VertexId, f64)>>) {
         if self.est.needs_refine() {
             self.ctr.warp_instruction(mask);
             return;
         }
-        let probes = self.ctx.backward(d).len();
-        for p in 0..probes {
-            let max_lines = lanes_of(mask)
-                .map(|lane| {
-                    self.segs[lane]
-                        .get(p)
-                        .map_or(0, |(seg, _)| probe_line_count(seg.len()))
-                })
-                .max()
-                .unwrap_or(0);
-            for step in 0..max_lines {
-                let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
-                for lane in lanes_of(mask) {
-                    if let Some(&(seg, base)) = self.segs[lane].get(p) {
-                        if step < probe_line_count(seg.len()) {
-                            addrs[lane] =
-                                Some((Region::LOCAL, base + probe_offset(seg.len(), step * 41)));
-                        }
-                    }
-                }
-                warp_load(&mut self.ctr, &self.san, &addrs);
+        self.clear_probe_bufs();
+        for lane in lanes_of(mask) {
+            let Some((v, _)) = chosen[lane] else {
+                continue;
+            };
+            let segs = &self.segs[lane];
+            let buf = &mut self.probe_bufs[lane];
+            for &(seg, base) in segs {
+                intersect::member_with_probes(seg, v, |off| buf.push(base + off));
             }
         }
+        self.charge_recorded_probes();
         self.ctr.warp_instruction(mask);
     }
 }
 
-/// Number of 128-byte lines a binary search over a sorted segment of
-/// `len` u32 elements touches: probes within one line are free after the
-/// first, so the cost is ~1 + log2(len / LINE_WORDS).
+/// Index of the first minimal-length backward segment — the one
+/// GetMinCandidate drew the candidate set from, which Refine needn't
+/// probe again.
 #[inline]
-fn probe_line_count(len: usize) -> usize {
-    if len <= 32 {
-        1
-    } else {
-        1 + (usize::BITS - (len / 32).leading_zeros()) as usize
+fn min_segment_index(segs: &[Segment<'_>]) -> usize {
+    let mut best = 0;
+    for (i, (seg, _)) in segs.iter().enumerate() {
+        if seg.len() < segs[best].0.len() {
+            best = i;
+        }
     }
-}
-
-/// Representative element offset for the `t`-th binary-search probe into a
-/// segment of length `len` (the memory model needs plausible line indices,
-/// not exact search paths).
-#[inline]
-fn probe_offset(len: usize, t: usize) -> usize {
-    if len == 0 {
-        0
-    } else {
-        (t * 31 + len / 2) % len
-    }
+    best
 }
 
 #[cfg(test)]

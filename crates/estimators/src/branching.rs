@@ -152,11 +152,7 @@ impl<'a, 'c, E: Estimator + ?Sized> TreeWalk<'a, 'c, E> {
         let refined: Vec<VertexId> = if self.est.needs_refine() && !segs.is_empty() {
             self.refines += 1;
             self.scratch.clear();
-            self.scratch.extend(
-                cand.iter()
-                    .copied()
-                    .filter(|&v| self.est.refine_one(&segs, v)),
-            );
+            self.est.refine_into(&segs, cand, self.scratch);
             self.scratch.clone()
         } else {
             cand.to_vec()

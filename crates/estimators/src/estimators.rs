@@ -1,9 +1,9 @@
 //! WanderJoin and Alley as instances of the RSV abstraction (Fig. 19).
 
-use gsword_graph::VertexId;
+use gsword_graph::{intersect, VertexId};
 
 use crate::ctx::Segment;
-use crate::sample::SampleState;
+use crate::sample::{SampleState, MAX_QUERY};
 
 /// Which built-in estimator to run — the paper's two state-of-the-art RW
 /// estimators.
@@ -50,6 +50,20 @@ pub trait Estimator: Sync {
     /// Refine one candidate `v` against the backward segments.
     fn refine_one(&self, segs: &[Segment<'_>], v: VertexId) -> bool;
 
+    /// Refine a whole candidate segment at once, appending survivors to
+    /// `out` in `cand` order (`cand` is sorted ascending, as every
+    /// candidate segment in the system is).
+    ///
+    /// The default forwards to [`Estimator::refine_one`] per element, so
+    /// custom estimators get set-refinement for free; built-ins with
+    /// set-level structure override it with a batched strategy (Alley uses
+    /// the k-way adaptive intersection). Overrides must return exactly the
+    /// per-element result — the engine's bit-identical-estimates guarantee
+    /// rides on it.
+    fn refine_into(&self, segs: &[Segment<'_>], cand: &[VertexId], out: &mut Vec<VertexId>) {
+        out.extend(cand.iter().copied().filter(|&v| self.refine_one(segs, v)));
+    }
+
     /// Validate the sampled vertex `v` against the backward segments and
     /// the partial instance.
     fn validate(&self, segs: &[Segment<'_>], s: &SampleState, v: VertexId) -> bool;
@@ -80,7 +94,7 @@ impl Estimator for WanderJoin {
     fn validate(&self, segs: &[Segment<'_>], s: &SampleState, v: VertexId) -> bool {
         // Duplicate check plus *all* backward edges (not just the minimum
         // segment the vertex was drawn from).
-        !s.contains(v) && segs.iter().all(|(seg, _)| seg.binary_search(&v).is_ok())
+        !s.contains(v) && segs.iter().all(|(seg, _)| intersect::member(seg, v))
     }
 
     #[inline]
@@ -104,7 +118,29 @@ impl Estimator for Alley {
 
     #[inline]
     fn refine_one(&self, segs: &[Segment<'_>], v: VertexId) -> bool {
-        segs.iter().all(|(seg, _)| seg.binary_search(&v).is_ok())
+        segs.iter().all(|(seg, _)| intersect::member(seg, v))
+    }
+
+    /// Batched Refine: one ascending pass over `cand` with a monotone
+    /// gallop cursor per backward segment (smallest segment probed first),
+    /// instead of `|cand| × |segs|` independent binary searches. Same
+    /// survivors in the same order as the per-element path — the
+    /// intersection of sorted sets doesn't depend on strategy.
+    fn refine_into(&self, segs: &[Segment<'_>], cand: &[VertexId], out: &mut Vec<VertexId>) {
+        if segs.is_empty() {
+            out.extend_from_slice(cand);
+            return;
+        }
+        let mut buf: [&[VertexId]; MAX_QUERY] = [&[]; MAX_QUERY];
+        if segs.len() <= MAX_QUERY {
+            for (slot, (seg, _)) in buf.iter_mut().zip(segs) {
+                *slot = seg;
+            }
+            intersect::filter_by_all_into(cand, &buf[..segs.len()], out);
+        } else {
+            let probes: Vec<&[VertexId]> = segs.iter().map(|&(seg, _)| seg).collect();
+            intersect::filter_by_all_into(cand, &probes, out);
+        }
     }
 
     #[inline]
@@ -187,6 +223,44 @@ mod tests {
         let state = SampleState::new();
         assert!(WanderJoin.validate(&[], &state, 3));
         assert!(Alley.refine_one(&[], 3));
+    }
+
+    #[test]
+    fn alley_refine_into_matches_per_element() {
+        // The batched k-way Refine must keep the bit-identity guarantee:
+        // same survivors, same order, as filtering with refine_one.
+        let s1: Vec<VertexId> = (0..300).filter(|v| v % 2 == 0).collect();
+        let s2: Vec<VertexId> = (0..300).filter(|v| v % 3 == 0).collect();
+        let s3: Vec<VertexId> = (100..200).collect();
+        let cand: Vec<VertexId> = (0..300).filter(|v| v % 5 == 0).collect();
+        for segs in [
+            vec![(&s1[..], 0)],
+            vec![(&s1[..], 0), (&s2[..], 10)],
+            vec![(&s1[..], 0), (&s2[..], 10), (&s3[..], 20)],
+            vec![(&[][..], 0), (&s1[..], 0)],
+            vec![],
+        ] {
+            let mut batched = Vec::new();
+            Alley.refine_into(&segs, &cand, &mut batched);
+            let want: Vec<VertexId> = cand
+                .iter()
+                .copied()
+                .filter(|&v| Alley.refine_one(&segs, v))
+                .collect();
+            assert_eq!(batched, want, "segs={}", segs.len());
+        }
+    }
+
+    #[test]
+    fn default_refine_into_uses_refine_one() {
+        // WanderJoin doesn't override refine_into: the provided method
+        // passes everything through because WJ's refine_one always
+        // accepts.
+        let s1 = [1u32, 5];
+        let cand = [0u32, 1, 5, 9];
+        let mut out = Vec::new();
+        WanderJoin.refine_into(&[(&s1, 0)], &cand, &mut out);
+        assert_eq!(out, cand);
     }
 
     #[test]

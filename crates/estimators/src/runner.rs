@@ -66,7 +66,7 @@ pub fn run_partial_sample<E: Estimator + ?Sized>(
         }
         let (v, rlen) = if est.needs_refine() && !segs.is_empty() {
             scratch.clear();
-            scratch.extend(cand.iter().copied().filter(|&v| est.refine_one(&segs, v)));
+            est.refine_into(&segs, cand, scratch);
             if scratch.is_empty() {
                 return None;
             }

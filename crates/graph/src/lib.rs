@@ -15,10 +15,14 @@
 //! * [`datasets`] — the eight-dataset suite mirroring Table 1 of the paper
 //!   at reduced scale.
 //! * [`stats`] — the statistics reported in Table 1.
+//! * [`intersect`] — the degree-adaptive sorted-set intersection engine
+//!   (merge / gallop / bitmap) shared by the candidate builder, the
+//!   estimators' Refine step, and the SIMT kernels' memory charging.
 
 pub mod csr;
 pub mod datasets;
 pub mod gen;
+pub mod intersect;
 pub mod io;
 pub mod ops;
 pub mod stats;

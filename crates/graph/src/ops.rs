@@ -59,16 +59,23 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<VertexId>) {
 /// Induced subgraph over `vertices` (must be distinct), renumbered to
 /// `0..vertices.len()` in the given order.
 pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Graph {
-    let mut index = std::collections::HashMap::with_capacity(vertices.len());
+    // Dense old→new index: one `Vec` lookup per scanned edge endpoint
+    // beats hashing (this runs once per neighbor of every kept vertex).
+    const UNMAPPED: VertexId = VertexId::MAX;
+    let mut index = vec![UNMAPPED; g.num_vertices()];
     for (new, &old) in vertices.iter().enumerate() {
-        let prev = index.insert(old, new as VertexId);
-        assert!(prev.is_none(), "duplicate vertex {old} in induced set");
+        assert!(
+            index[old as usize] == UNMAPPED,
+            "duplicate vertex {old} in induced set"
+        );
+        index[old as usize] = new as VertexId;
     }
     let mut b = GraphBuilder::with_vertices(vertices.len());
     for (new, &old) in vertices.iter().enumerate() {
         b.set_label(new as VertexId, g.label(old));
         for &w in g.neighbors(old) {
-            if let Some(&nw) = index.get(&w) {
+            let nw = index[w as usize];
+            if nw != UNMAPPED {
                 b.add_edge(new as VertexId, nw);
             }
         }

@@ -10,13 +10,19 @@
 //! existing [`DeviceModel`]: modeled time for a multi-device run is the max
 //! over devices, matching real multi-GPU wall-clock.
 //!
-//! Streams exist only inside [`Runtime::scope`], so launch closures may
-//! borrow stack data (query contexts, estimators) without `'static`
-//! gymnastics — the same shape as `std::thread::scope`.
+//! Stream *submission* happens only inside [`Runtime::scope`], so launch
+//! closures may borrow stack data (query contexts, estimators) without
+//! `'static` gymnastics — the same shape as `std::thread::scope`. The
+//! worker threads behind the streams, however, are *persistent*: the
+//! runtime lazily creates one parked worker per (device, stream) on the
+//! first scope entry and reuses it across every subsequent `scope` call,
+//! so short launch batches don't pay thread creation on the hot path
+//! (the standard fix in the simulator-parallelization literature). Workers
+//! drain and join when the runtime drops.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::counters::KernelCounters;
@@ -129,8 +135,9 @@ impl<R> LaunchHandle<R> {
     }
 }
 
-/// The device runtime: owns the devices and the counter board. Streams are
-/// materialized inside [`Runtime::scope`].
+/// The device runtime: owns the devices, the counter board, and the
+/// persistent stream worker pool. Streams accept work only inside
+/// [`Runtime::scope`].
 pub struct Runtime {
     devices: Vec<Device>,
     streams_per_device: usize,
@@ -140,6 +147,83 @@ pub struct Runtime {
     profiler: Profiler,
     /// Set when any stream job panicked (surfaced when the scope joins).
     poisoned: AtomicBool,
+    /// One parked worker thread per (device, stream), created on the first
+    /// [`Runtime::scope`] entry, reused by every later scope, and joined
+    /// when the runtime drops.
+    pool: OnceLock<WorkerPool>,
+}
+
+/// The persistent stream workers: `senders[device * streams + stream]`
+/// feeds the ordered queue its dedicated worker drains. Dropping the pool
+/// closes every channel and joins the workers.
+struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job<'static>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job<'static>>();
+            senders.push(tx);
+            // The worker parks in `recv` between jobs and between scopes;
+            // panic isolation happens in the submission wrapper, so a job
+            // can never take its worker down.
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                }
+            }));
+        }
+        WorkerPool { senders, handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Per-scope completion tracking: how many submitted jobs have not yet
+/// finished. The scope's drop blocks on it, which is what makes handing
+/// `'env`-borrowing jobs to `'static` workers sound.
+struct ScopeSync {
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ScopeSync {
+    fn new() -> Self {
+        ScopeSync {
+            pending: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn add(&self) {
+        *self.pending.lock().expect("scope pending") += 1;
+    }
+
+    fn done(&self) {
+        let mut pending = self.pending.lock().expect("scope pending");
+        *pending -= 1;
+        if *pending == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().expect("scope pending");
+        while *pending > 0 {
+            pending = self.cv.wait(pending).expect("scope wait");
+        }
+    }
 }
 
 impl Runtime {
@@ -177,7 +261,14 @@ impl Runtime {
             board: Mutex::new(board),
             profiler,
             poisoned: AtomicBool::new(false),
+            pool: OnceLock::new(),
         }
+    }
+
+    /// The persistent worker pool, spawned on first use.
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::new(self.devices.len() * self.streams_per_device))
     }
 
     /// Number of devices in the runtime.
@@ -272,45 +363,35 @@ impl Runtime {
         out
     }
 
-    /// Run `f` with live streams: one worker thread per (device, stream)
-    /// pair consumes submitted jobs in order. Jobs may borrow anything that
-    /// outlives the runtime borrow (`'env`). All streams drain before
-    /// `scope` returns; a panicked job poisons the scope and re-panics
-    /// here.
+    /// Run `f` with live streams: the persistent worker behind each
+    /// (device, stream) pair consumes submitted jobs in order. Jobs may
+    /// borrow anything that outlives the runtime borrow (`'env`). All
+    /// streams drain before `scope` returns; a panicked job poisons the
+    /// scope and re-panics here. No threads are spawned per call — the
+    /// workers park between scopes and are reused.
     pub fn scope<'env, T>(&'env self, f: impl FnOnce(&RuntimeScope<'env>) -> T) -> T {
-        std::thread::scope(|s| {
-            let mut senders = Vec::with_capacity(self.devices.len() * self.streams_per_device);
-            for _ in 0..self.devices.len() * self.streams_per_device {
-                let (tx, rx) = mpsc::channel::<Job<'env>>();
-                senders.push(tx);
-                let poisoned = &self.poisoned;
-                s.spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                            poisoned.store(true, Ordering::Release);
-                        }
-                    }
-                });
-            }
-            let rs = RuntimeScope {
-                runtime: self,
-                senders,
-            };
-            let out = f(&rs);
-            // Dropping the scope closes the channels; workers drain their
-            // queues and exit, then `std::thread::scope` joins them.
-            drop(rs);
-            out
-        })
+        self.pool(); // spawn the workers before any submission races
+        let rs = RuntimeScope {
+            runtime: self,
+            sync: Arc::new(ScopeSync::new()),
+        };
+        let out = f(&rs);
+        // Dropping the scope blocks until every submitted job finished,
+        // then surfaces any poisoning.
+        drop(rs);
+        out
     }
 }
 
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 
 /// Live streams of a [`Runtime::scope`] call: the submission surface.
+/// Holds no threads of its own — submissions are forwarded to the
+/// runtime's persistent workers, and dropping the scope waits for the jobs
+/// it submitted (not for jobs of other concurrent scopes).
 pub struct RuntimeScope<'env> {
     runtime: &'env Runtime,
-    senders: Vec<mpsc::Sender<Job<'env>>>,
+    sync: Arc<ScopeSync>,
 }
 
 impl<'env> RuntimeScope<'env> {
@@ -319,21 +400,39 @@ impl<'env> RuntimeScope<'env> {
         self.runtime
     }
 
-    fn sender(&self, device: usize, stream: usize) -> &mpsc::Sender<Job<'env>> {
+    fn stream_index(&self, device: usize, stream: usize) -> usize {
         assert!(device < self.runtime.num_devices(), "device out of range");
         assert!(
             stream < self.runtime.streams_per_device,
             "stream out of range"
         );
-        &self.senders[device * self.runtime.streams_per_device + stream]
+        device * self.runtime.streams_per_device + stream
     }
 
     /// Submit a raw job to `(device, stream)`; jobs on one stream run in
     /// submission order, different streams run concurrently.
     pub fn submit(&self, device: usize, stream: usize, job: impl FnOnce() + Send + 'env) {
-        self.sender(device, stream)
-            .send(Box::new(job))
-            .expect("stream worker alive inside scope");
+        let idx = self.stream_index(device, stream);
+        let sync = Arc::clone(&self.sync);
+        let poisoned = &self.runtime.poisoned;
+        let wrapped: Job<'env> = Box::new(move || {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                poisoned.store(true, Ordering::Release);
+            }
+            sync.done();
+        });
+        // SAFETY: the job is erased to 'static so the persistent workers
+        // can hold it, but it never outlives 'env: callers only ever hold
+        // `&RuntimeScope`, so the scope cannot be leaked, and its drop
+        // blocks until `sync` reports every submitted job finished —
+        // before any 'env borrow can end. The wrapper calls `sync.done()`
+        // on both the success and the panic path.
+        let wrapped = unsafe { std::mem::transmute::<Job<'env>, Job<'static>>(wrapped) };
+        self.sync.add();
+        if self.runtime.pool().senders[idx].send(wrapped).is_err() {
+            self.sync.done();
+            panic!("stream worker alive inside scope");
+        }
     }
 
     /// Enqueue an event record on a stream: it records once every job
@@ -401,7 +500,12 @@ impl<'env> RuntimeScope<'env> {
 
 impl Drop for RuntimeScope<'_> {
     fn drop(&mut self) {
-        self.senders.clear();
+        // Block until every job this scope submitted has finished — the
+        // workers outlive the scope, so this is what bounds the jobs'
+        // borrows (see the SAFETY note in `submit`). Runs on the unwind
+        // path too: a panicking scope body still may have live jobs
+        // borrowing its stack.
+        self.sync.wait_all();
         if !std::thread::panicking() && self.runtime.poisoned.swap(false, Ordering::Acquire) {
             panic!("a stream job panicked inside Runtime::scope");
         }

@@ -27,6 +27,15 @@ tasks:
                        `gsword estimate --profile --trace-out <file>`
                        (parses the JSON, checks event shape, reports the
                        track count) — used by the CI profile-smoke step
+  bench --json         run the sampling + candidate bench groups in
+                       quick mode (release build) and write
+                       BENCH_sampling.json at the workspace root: median
+                       ns per op keyed by bench id and git rev, plus the
+                       legacy-vs-adaptive intersection speedups; the
+                       artifact is validated after the run
+  check-bench <file>   validate a BENCH_sampling.json artifact (parses
+                       the JSON, checks every row has an id and a finite
+                       median_ns) — used by the CI bench-smoke step
 
 rules enforced by analyze/lint:
   1. divergent-sync: warp primitives (any/ballot/shfl/reduce_*) must not
@@ -102,6 +111,46 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("bench") => {
+            if args.get(1).map(String::as_str) != Some("--json") {
+                eprintln!("xtask bench: only the --json mode exists\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            let root = workspace_root();
+            let status = std::process::Command::new("cargo")
+                .args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "gsword-bench",
+                    "--bin",
+                    "bench_json",
+                    "--",
+                    "--quick",
+                ])
+                .current_dir(&root)
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("xtask bench: bench_json exited with {s}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("xtask bench: cannot spawn cargo: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            let artifact = root.join("BENCH_sampling.json");
+            check_bench_file(&artifact.display().to_string())
+        }
+        Some("check-bench") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("xtask check-bench: missing <file>\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            check_bench_file(path)
+        }
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -119,4 +168,61 @@ fn default_analyze_root() -> PathBuf {
         .parent()
         .expect("xtask sits inside crates/")
         .to_path_buf()
+}
+
+/// The workspace root (`crates/` sits directly under it).
+fn workspace_root() -> PathBuf {
+    default_analyze_root()
+        .parent()
+        .expect("crates/ sits inside the workspace")
+        .to_path_buf()
+}
+
+/// Parse and shape-check a `BENCH_sampling.json` artifact.
+fn check_bench_file(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask check-bench: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let value = match gsword_prof::json::parse(&json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("xtask check-bench: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(rev) = value.get("git_rev").and_then(|v| v.as_str()) else {
+        eprintln!("xtask check-bench: {path}: missing string field 'git_rev'");
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = value.get("benches").and_then(|v| v.as_array()) else {
+        eprintln!("xtask check-bench: {path}: missing array field 'benches'");
+        return ExitCode::FAILURE;
+    };
+    if rows.is_empty() {
+        eprintln!("xtask check-bench: {path}: empty 'benches' array");
+        return ExitCode::FAILURE;
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let id = row.get("id").and_then(|v| v.as_str());
+        let ns = row.get("median_ns").and_then(|v| v.as_f64());
+        match (id, ns) {
+            (Some(_), Some(ns)) if ns.is_finite() && ns > 0.0 => {}
+            _ => {
+                eprintln!(
+                    "xtask check-bench: {path}: row {i} needs a string 'id' \
+                     and a positive finite 'median_ns'"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "xtask check-bench: {path} ok — {} bench row(s) at rev {rev}",
+        rows.len()
+    );
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,105 @@
+//! The persistent stream worker pool: one parked worker per
+//! (device, stream), created lazily and reused across every
+//! [`Runtime::scope`] call — including scopes that poison.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use gsword_simt::{DeviceConfig, Runtime, RuntimeConfig};
+
+fn runtime(devices: usize, streams: usize) -> Runtime {
+    Runtime::new(RuntimeConfig {
+        num_devices: devices,
+        streams_per_device: streams,
+        device: DeviceConfig {
+            num_blocks: 4,
+            threads_per_block: 32,
+            host_threads: 1,
+        },
+    })
+}
+
+/// Run one scope that submits a job to every (device, stream) and collect
+/// the worker thread ids the jobs ran on.
+fn worker_ids(rt: &Runtime) -> HashSet<ThreadId> {
+    let ids = Mutex::new(Vec::new());
+    rt.scope(|rs| {
+        for d in 0..rt.num_devices() {
+            for s in 0..rt.streams_per_device() {
+                let ids = &ids;
+                rs.submit(d, s, move || {
+                    ids.lock().unwrap().push(std::thread::current().id());
+                });
+            }
+        }
+    });
+    ids.into_inner().unwrap().into_iter().collect()
+}
+
+#[test]
+fn workers_are_reused_across_scopes() {
+    let rt = runtime(2, 2);
+    let main = std::thread::current().id();
+
+    let first = worker_ids(&rt);
+    assert_eq!(first.len(), 4, "one dedicated worker per (device, stream)");
+    assert!(!first.contains(&main), "jobs run off the submitting thread");
+
+    // Three more scopes: the exact same worker threads serve every one —
+    // no per-scope spawning.
+    for round in 0..3 {
+        assert_eq!(worker_ids(&rt), first, "round {round}");
+    }
+}
+
+#[test]
+fn pool_survives_a_poisoned_scope() {
+    let rt = runtime(1, 2);
+    let before = worker_ids(&rt);
+
+    // A panicking job poisons its scope (which re-panics on exit) but must
+    // not take the worker thread down.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.scope(|rs| {
+            rs.submit(0, 0, || panic!("kernel exploded"));
+            rs.submit(0, 1, || {});
+        });
+    }))
+    .expect_err("poisoned scope must panic");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| err.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("");
+    assert!(
+        msg.contains("stream job panicked"),
+        "unexpected panic message: {msg:?}"
+    );
+
+    // Poisoning is consumed by the failed scope; later scopes start clean
+    // and run on the very same workers.
+    for round in 0..2 {
+        assert_eq!(worker_ids(&rt), before, "round {round} after poison");
+    }
+}
+
+#[test]
+fn ordering_and_results_hold_on_reused_workers() {
+    // Ordered-queue semantics must hold on the Nth reuse of a worker, not
+    // just the first: same stream → submission order, and launch results
+    // still come back in block order.
+    let rt = runtime(1, 1);
+    for _ in 0..3 {
+        let log = Mutex::new(Vec::new());
+        let blocks = rt.scope(|rs| {
+            for i in 0..6 {
+                let log = &log;
+                rs.submit(0, 0, move || log.lock().unwrap().push(i));
+            }
+            rs.launch(0, 0, 0..4, |b| b * 2).wait()
+        });
+        assert_eq!(log.into_inner().unwrap(), (0..6).collect::<Vec<_>>());
+        assert_eq!(blocks, vec![0, 2, 4, 6]);
+    }
+}
