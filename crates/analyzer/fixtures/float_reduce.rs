@@ -1,0 +1,11 @@
+//! Known-bad: an f64 sum accumulated in `HashMap` iteration order.
+//! Float addition is not associative, so the result's bits vary per run
+//! and per shard count. Expected: `float-reduce-order` at the `+=`.
+
+pub fn total_weight(weights: &std::collections::HashMap<u32, f64>) -> f64 {
+    let mut sum: f64 = 0.0;
+    for w in weights.values() {
+        sum += w;
+    }
+    sum
+}

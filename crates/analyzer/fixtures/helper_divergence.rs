@@ -1,0 +1,22 @@
+//! Known-bad, interprocedural: the full-mask `ballot` is harmless inside
+//! the helper (converged control), but the caller invokes the helper from
+//! a per-lane loop — divergent control with no `set_active` declaration.
+//! The intraprocedural analyzer sees nothing; the summary-driven analyzer
+//! reports the call site. Expected: `divergent-sync` at the helper call.
+
+fn full_ballot(ctr: &mut KernelCounters, san: &WarpSanitizer, pred: &Lanes<bool>) -> u32 {
+    ballot(ctr, san, FULL_MASK, pred)
+}
+
+pub fn count_divergent(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    mask: WarpMask,
+    pred: &Lanes<bool>,
+) -> u32 {
+    let mut acc = 0u32;
+    for lane in lanes_of(mask) {
+        acc |= full_ballot(ctr, san, pred);
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+//! Known-bad, interprocedural: the atomic pool fetch is hidden inside a
+//! helper, and the caller follows the helper call with an unsynchronized
+//! cursor read and no intervening `block_barrier`. The intraprocedural
+//! analyzer sees nothing; the summary-driven analyzer composes the
+//! helper's pool effect. Expected: `pool-race` at the cursor read.
+
+fn drain_one(pool: &SamplePool, san: &WarpSanitizer) -> usize {
+    pool.fetch_sanitized(san)
+}
+
+pub fn fetch_then_peek(pool: &SamplePool, san: &WarpSanitizer) -> usize {
+    let taken = drain_one(pool, san);
+    pool.read_cursor_unsync(san) + taken
+}

@@ -1,0 +1,11 @@
+//! Known-bad: a sequence built while iterating a `HashMap`, whose element
+//! order therefore varies run to run. Expected: `nondet-order` at the
+//! `push` call.
+
+pub fn kernel_names(by_id: &std::collections::HashMap<u32, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in by_id.values() {
+        out.push(name.clone());
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a job submitted to the stream worker pool that blocks on an
+//! event recorded by a sibling job. With every worker parked in `wait`,
+//! no worker remains to record the event — self-deadlock. Expected:
+//! `scope-blocking` at the `submit` call.
+
+pub fn worker_waits_on_sibling(rs: &RuntimeScope, ev: &Event) {
+    rs.submit(0, 0, move || ev.wait());
+}

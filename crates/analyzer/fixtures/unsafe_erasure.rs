@@ -1,0 +1,8 @@
+//! Known-bad: a closure's borrow lifetime erased to `'static` in a file
+//! that registers no `wait_all` drain, so nothing keeps the borrows alive
+//! until the workers holding the erased closure finish. Expected:
+//! `scope-blocking` at the `transmute`.
+
+pub unsafe fn erase_job(job: Box<dyn FnOnce() + '_>) -> Box<dyn FnOnce() + 'static> {
+    std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(job)
+}

@@ -9,7 +9,9 @@
 //!    lane-indexed container element or another divergent variable).
 //!    Warp-primitive results are *Uniform* by construction — cross-lane
 //!    communication collapses divergence — so `ballot(..) != mask` is a
-//!    uniform branch even though `ballot` reads per-lane data.
+//!    uniform branch even though `ballot` reads per-lane data. With
+//!    summaries, a call to a helper whose return value reads per-lane
+//!    data is itself divergent.
 //! 2. **Declared-mask dataflow** (flow-sensitive, forward): tracks the
 //!    most recent `set_active(expr)` declaration along each path, joining
 //!    to *Unknown* (permissive) where paths disagree. Rule `divergent-sync`
@@ -17,13 +19,16 @@
 //!    declaration: full mask under divergent control with no declaration,
 //!    full mask when only a subset is declared converged, or a mask that
 //!    is neither the declared expression nor derived from it by
-//!    intersection.
+//!    intersection. With summaries, a call to a helper that hides a
+//!    full-mask primitive (a *latent* primitive) fires at the divergent
+//!    call site.
 //! 3. **Pool-access dataflow** (flow-sensitive, forward): abstracts the
 //!    block-shared `SamplePool` cursor as `Clear < Atomic < Plain`. Rule
 //!    `pool-race` fires when an unsynchronized cursor read follows any
 //!    pool access (or an atomic access follows an unsynchronized read)
 //!    with no `block_barrier` on some path — the static counterpart of
-//!    the sanitizer's racecheck.
+//!    the sanitizer's racecheck. With summaries, a helper's entry-exposed
+//!    pool accesses compose with the caller's state.
 //!
 //! Rule `primitive-charges-counters` is per-function rather than per-path:
 //! a `pub fn` taking `&mut KernelCounters` must charge the counters
@@ -31,14 +36,16 @@
 
 use std::collections::HashSet;
 
+use crate::callgraph::{FnSummary, Summaries, SUM_POOL_CLEAR};
 use crate::cfg::{extract_calls_spanned, lower, Action, Call, Cfg, Guard};
 use crate::lex::{Tok, TokKind};
-use crate::parse::{join, FnDef};
+use crate::parse::{join, Block, FnDef, Stmt};
 
 /// A rule finding before the file name is attached.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RawFinding {
     pub line: Option<u32>,
+    pub col: Option<u32>,
     pub rule: &'static str,
     pub message: String,
 }
@@ -77,6 +84,20 @@ const POOL_PLAIN: &[&str] = &["read_cursor_unsync"];
 /// Block-wide synchronization points that clear pool-race state.
 const POOL_BARRIER: &[&str] = &["block_barrier"];
 
+/// Names whose summaries are never consulted: primitives and pool
+/// accessors have built-in transfer behavior (so a corpus function
+/// shadowing a primitive name cannot weaken the analysis), and ubiquitous
+/// std-trait names would alias unrelated implementations
+/// ([`crate::callgraph::opaque_name`]).
+fn has_builtin_transfer(name: &str) -> bool {
+    name == "set_active"
+        || POOL_ATOMIC.contains(&name)
+        || POOL_PLAIN.contains(&name)
+        || POOL_BARRIER.contains(&name)
+        || PRIMS.contains(&name)
+        || crate::callgraph::opaque_name(name)
+}
+
 /// Is this function subject to the kernel-body rules?
 pub fn is_kernel_fn(file: &str, f: &FnDef) -> bool {
     if f.in_test {
@@ -97,11 +118,19 @@ pub fn is_kernel_fn(file: &str, f: &FnDef) -> bool {
         .any(|p| KERNEL_TYPES.iter().any(|t| p.ty.contains(t)))
 }
 
-/// Run every kernel-body rule on one function.
+/// Run every kernel-body rule on one function, intraprocedurally — every
+/// call is opaque. This is the PR-4 analyzer, kept as the before/after
+/// baseline for the interprocedural fixture tests.
 pub fn analyze_kernel_fn(f: &FnDef) -> Vec<RawFinding> {
+    analyze_kernel_fn_with(f, &Summaries::empty())
+}
+
+/// Run every kernel-body rule on one function, consulting `sums` at each
+/// call site.
+pub fn analyze_kernel_fn_with(f: &FnDef, sums: &Summaries) -> Vec<RawFinding> {
     let cfg = lower(&f.body);
-    let div = Divergence::build(f, &cfg);
-    let mut out = check_flow_rules(&cfg, &div);
+    let div = Divergence::build(f, &cfg, sums);
+    let mut out = check_flow_rules(&cfg, &div, sums);
     out.extend(check_charges(f, &cfg));
     out
 }
@@ -118,7 +147,7 @@ pub struct Divergence {
 }
 
 impl Divergence {
-    fn build(f: &FnDef, cfg: &Cfg) -> Self {
+    fn build(f: &FnDef, cfg: &Cfg, sums: &Summaries) -> Self {
         let mut d = Divergence {
             divergent: HashSet::new(),
             containers: HashSet::new(),
@@ -134,7 +163,7 @@ impl Divergence {
             let before = (d.divergent.len(), d.containers.len());
             for g in &cfg.guards {
                 if let Guard::Loop { iter, bindings } = g {
-                    if d.lane_loop(iter) {
+                    if d.lane_loop(iter, sums) {
                         d.divergent.extend(bindings.iter().cloned());
                     }
                 }
@@ -145,11 +174,11 @@ impl Divergence {
                         let ty_s = join(ty);
                         if ty_s.contains("Lanes")
                             || ty_s.contains("WARP_SIZE")
-                            || rhs_makes_container(rhs)
+                            || rhs_makes_container(rhs, sums)
                         {
                             d.containers.extend(names.iter().cloned());
                         }
-                        if d.expr_divergent(rhs) {
+                        if d.expr_divergent(rhs, sums) {
                             d.divergent.extend(names.iter().cloned());
                         }
                     }
@@ -163,7 +192,7 @@ impl Divergence {
     }
 
     /// Does iterating this expression visit lanes individually?
-    fn lane_loop(&self, iter: &[Tok]) -> bool {
+    fn lane_loop(&self, iter: &[Tok], sums: &Summaries) -> bool {
         let mentions = |name: &str| iter.iter().any(|t| t.is_ident(name));
         if mentions("lanes_of") || mentions("WARP_SIZE") {
             return true;
@@ -175,19 +204,30 @@ impl Divergence {
         {
             return true;
         }
-        self.expr_divergent(iter)
+        self.expr_divergent(iter, sums)
     }
 
     /// Does this expression read divergent (per-lane) data?
-    fn expr_divergent(&self, toks: &[Tok]) -> bool {
+    fn expr_divergent(&self, toks: &[Tok], sums: &Summaries) -> bool {
         // Warp-primitive results are uniform: mask out their whole spans so
         // per-lane arguments inside them don't leak divergence.
+        let calls = extract_calls_spanned(toks);
         let mut masked = vec![false; toks.len()];
-        for (c, (s, e)) in extract_calls_spanned(toks) {
+        for (c, (s, e)) in &calls {
             if !c.is_method && UNIFORM_RESULT.contains(&c.name.as_str()) {
-                for m in masked.iter_mut().take(e + 1).skip(s) {
+                for m in masked.iter_mut().take(e + 1).skip(*s) {
                     *m = true;
                 }
+            }
+        }
+        // A call to a helper whose summary says the result reads per-lane
+        // data makes the whole expression divergent.
+        for (c, (s, _)) in &calls {
+            if masked[*s] || has_builtin_transfer(&c.name) {
+                continue;
+            }
+            if sums.get(&c.name).is_some_and(|f| f.divergent_out) {
+                return true;
             }
         }
         for (i, t) in toks.iter().enumerate() {
@@ -206,29 +246,32 @@ impl Divergence {
     }
 
     /// Is any guard governing this node warp-divergent?
-    fn control_divergent(&self, cfg: &Cfg, node: usize) -> bool {
+    fn control_divergent(&self, cfg: &Cfg, node: usize, sums: &Summaries) -> bool {
         cfg.nodes[node]
             .guards
             .iter()
             .any(|&g| match &cfg.guards[g] {
-                Guard::Cond(toks) => self.expr_divergent(toks),
-                Guard::Loop { iter, .. } => self.lane_loop(iter),
+                Guard::Cond(toks) => self.expr_divergent(toks, sums),
+                Guard::Loop { iter, .. } => self.lane_loop(iter, sums),
             })
     }
 }
 
-/// Container-producing initializer: a `[init; WARP_SIZE]` array literal or
-/// a call returning `Lanes` (`warp_load` / `warp_scan`).
-fn rhs_makes_container(rhs: &[Tok]) -> bool {
+/// Container-producing initializer: a `[init; WARP_SIZE]` array literal, a
+/// call returning `Lanes` (`warp_load` / `warp_scan`), or a call to a
+/// helper whose summary returns a container.
+fn rhs_makes_container(rhs: &[Tok], sums: &Summaries) -> bool {
     if rhs.first().is_some_and(|t| t.is_punct("[")) && rhs.iter().any(|t| t.is_ident("WARP_SIZE")) {
         return true;
     }
     if rhs.iter().any(|t| t.is_ident("Lanes")) {
         return true;
     }
-    extract_calls_spanned(rhs)
-        .iter()
-        .any(|(c, _)| !c.is_method && CONTAINER_RESULT.contains(&c.name.as_str()))
+    extract_calls_spanned(rhs).iter().any(|(c, _)| {
+        (!c.is_method && CONTAINER_RESULT.contains(&c.name.as_str()))
+            || (!has_builtin_transfer(&c.name)
+                && sums.get(&c.name).is_some_and(|f| f.container_out))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -251,7 +294,7 @@ enum Decl {
 /// Pool-access lattice: `Bottom < Clear < Atomic < Plain` (join = max).
 type Pool = u8;
 const POOL_BOTTOM: Pool = 0;
-const POOL_CLEAR: Pool = 1;
+const POOL_CLEAR: Pool = SUM_POOL_CLEAR;
 const POOL_ATOMIC_ST: Pool = 2;
 const POOL_PLAIN_ST: Pool = 3;
 
@@ -259,6 +302,9 @@ const POOL_PLAIN_ST: Pool = 3;
 struct State {
     decl: Decl,
     pool: Pool,
+    /// Still reachable from function entry with no barrier on some path —
+    /// what decides whether a pool access is *entry-exposed* in summaries.
+    pre: bool,
 }
 
 impl State {
@@ -266,6 +312,7 @@ impl State {
         State {
             decl: Decl::Bottom,
             pool: POOL_BOTTOM,
+            pre: false,
         }
     }
 
@@ -273,6 +320,7 @@ impl State {
         State {
             decl: Decl::None,
             pool: POOL_CLEAR,
+            pre: true,
         }
     }
 
@@ -285,12 +333,16 @@ impl State {
         State {
             decl,
             pool: self.pool.max(other.pool),
+            pre: self.pre || other.pre,
         }
     }
 }
 
-/// Apply one call's effect to the state (no finding emission).
-fn transfer_call(state: &mut State, c: &Call) {
+/// Apply one call's effect to the state (no finding emission). Callee
+/// summaries compose: a helper that touches the pool leaves the caller in
+/// the helper's exit state, and a helper that re-declares the active mask
+/// invalidates the caller's declaration (permissively).
+fn transfer_call(state: &mut State, c: &Call, sums: &Summaries) {
     if c.name == "set_active" {
         if let Some(arg) = c.args.first() {
             state.decl = Decl::Expr(join(arg));
@@ -300,24 +352,41 @@ fn transfer_call(state: &mut State, c: &Call) {
     let n = c.name.as_str();
     if POOL_BARRIER.contains(&n) {
         state.pool = POOL_CLEAR;
+        state.pre = false;
     } else if POOL_ATOMIC.contains(&n) {
         state.pool = state.pool.max(POOL_ATOMIC_ST);
     } else if POOL_PLAIN.contains(&n) {
         state.pool = POOL_PLAIN_ST;
+    } else if !has_builtin_transfer(n) {
+        if let Some(s) = sums.get(n) {
+            if s.sets_active {
+                state.decl = Decl::Unknown;
+            }
+            if s.pool_touched {
+                if s.pool_out == POOL_CLEAR {
+                    // The helper's last pool-relevant action was a barrier
+                    // on every path.
+                    state.pool = POOL_CLEAR;
+                    state.pre = false;
+                } else {
+                    state.pool = state.pool.max(s.pool_out);
+                }
+            }
+        }
     }
 }
 
-fn transfer_node(mut state: State, node: &crate::cfg::Node) -> State {
+fn transfer_node(mut state: State, node: &crate::cfg::Node, sums: &Summaries) -> State {
     for a in &node.actions {
         if let Action::Call(c) = a {
-            transfer_call(&mut state, c);
+            transfer_call(&mut state, c, sums);
         }
     }
     state
 }
 
-/// Solve the forward dataflow to fixpoint; returns each node's entry state.
-fn solve(cfg: &Cfg) -> Vec<State> {
+/// Solve the forward dataflow to fixpoint; returns each node's exit state.
+fn solve_outs(cfg: &Cfg, sums: &Summaries) -> Vec<State> {
     let n = cfg.nodes.len();
     let preds = cfg.preds();
     let mut outs = vec![State::bottom(); n];
@@ -332,14 +401,14 @@ fn solve(cfg: &Cfg) -> Vec<State> {
             for &p in &preds[i] {
                 inp = inp.join(&outs[p]);
             }
-            let out = transfer_node(inp, &cfg.nodes[i]);
+            let out = transfer_node(inp, &cfg.nodes[i], sums);
             if out != outs[i] {
                 outs[i] = out;
                 changed = true;
             }
         }
         if !changed {
-            return entry_states(cfg, &outs);
+            return outs;
         }
     }
 }
@@ -373,16 +442,17 @@ fn is_full_mask(m: &str) -> bool {
 }
 
 /// Replay the fixpoint states through each node and emit findings for the
-/// `divergent-sync` and `pool-race` rules.
-fn check_flow_rules(cfg: &Cfg, div: &Divergence) -> Vec<RawFinding> {
-    let states = solve(cfg);
+/// `divergent-sync` and `pool-race` rules, composing callee summaries.
+fn check_flow_rules(cfg: &Cfg, div: &Divergence, sums: &Summaries) -> Vec<RawFinding> {
+    let outs = solve_outs(cfg, sums);
+    let states = entry_states(cfg, &outs);
     let mut out = Vec::new();
     for (i, node) in cfg.nodes.iter().enumerate() {
         let mut st = states[i].clone();
         if st.pool == POOL_BOTTOM {
             continue; // unreachable
         }
-        let ctrl_div = div.control_divergent(cfg, i);
+        let ctrl_div = div.control_divergent(cfg, i, sums);
         for a in &node.actions {
             let Action::Call(c) = a else { continue };
             if !c.is_method && PRIMS.contains(&c.name.as_str()) {
@@ -394,6 +464,7 @@ fn check_flow_rules(cfg: &Cfg, div: &Divergence) -> Vec<RawFinding> {
             if POOL_PLAIN.contains(&n) && st.pool >= POOL_ATOMIC_ST {
                 out.push(RawFinding {
                     line: Some(c.line),
+                    col: Some(c.col),
                     rule: "pool-race",
                     message: format!(
                         "unsynchronized pool cursor read `{n}` races an earlier \
@@ -403,6 +474,7 @@ fn check_flow_rules(cfg: &Cfg, div: &Divergence) -> Vec<RawFinding> {
             } else if POOL_ATOMIC.contains(&n) && st.pool == POOL_PLAIN_ST {
                 out.push(RawFinding {
                     line: Some(c.line),
+                    col: Some(c.col),
                     rule: "pool-race",
                     message: format!(
                         "atomic pool access `{n}` follows an unsynchronized \
@@ -410,13 +482,66 @@ fn check_flow_rules(cfg: &Cfg, div: &Divergence) -> Vec<RawFinding> {
                          them)"
                     ),
                 });
+            } else if !has_builtin_transfer(n) {
+                if let Some(s) = sums.get(n) {
+                    check_callee_summary(c, s, &st, ctrl_div, &mut out);
+                }
             }
-            transfer_call(&mut st, c);
+            transfer_call(&mut st, c, sums);
         }
     }
-    out.sort_by_key(|f| f.line);
+    out.sort_by_key(|f| (f.line, f.col));
     out.dedup();
     out
+}
+
+/// Interprocedural composition at one call site: entry-exposed pool
+/// accesses inside the callee race with the caller's pool state, and
+/// latent full-mask primitives inside the callee fire when the call site
+/// itself is divergent and undeclared.
+fn check_callee_summary(
+    c: &Call,
+    s: &FnSummary,
+    st: &State,
+    ctrl_div: bool,
+    out: &mut Vec<RawFinding>,
+) {
+    let n = c.name.as_str();
+    if s.pool_plain_entry && st.pool >= POOL_ATOMIC_ST {
+        out.push(RawFinding {
+            line: Some(c.line),
+            col: Some(c.col),
+            rule: "pool-race",
+            message: format!(
+                "unsynchronized pool cursor read inside `{n}` races an earlier \
+                 pool access on some path (insert block_barrier before the call)"
+            ),
+        });
+    } else if s.pool_atomic_entry && st.pool == POOL_PLAIN_ST {
+        out.push(RawFinding {
+            line: Some(c.line),
+            col: Some(c.col),
+            rule: "pool-race",
+            message: format!(
+                "atomic pool access inside `{n}` follows an unsynchronized \
+                 cursor read on some path (insert block_barrier before the call)"
+            ),
+        });
+    }
+    if ctrl_div && st.decl == Decl::None {
+        if let Some(prim) = s.latent_prims.first() {
+            out.push(RawFinding {
+                line: Some(c.line),
+                col: Some(c.col),
+                rule: "divergent-sync",
+                message: format!(
+                    "warp primitive `{prim}` reached via `{n}` is called with a \
+                     full mask under divergent control flow and no set_active \
+                     declaration"
+                ),
+            });
+        }
+    }
 }
 
 fn check_prim_mask(
@@ -433,6 +558,7 @@ fn check_prim_mask(
             if ctrl_div && is_full_mask(&m) {
                 out.push(RawFinding {
                     line: Some(c.line),
+                    col: Some(c.col),
                     rule: "divergent-sync",
                     message: format!(
                         "warp primitive `{}` called with a full mask under \
@@ -449,6 +575,7 @@ fn check_prim_mask(
             if is_full_mask(&m) {
                 out.push(RawFinding {
                     line: Some(c.line),
+                    col: Some(c.col),
                     rule: "divergent-sync",
                     message: format!(
                         "warp primitive `{}` called with full mask but \
@@ -459,6 +586,7 @@ fn check_prim_mask(
             } else if !derived_by_intersection(&m, declared, cfg) {
                 out.push(RawFinding {
                     line: Some(c.line),
+                    col: Some(c.col),
                     rule: "divergent-sync",
                     message: format!(
                         "warp primitive `{}` called with stale mask `{m}` but \
@@ -495,6 +623,141 @@ fn derived_by_intersection(m: &str, d: &str, cfg: &Cfg) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Summary extraction (flow-related fields)
+// ---------------------------------------------------------------------------
+
+/// Compute the flow-related summary fields for one function: return-value
+/// divergence, mask re-declaration, entry-exposed pool accesses, exit pool
+/// state, and latent full-mask primitives. `unordered_out` and `blocks`
+/// are filled in by [`crate::order`] and [`crate::blocking`].
+pub fn flow_summary(f: &FnDef, sums: &Summaries) -> FnSummary {
+    let cfg = lower(&f.body);
+    let div = Divergence::build(f, &cfg, sums);
+    let outs = solve_outs(&cfg, sums);
+    let states = entry_states(&cfg, &outs);
+    let mut s = FnSummary::default();
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        let mut st = states[i].clone();
+        if st.pool == POOL_BOTTOM {
+            continue;
+        }
+        let ctrl_div = div.control_divergent(&cfg, i, sums);
+        for a in &node.actions {
+            let Action::Call(c) = a else { continue };
+            let n = c.name.as_str();
+            if c.name == "set_active" {
+                s.sets_active = true;
+            } else if !c.is_method && PRIMS.contains(&n) {
+                // A full-mask primitive that is locally clean (converged
+                // control, no declaration) is *latent*: it becomes a
+                // violation only at a divergent call site.
+                if let Some(mask) = c.args.get(2) {
+                    if is_full_mask(&join(mask)) && st.decl == Decl::None && !ctrl_div {
+                        s.latent_prims.push(c.name.clone());
+                    }
+                }
+            }
+            if POOL_ATOMIC.contains(&n) {
+                s.pool_touched = true;
+                if st.pre {
+                    s.pool_atomic_entry = true;
+                }
+            } else if POOL_PLAIN.contains(&n) {
+                s.pool_touched = true;
+                if st.pre {
+                    s.pool_plain_entry = true;
+                }
+            } else if POOL_BARRIER.contains(&n) {
+                s.pool_touched = true;
+            } else if !has_builtin_transfer(n) {
+                if let Some(cs) = sums.get(n) {
+                    s.sets_active |= cs.sets_active;
+                    if cs.pool_touched {
+                        s.pool_touched = true;
+                        if st.pre {
+                            s.pool_atomic_entry |= cs.pool_atomic_entry;
+                            s.pool_plain_entry |= cs.pool_plain_entry;
+                        }
+                    }
+                    if !ctrl_div && st.decl == Decl::None {
+                        for p in &cs.latent_prims {
+                            s.latent_prims.push(p.clone());
+                        }
+                    }
+                }
+            }
+            transfer_call(&mut st, c, sums);
+        }
+    }
+    // Exit pool state: join over reachable exit nodes.
+    let mut pool_out = POOL_BOTTOM;
+    for (i, node) in cfg.nodes.iter().enumerate() {
+        if node.succs.is_empty() && outs[i].pool != POOL_BOTTOM {
+            pool_out = pool_out.max(outs[i].pool);
+        }
+    }
+    s.pool_out = if pool_out == POOL_BOTTOM {
+        POOL_CLEAR
+    } else {
+        pool_out
+    };
+    // Return-value divergence.
+    for expr in return_exprs(&f.body) {
+        if div.expr_divergent(expr, sums) {
+            s.divergent_out = true;
+        } else if rhs_makes_container(expr, sums)
+            || expr
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && div.containers.contains(&t.text))
+        {
+            s.container_out = true;
+        }
+    }
+    s.latent_prims.sort();
+    s.latent_prims.dedup();
+    s.latent_prims.truncate(8);
+    s
+}
+
+/// Every `return expr;` in the body (recursively) plus the top-level tail
+/// expression, if any.
+pub(crate) fn return_exprs(body: &Block) -> Vec<&[Tok]> {
+    fn collect<'a>(b: &'a Block, out: &mut Vec<&'a [Tok]>) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Return(toks) if !toks.is_empty() => out.push(toks),
+                Stmt::Let {
+                    else_block: Some(eb),
+                    ..
+                } => collect(eb, out),
+                Stmt::If { then_b, else_b, .. } => {
+                    collect(then_b, out);
+                    if let Some(eb) = else_b {
+                        collect(eb, out);
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::Loop { body } | Stmt::For { body, .. } => {
+                    collect(body, out)
+                }
+                Stmt::Match { arms, .. } => {
+                    for (_, body) in arms {
+                        collect(body, out);
+                    }
+                }
+                Stmt::Block(inner) => collect(inner, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    collect(body, &mut out);
+    if let Some(Stmt::Expr(toks)) = body.stmts.last() {
+        out.push(toks);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // primitive-charges-counters
 // ---------------------------------------------------------------------------
 
@@ -526,6 +789,7 @@ fn check_charges(f: &FnDef, cfg: &Cfg) -> Vec<RawFinding> {
     } else {
         vec![RawFinding {
             line: None,
+            col: None,
             rule: "primitive-charges-counters",
             message: format!(
                 "pub fn {} takes &mut KernelCounters but never charges them \
@@ -557,6 +821,14 @@ mod tests {
         fns.iter().flat_map(analyze_kernel_fn).collect()
     }
 
+    fn kernel_findings_inter(src: &str) -> Vec<RawFinding> {
+        let fns = parse_file(&lex(src));
+        let sums = Summaries::build(&fns);
+        fns.iter()
+            .flat_map(|f| analyze_kernel_fn_with(f, &sums))
+            .collect()
+    }
+
     #[test]
     fn full_mask_in_lane_loop_is_divergent_sync() {
         let src = "pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) -> u32 {\n\
@@ -570,6 +842,7 @@ mod tests {
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "divergent-sync");
         assert_eq!(f[0].line, Some(4));
+        assert!(f[0].col.is_some());
     }
 
     #[test]
@@ -698,5 +971,101 @@ mod tests {
             helper(ctr, mask);\n\
         }";
         assert!(kernel_findings(forwarded).is_empty());
+    }
+
+    // --- interprocedural ---
+
+    const HIDDEN_PRIM: &str = "\
+fn full_ballot(ctr: &mut KernelCounters, san: &WarpSanitizer, pred: &Lanes<bool>) -> u32 {\n\
+    ballot(ctr, san, FULL_MASK, pred)\n\
+}\n\
+pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) -> u32 {\n\
+    let mut acc = 0u32;\n\
+    for lane in lanes_of(mask) {\n\
+        acc |= full_ballot(ctr, san, pred);\n\
+    }\n\
+    acc\n\
+}\n";
+
+    #[test]
+    fn latent_prim_invisible_intraprocedurally() {
+        assert!(kernel_findings(HIDDEN_PRIM).is_empty());
+    }
+
+    #[test]
+    fn latent_prim_fires_at_divergent_call_site() {
+        let f = kernel_findings_inter(HIDDEN_PRIM);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "divergent-sync");
+        assert_eq!(f[0].line, Some(7));
+        assert!(f[0].message.contains("via `full_ballot`"), "{f:?}");
+    }
+
+    const HIDDEN_FETCH: &str = "\
+fn drain_one(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+    pool.fetch_sanitized(san)\n\
+}\n\
+pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+    let t = drain_one(pool, san);\n\
+    pool.read_cursor_unsync(san) + t\n\
+}\n";
+
+    #[test]
+    fn pool_race_through_helper_needs_summaries() {
+        assert!(kernel_findings(HIDDEN_FETCH).is_empty());
+        let f = kernel_findings_inter(HIDDEN_FETCH);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "pool-race");
+        assert_eq!(f[0].line, Some(6));
+    }
+
+    #[test]
+    fn helper_barrier_at_exit_clears_caller_state() {
+        let src = "\
+fn drain_and_sync(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+    let t = pool.fetch_sanitized(san);\n\
+    san.block_barrier();\n\
+    t\n\
+}\n\
+pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+    let t = drain_and_sync(pool, san);\n\
+    pool.read_cursor_unsync(san) + t\n\
+}\n";
+        assert!(kernel_findings_inter(src).is_empty());
+    }
+
+    #[test]
+    fn divergent_helper_return_seeds_caller_divergence() {
+        let src = "\
+fn pick(vals: &Lanes<u32>, lane: usize) -> u32 {\n\
+    vals[lane]\n\
+}\n\
+pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, vals: &Lanes<u32>, pred: &Lanes<bool>) {\n\
+    let v = pick(vals, 0);\n\
+    if v > 1 {\n\
+        ballot(ctr, san, FULL_MASK, pred);\n\
+    }\n\
+}\n";
+        assert!(kernel_findings(src).is_empty(), "intra misses this");
+        let f = kernel_findings_inter(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "divergent-sync");
+        assert_eq!(f[0].line, Some(7));
+    }
+
+    #[test]
+    fn helper_set_active_joins_to_unknown_not_stale() {
+        // The helper re-declares; the caller's old declaration must not
+        // produce a stale-mask finding afterwards.
+        let src = "\
+fn redeclare(san: &WarpSanitizer, m: u32) {\n\
+    san.set_active(m);\n\
+}\n\
+pub fn k(ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask, pred: &Lanes<bool>) {\n\
+    san.set_active(mask);\n\
+    redeclare(san, mask);\n\
+    reduce_count(ctr, san, mask, pred);\n\
+}\n";
+        assert!(kernel_findings_inter(src).is_empty());
     }
 }

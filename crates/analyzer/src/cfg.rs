@@ -19,6 +19,7 @@ use crate::parse::{matching, split_top, Block, Stmt};
 #[derive(Debug, Clone)]
 pub struct Call {
     pub line: u32,
+    pub col: u32,
     /// Last path segment (`ballot` for `warp::ballot`) or method name.
     pub name: String,
     pub is_method: bool,
@@ -346,6 +347,7 @@ pub fn extract_calls_spanned(toks: &[Tok]) -> Vec<(Call, (usize, usize))> {
         out.push((
             Call {
                 line: prev.line,
+                col: prev.col,
                 name,
                 is_method,
                 recv,

@@ -43,6 +43,7 @@ fn check_no_seqcst(toks: &[Tok]) -> Vec<RawFinding> {
             }
             out.push(RawFinding {
                 line: Some(t.line),
+                col: Some(t.col),
                 rule: "no-seqcst",
                 message: "SeqCst ordering is banned (use Relaxed or \
                           Acquire/Release and document why)"
@@ -65,6 +66,7 @@ fn check_launch_merges(toks: &[Tok]) -> Vec<RawFinding> {
     if calls_launch && !merges && !defines_launch {
         vec![RawFinding {
             line: None,
+            col: None,
             rule: "launch-merges-counters",
             message: "calls Device::launch but never merges the per-block \
                       KernelCounters"
@@ -86,6 +88,7 @@ fn check_launch_confined(file: &str, toks: &[Tok]) -> Vec<RawFinding> {
         .filter(|(c, _)| c.is_method && (c.name == "launch" || c.name == "launch_blocks"))
         .map(|(c, _)| RawFinding {
             line: Some(c.line),
+            col: Some(c.col),
             rule: "launch-confined",
             message: "direct device launch outside crates/simt and the engine \
                       runtime module (go through \
@@ -111,6 +114,7 @@ fn check_prof_confined(file: &str, toks: &[Tok]) -> Vec<RawFinding> {
         .filter(|(c, _)| c.is_method && BOARD_READS.contains(&c.name.as_str()))
         .map(|(c, _)| RawFinding {
             line: Some(c.line),
+            col: Some(c.col),
             rule: "prof-confined",
             message: "direct counter-board read outside crates/simt, \
                       crates/prof, and the engine runtime module (consume \

@@ -1,5 +1,6 @@
 //! A lossy Rust lexer: identifiers, punctuation, and literals with line
-//! numbers; comments stripped, string/char contents kept opaque.
+//! and column numbers; comments stripped, string/char contents kept
+//! opaque.
 //!
 //! The analyzer never needs to look *inside* a literal, so a string
 //! becomes a single [`TokKind::Lit`] token whose braces, `//`, or `SeqCst`
@@ -18,12 +19,13 @@ pub enum TokKind {
     Lit,
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
+    pub col: u32,
 }
 
 impl Tok {
@@ -44,10 +46,29 @@ const MULTI_PUNCT: &[&str] = &[
     "%=", "&=", "|=", "^=", "<<=", ">>=",
 ];
 
+/// Char indices at which each 1-based line starts; columns are computed
+/// as offsets from these, so multi-line tokens keep the column of their
+/// opening character.
+fn line_starts(b: &[char]) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == '\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn col_of(starts: &[usize], line: u32, idx: usize) -> u32 {
+    let base = starts.get(line as usize - 1).copied().unwrap_or(0).min(idx);
+    (idx - base + 1) as u32
+}
+
 /// Tokenize `src`. Never fails: unrecognized bytes become single-character
 /// punctuation, which at worst makes a statement opaque to the parser.
 pub fn lex(src: &str) -> Vec<Tok> {
     let b: Vec<char> = src.chars().collect();
+    let starts = line_starts(&b);
     let mut out = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
@@ -82,11 +103,11 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     }
                 }
             }
-            '"' => i = lex_string(&b, i, line, &mut out, &mut line),
+            '"' => i = lex_string(&b, &starts, i, line, &mut out, &mut line),
             'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
-                i = lex_raw_or_byte(&b, i, &mut out, &mut line)
+                i = lex_raw_or_byte(&b, &starts, i, &mut out, &mut line)
             }
-            '\'' => i = lex_quote(&b, i, line, &mut out),
+            '\'' => i = lex_quote(&b, &starts, i, line, &mut out),
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
                 while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
@@ -96,6 +117,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     kind: TokKind::Ident,
                     text: b[start..i].iter().collect(),
                     line,
+                    col: col_of(&starts, line, start),
                 });
             }
             c if c.is_ascii_digit() => {
@@ -115,6 +137,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     kind: TokKind::Lit,
                     text: b[start..i].iter().collect(),
                     line,
+                    col: col_of(&starts, line, start),
                 });
             }
             _ => {
@@ -131,6 +154,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                         kind: TokKind::Punct,
                         text: op.to_string(),
                         line,
+                        col: col_of(&starts, line, i),
                     });
                     i += op.len();
                 } else {
@@ -138,6 +162,7 @@ pub fn lex(src: &str) -> Vec<Tok> {
                         kind: TokKind::Punct,
                         text: c.to_string(),
                         line,
+                        col: col_of(&starts, line, i),
                     });
                     i += 1;
                 }
@@ -158,6 +183,7 @@ fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
 
 fn lex_string(
     b: &[char],
+    starts: &[usize],
     start: usize,
     start_line: u32,
     out: &mut Vec<Tok>,
@@ -182,12 +208,20 @@ fn lex_string(
         kind: TokKind::Lit,
         text: "\"…\"".to_string(),
         line: start_line,
+        col: col_of(starts, start_line, start),
     });
     i
 }
 
-fn lex_raw_or_byte(b: &[char], start: usize, out: &mut Vec<Tok>, line: &mut u32) -> usize {
+fn lex_raw_or_byte(
+    b: &[char],
+    starts: &[usize],
+    start: usize,
+    out: &mut Vec<Tok>,
+    line: &mut u32,
+) -> usize {
     let start_line = *line;
+    let start_col = col_of(starts, start_line, start);
     let mut i = start;
     // Skip the `b` / `r` / `br` prefix.
     while i < b.len() && (b[i] == 'b' || b[i] == 'r') {
@@ -195,12 +229,13 @@ fn lex_raw_or_byte(b: &[char], start: usize, out: &mut Vec<Tok>, line: &mut u32)
     }
     if b.get(i) == Some(&'\'') {
         // Byte char literal b'x'.
-        let end = lex_quote(b, i, start_line, out);
+        let end = lex_quote(b, starts, i, start_line, out);
         out.pop(); // replace the char token with a byte-lit token
         out.push(Tok {
             kind: TokKind::Lit,
             text: "b'…'".to_string(),
             line: start_line,
+            col: start_col,
         });
         return end;
     }
@@ -220,6 +255,7 @@ fn lex_raw_or_byte(b: &[char], start: usize, out: &mut Vec<Tok>, line: &mut u32)
             kind: TokKind::Ident,
             text: b[start..j].iter().collect(),
             line: start_line,
+            col: start_col,
         });
         return j;
     }
@@ -252,12 +288,14 @@ fn lex_raw_or_byte(b: &[char], start: usize, out: &mut Vec<Tok>, line: &mut u32)
         kind: TokKind::Lit,
         text: "r\"…\"".to_string(),
         line: start_line,
+        col: start_col,
     });
     i
 }
 
 /// Lex a `'` — either a char literal or a lifetime.
-fn lex_quote(b: &[char], start: usize, line: u32, out: &mut Vec<Tok>) -> usize {
+fn lex_quote(b: &[char], starts: &[usize], start: usize, line: u32, out: &mut Vec<Tok>) -> usize {
+    let col = col_of(starts, line, start);
     let mut i = start + 1;
     // Lifetime: 'ident not followed by a closing quote.
     if i < b.len() && (b[i].is_alphabetic() || b[i] == '_') {
@@ -270,6 +308,7 @@ fn lex_quote(b: &[char], start: usize, line: u32, out: &mut Vec<Tok>) -> usize {
                 kind: TokKind::Punct,
                 text: format!("'{}", b[i..j].iter().collect::<String>()),
                 line,
+                col,
             });
             return j;
         }
@@ -289,6 +328,7 @@ fn lex_quote(b: &[char], start: usize, line: u32, out: &mut Vec<Tok>) -> usize {
         kind: TokKind::Lit,
         text: "'…'".to_string(),
         line,
+        col,
     });
     i
 }
@@ -306,8 +346,30 @@ mod tests {
         let toks = lex("let x = 1;\nlet y = x;");
         assert!(toks[0].is_ident("let"));
         assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
         let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
         assert_eq!(y.line, 2);
+        assert_eq!(y.col, 5);
+    }
+
+    #[test]
+    fn columns_track_indentation_and_operators() {
+        let toks = lex("    foo += 1;\n  bar.baz();");
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (1, 5));
+        let plus = toks.iter().find(|t| t.is_punct("+=")).unwrap();
+        assert_eq!((plus.line, plus.col), (1, 9));
+        let baz = toks.iter().find(|t| t.is_ident("baz")).unwrap();
+        assert_eq!((baz.line, baz.col), (2, 7));
+    }
+
+    #[test]
+    fn columns_survive_multiline_strings() {
+        let toks = lex("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!((next.line, next.col), (3, 1));
+        let lit = toks.iter().find(|t| t.text == "\"…\"").unwrap();
+        assert_eq!((lit.line, lit.col), (1, 9));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! gsword-analyzer: static lockstep-safety analysis for SIMT kernel code.
+//! gsword-analyzer: static lockstep-safety and determinism analysis for
+//! the gSWORD workspace.
 //!
 //! The workspace's SIMT kernels rely on warp-synchronous discipline that
 //! the type system cannot express: primitive participation masks must
@@ -11,8 +12,13 @@
 //! partial parser ([`parse`]) that extracts function bodies, which lower
 //! to statement-level control-flow graphs ([`cfg`]) analyzed by a
 //! uniformity dataflow plus flow-sensitive mask/pool lattices
-//! ([`analysis`]). Path-aware repo invariants migrated from the old
-//! textual lint live in [`confined`].
+//! ([`analysis`]). A call graph over the whole parsed corpus feeds a
+//! fixpoint of per-function summaries ([`callgraph`]) so those analyses
+//! see through helper functions. Determinism rules (hash-iteration order,
+//! float reduction order) live in [`order`], worker-pool deadlock rules in
+//! [`blocking`], and path-aware repo invariants migrated from the old
+//! textual lint in [`confined`]. Findings serialize to SARIF 2.1.0 via
+//! [`sarif`].
 //!
 //! The front-end is purpose-built on `std` alone rather than `syn`: the
 //! workspace builds hermetically from vendored stubs (see
@@ -22,25 +28,83 @@
 //! call sites are still visible to the analyses.
 //!
 //! Entry points: [`analyze_source`] for one file, [`analyze_tree`] for a
-//! directory walk (used by `cargo xtask analyze` and `cargo xtask lint`).
+//! directory walk (used by `cargo xtask analyze` and `cargo xtask lint`),
+//! and [`analyze_source_intraprocedural`] for the summary-free PR-4
+//! behavior kept as a before/after baseline.
+//!
+//! False positives are silenced in place with `// gsword: allow(rule)`
+//! (covers the comment's line and the next) or `// gsword:
+//! allow-file(rule)` (whole file), or accepted into the checked-in
+//! baseline consumed by `cargo xtask analyze --gate`.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod analysis;
+pub mod blocking;
+pub mod callgraph;
 pub mod cfg;
 pub mod confined;
 pub mod lex;
+pub mod order;
 pub mod parse;
+pub mod sarif;
 
-use analysis::{analyze_kernel_fn, is_kernel_fn};
+use analysis::{analyze_kernel_fn, analyze_kernel_fn_with, is_kernel_fn, RawFinding};
+use callgraph::Summaries;
 
-/// One diagnostic, formatted `file:line: rule: message` (line omitted for
-/// file-scoped rules).
+/// Every rule the analyzer knows, with a one-line description. Drives the
+/// SARIF `rules` array and the README table.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "divergent-sync",
+        "warp primitive participation mask contradicts the declared or actual convergence",
+    ),
+    (
+        "pool-race",
+        "block-shared pool accesses on some path lack an intervening block_barrier",
+    ),
+    (
+        "primitive-charges-counters",
+        "pub fn takes &mut KernelCounters but never charges the device cost model",
+    ),
+    (
+        "no-seqcst",
+        "SeqCst atomic ordering outside the allow-listed handshake sites",
+    ),
+    (
+        "launch-merges-counters",
+        "device launch loop drops per-launch KernelCounters instead of merging them",
+    ),
+    (
+        "launch-confined",
+        "direct device launch outside the engine/runtime launch layer",
+    ),
+    (
+        "prof-confined",
+        "profiler scopes constructed outside the instrumented runtime layer",
+    ),
+    (
+        "nondet-order",
+        "HashMap/HashSet iteration order flows into reports, errors, or serialized output",
+    ),
+    (
+        "float-reduce-order",
+        "float accumulation or estimate merge performed in nondeterministic order",
+    ),
+    (
+        "scope-blocking",
+        "blocking drain reachable from a pool worker job, or scope erasure with no drain",
+    ),
+];
+
+/// One diagnostic, formatted `file:line:col: rule: message` (position
+/// omitted for file-scoped rules).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub file: String,
     pub line: Option<u32>,
+    pub col: Option<u32>,
     pub rule: &'static str,
     pub message: String,
 }
@@ -48,15 +112,157 @@ pub struct Finding {
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.line {
-            Some(line) => write!(f, "{}:{line}: {}: {}", self.file, self.rule, self.message),
+            Some(line) => write!(
+                f,
+                "{}:{line}:{}: {}: {}",
+                self.file,
+                self.col.unwrap_or(1),
+                self.rule,
+                self.message
+            ),
             None => write!(f, "{}: {}: {}", self.file, self.rule, self.message),
         }
     }
 }
 
-/// Analyze one source file. `file` is the path label used for reporting
-/// and for the path-based allow-lists.
+/// In-source suppressions: `// gsword: allow(rule, …)` silences matching
+/// findings on its own line and the next; `// gsword: allow-file(rule, …)`
+/// silences them in the whole file (including line-less findings).
+#[derive(Debug, Default)]
+struct Suppressions {
+    file_rules: Vec<String>,
+    line_rules: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    fn parse(src: &str) -> Suppressions {
+        let mut s = Suppressions::default();
+        for (i, text) in src.lines().enumerate() {
+            let line = i as u32 + 1;
+            let Some(pos) = text.find("// gsword: allow") else {
+                continue;
+            };
+            let rest = &text[pos + "// gsword: allow".len()..];
+            let (file_wide, rest) = match rest.strip_prefix("-file(") {
+                Some(r) => (true, r),
+                None => match rest.strip_prefix('(') {
+                    Some(r) => (false, r),
+                    None => continue,
+                },
+            };
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            for rule in rest[..close].split(',') {
+                let rule = rule.trim().to_string();
+                if rule.is_empty() {
+                    continue;
+                }
+                if file_wide {
+                    s.file_rules.push(rule);
+                } else {
+                    s.line_rules.push((line, rule));
+                }
+            }
+        }
+        s
+    }
+
+    fn allows(&self, f: &Finding) -> bool {
+        if self.file_rules.iter().any(|r| r == f.rule) {
+            return true;
+        }
+        match f.line {
+            Some(l) => self
+                .line_rules
+                .iter()
+                .any(|(sl, r)| r == f.rule && (l == *sl || l == sl + 1)),
+            None => false,
+        }
+    }
+}
+
+fn attach(file: &str, raw: Vec<RawFinding>) -> Vec<Finding> {
+    raw.into_iter()
+        .map(|r| Finding {
+            file: file.to_string(),
+            line: r.line,
+            col: r.col,
+            rule: r.rule,
+            message: r.message,
+        })
+        .collect()
+}
+
+/// Analyze a set of files as one corpus: summaries are built over every
+/// parsed function, so rules see through helper calls across files.
+/// `files` is `(path label, source text)`. Output is deterministic:
+/// sorted by (file, line, col, rule, message), deduplicated, suppressions
+/// applied.
+pub fn analyze_corpus(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<(usize, Vec<lex::Tok>)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (_, src))| (i, lex::lex(src)))
+        .collect();
+    let mut all_fns = Vec::new();
+    let mut per_file_fns = Vec::new();
+    for (_, toks) in &parsed {
+        let fns = parse::parse_file(toks);
+        all_fns.extend(fns.iter().cloned());
+        per_file_fns.push(fns);
+    }
+    let sums = Summaries::build(&all_fns);
+
+    let mut out = Vec::new();
+    for ((i, toks), fns) in parsed.iter().zip(&per_file_fns) {
+        let (file, src) = &files[*i];
+        let mut raw = confined::check_file(file, toks);
+        raw.extend(blocking::check_erasure(toks));
+        for f in fns {
+            if is_kernel_fn(file, f) {
+                raw.extend(analyze_kernel_fn_with(f, &sums));
+            }
+            raw.extend(order::check_fn(f, &sums));
+            raw.extend(blocking::check_fn(f, &sums));
+        }
+        let sup = Suppressions::parse(src);
+        out.extend(attach(file, raw).into_iter().filter(|f| !sup.allows(f)));
+    }
+    sort_findings(&mut out);
+    out.dedup();
+    out
+}
+
+fn sort_findings(out: &mut [Finding]) {
+    out.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line.unwrap_or(0),
+            a.col.unwrap_or(0),
+            a.rule,
+            a.message.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line.unwrap_or(0),
+                b.col.unwrap_or(0),
+                b.rule,
+                b.message.as_str(),
+            ))
+    });
+}
+
+/// Analyze one source file (a one-file corpus). `file` is the path label
+/// used for reporting and for the path-based allow-lists.
 pub fn analyze_source(file: &str, src: &str) -> Vec<Finding> {
+    analyze_corpus(&[(file.to_string(), src.to_string())])
+}
+
+/// The summary-free analyzer: every call is opaque, no order/blocking
+/// rules, no suppressions. This is exactly the PR-4 behavior, kept so the
+/// interprocedural tests can assert before/after deltas.
+pub fn analyze_source_intraprocedural(file: &str, src: &str) -> Vec<Finding> {
     let toks = lex::lex(src);
     let mut raw = confined::check_file(file, &toks);
     for f in parse::parse_file(&toks) {
@@ -64,14 +270,9 @@ pub fn analyze_source(file: &str, src: &str) -> Vec<Finding> {
             raw.extend(analyze_kernel_fn(&f));
         }
     }
-    raw.into_iter()
-        .map(|r| Finding {
-            file: file.to_string(),
-            line: r.line,
-            rule: r.rule,
-            message: r.message,
-        })
-        .collect()
+    let mut out = attach(file, raw);
+    sort_findings(&mut out);
+    out
 }
 
 /// Names of the functions in `src` that the kernel-body rules cover.
@@ -85,15 +286,15 @@ pub fn kernel_fn_names(file: &str, src: &str) -> Vec<String> {
         .collect()
 }
 
-/// Walk `root` and analyze every `.rs` file. Skips `xtask` (its lint
-/// fixtures violate the rules on purpose), `fixtures` trees (same, for
-/// this crate), and `target`.
+/// Walk `root` and analyze every `.rs` file as one corpus. Skips `xtask`
+/// (its lint fixtures violate the rules on purpose), `fixtures` trees
+/// (same, for this crate), and `target`.
 pub fn analyze_tree(root: &Path) -> Vec<Finding> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths);
+    paths.sort();
     let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
-    files.sort();
-    let mut out = Vec::new();
-    for path in files {
+    for path in paths {
         let rel = path.strip_prefix(root).unwrap_or(&path);
         if rel.components().any(|c| {
             ["xtask", "fixtures", "target"].contains(&c.as_os_str().to_str().unwrap_or(""))
@@ -103,9 +304,9 @@ pub fn analyze_tree(root: &Path) -> Vec<Finding> {
         let Ok(src) = std::fs::read_to_string(&path) else {
             continue;
         };
-        out.extend(analyze_source(&rel.display().to_string(), &src));
+        files.push((rel.display().to_string(), src));
     }
-    out
+    analyze_corpus(&files)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -130,20 +331,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn finding_display_matches_legacy_format() {
+    fn finding_display_has_line_and_column() {
         let with_line = Finding {
             file: "core/src/builder.rs".into(),
             line: Some(7),
+            col: Some(13),
             rule: "launch-confined",
             message: "direct device launch".into(),
         };
         assert_eq!(
             with_line.to_string(),
-            "core/src/builder.rs:7: launch-confined: direct device launch"
+            "core/src/builder.rs:7:13: launch-confined: direct device launch"
         );
         let no_line = Finding {
             file: "warp.rs".into(),
             line: None,
+            col: None,
             rule: "primitive-charges-counters",
             message: "pub fn bad takes &mut KernelCounters".into(),
         };
@@ -151,6 +354,16 @@ mod tests {
             no_line.to_string(),
             "warp.rs: primitive-charges-counters: pub fn bad takes &mut KernelCounters"
         );
+    }
+
+    #[test]
+    fn rules_table_is_sorted_unique_and_complete() {
+        let names: Vec<&str> = RULES.iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate rule ids");
+        assert_eq!(names.len(), 10);
     }
 
     #[test]
@@ -179,5 +392,78 @@ mod tests {
         let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
         assert!(rules.contains(&"no-seqcst"), "{f:?}");
         assert!(rules.contains(&"primitive-charges-counters"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src = "pub fn count(m: &HashMap<u32, u32>) -> u32 {\n\
+                   for k in m.keys() {\n\
+                       // gsword: allow(nondet-order)\n\
+                       return *k;\n\
+                   }\n\
+                   0\n\
+                   }\n";
+        assert!(analyze_source("m.rs", src).is_empty());
+        let unsuppressed = src.replace("// gsword: allow(nondet-order)\n", "");
+        assert_eq!(analyze_source("m.rs", &unsuppressed).len(), 1);
+    }
+
+    #[test]
+    fn allow_file_suppresses_lineless_findings() {
+        let src = "// gsword: allow-file(primitive-charges-counters)\n\
+                   pub fn bad(ctr: &mut KernelCounters) -> u32 { 0 }\n";
+        assert!(analyze_source("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_in_allow_comment_does_not_suppress() {
+        let src = "pub fn count(m: &HashMap<u32, u32>) -> u32 {\n\
+                   for k in m.keys() {\n\
+                       // gsword: allow(pool-race)\n\
+                       return *k;\n\
+                   }\n\
+                   0\n\
+                   }\n";
+        assert_eq!(analyze_source("m.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn corpus_analysis_sees_across_files() {
+        // The helper lives in one file, the caller in another: only the
+        // corpus-level entry point links them.
+        let helper = "pub fn drain_one(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+                      pool.fetch_sanitized(san)\n\
+                      }\n";
+        let caller = "pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+                      let t = drain_one(pool, san);\n\
+                      pool.read_cursor_unsync(san) + t\n\
+                      }\n";
+        let files = vec![
+            ("a/helper.rs".to_string(), helper.to_string()),
+            ("b/kernel.rs".to_string(), caller.to_string()),
+        ];
+        let f = analyze_corpus(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "pool-race");
+        assert_eq!(f[0].file, "b/kernel.rs");
+        // The intraprocedural analyzer cannot see it.
+        assert!(analyze_source_intraprocedural("b/kernel.rs", caller).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduplicated() {
+        let src = "pub fn k(pool: &SamplePool, san: &WarpSanitizer) -> usize {\n\
+                   let a = pool.fetch_sanitized(san);\n\
+                   let b = pool.read_cursor_unsync(san);\n\
+                   let x = c.load(Ordering::SeqCst);\n\
+                   a + b + x\n\
+                   }\n";
+        let f = analyze_source("m.rs", src);
+        let mut sorted = f.clone();
+        sort_findings(&mut sorted);
+        assert_eq!(f, sorted);
+        let mut deduped = f.clone();
+        deduped.dedup();
+        assert_eq!(f, deduped);
     }
 }

@@ -51,8 +51,12 @@ pub enum Stmt {
         /// Base variable of the assignment target (`s` for `s[lane] = …`,
         /// `weight_sum` for `self.weight_sum += …`).
         target: String,
+        /// The assignment operator itself (`=`, `+=`, `|=`, …) — compound
+        /// float accumulation (`+=`) is what `float-reduce-order` keys on.
+        op: String,
         value: Vec<Tok>,
         line: u32,
+        col: u32,
     },
     If {
         cond: Vec<Tok>,
@@ -367,8 +371,10 @@ fn classify_expr(toks: &[Tok]) -> Stmt {
                 if let Some(target) = target {
                     return Stmt::Assign {
                         target,
+                        op: t.text.clone(),
                         value: toks[i + 1..].to_vec(),
                         line: t.line,
+                        col: toks.first().map_or(t.col, |f| f.col),
                     };
                 }
                 break;
@@ -721,6 +727,55 @@ fn find_top_ident(toks: &[Tok], word: &str) -> Option<usize> {
     None
 }
 
+/// Visit every expression token slice in a block, recursively: let
+/// initializers, assignment values, condition/iterator/scrutinee headers,
+/// return expressions, and opaque expression statements. Used by the
+/// interprocedural passes to enumerate call sites without lowering a CFG.
+pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a [Tok])) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                f(init);
+                if let Some(eb) = else_block {
+                    visit_exprs(eb, f);
+                }
+            }
+            Stmt::Assign { value, .. } => f(value),
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                f(cond);
+                visit_exprs(then_b, f);
+                if let Some(eb) = else_b {
+                    visit_exprs(eb, f);
+                }
+            }
+            Stmt::While { cond, body } => {
+                f(cond);
+                visit_exprs(body, f);
+            }
+            Stmt::Loop { body } => visit_exprs(body, f),
+            Stmt::For { iter, body, .. } => {
+                f(iter);
+                visit_exprs(body, f);
+            }
+            Stmt::Match { scrutinee, arms } => {
+                f(scrutinee);
+                for (_, body) in arms {
+                    visit_exprs(body, f);
+                }
+            }
+            Stmt::Block(b) => visit_exprs(b, f),
+            Stmt::Return(toks) | Stmt::Expr(toks) => f(toks),
+            Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
 /// Join token texts with single spaces (normalized type / expr text).
 pub fn join(toks: &[Tok]) -> String {
     toks.iter()
@@ -801,11 +856,18 @@ mod tests {
             .stmts
             .iter()
             .map(|s| match s {
-                Stmt::Assign { target, .. } => target.clone(),
+                Stmt::Assign { target, op, .. } => (target.clone(), op.clone()),
                 other => panic!("expected assign, got {other:?}"),
             })
             .collect();
-        assert_eq!(targets, vec!["s", "weight_sum", "mask"]);
+        assert_eq!(
+            targets,
+            vec![
+                ("s".to_string(), "=".to_string()),
+                ("weight_sum".to_string(), "+=".to_string()),
+                ("mask".to_string(), "=".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! SARIF 2.1.0 serialization for analyzer findings.
+//!
+//! Hand-rolled for the same reason gsword-prof hand-rolls its Chrome
+//! trace JSON: the workspace builds hermetically from vendored stubs and
+//! carries no serde. The writer emits the minimal valid subset — one run,
+//! a `tool.driver` with the full rule table, one `result` per finding
+//! with a `physicalLocation` (region omitted for file-scoped findings) —
+//! and `cargo xtask check-sarif` round-trips the output through the
+//! profiler's JSON parser to keep the writer honest.
+
+use crate::{Finding, RULES};
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// SARIF artifact URIs use forward slashes regardless of platform.
+fn uri(path: &str) -> String {
+    esc(&path.replace('\\', "/"))
+}
+
+/// Serialize findings as a SARIF 2.1.0 log (pretty-printed, trailing
+/// newline, deterministic for identical input).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"gsword-analyzer\",\n");
+    s.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        esc(env!("CARGO_PKG_VERSION"))
+    ));
+    s.push_str("          \"informationUri\": \"https://example.invalid/gsword\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}{}\n",
+            esc(id),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let rule_index = RULES
+            .iter()
+            .position(|(id, _)| *id == f.rule)
+            .map_or(-1, |p| p as i64);
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(f.rule)));
+        s.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        s.push_str("          \"level\": \"warning\",\n");
+        s.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            esc(&f.message)
+        ));
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\" }}",
+            uri(&f.file)
+        ));
+        if let Some(line) = f.line {
+            s.push_str(",\n                \"region\": { ");
+            s.push_str(&format!("\"startLine\": {line}"));
+            if let Some(col) = f.col {
+                s.push_str(&format!(", \"startColumn\": {col}"));
+            }
+            s.push_str(" }\n");
+        } else {
+            s.push('\n');
+        }
+        s.push_str("              }\n            }\n          ]\n");
+        s.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(line: Option<u32>, col: Option<u32>, msg: &str) -> Finding {
+        Finding {
+            file: "crates/engine/src/kernel.rs".into(),
+            line,
+            col,
+            rule: "divergent-sync",
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn log_has_schema_version_and_rules() {
+        let out = to_sarif(&[]);
+        assert!(out.contains("\"version\": \"2.1.0\""));
+        assert!(out.contains("\"name\": \"gsword-analyzer\""));
+        for (id, _) in RULES {
+            assert!(out.contains(&format!("\"id\": \"{id}\"")), "missing {id}");
+        }
+        assert!(out.contains("\"results\": [\n      ]"), "empty results");
+    }
+
+    #[test]
+    fn result_carries_location_and_rule_index() {
+        let out = to_sarif(&[finding(Some(12), Some(9), "mask mismatch")]);
+        assert!(out.contains("\"ruleId\": \"divergent-sync\""));
+        assert!(out.contains("\"ruleIndex\": 0"));
+        assert!(out.contains("\"startLine\": 12"));
+        assert!(out.contains("\"startColumn\": 9"));
+        assert!(out.contains("\"uri\": \"crates/engine/src/kernel.rs\""));
+    }
+
+    #[test]
+    fn lineless_finding_omits_region() {
+        let out = to_sarif(&[finding(None, None, "no counters charged")]);
+        assert!(!out.contains("startLine"));
+        assert!(out.contains("artifactLocation"));
+    }
+
+    #[test]
+    fn messages_are_json_escaped() {
+        let out = to_sarif(&[finding(Some(1), Some(1), "bad \"mask\"\\path\n")]);
+        assert!(out.contains("bad \\\"mask\\\"\\\\path\\n"));
+    }
+
+    #[test]
+    fn backslash_paths_become_uri_slashes() {
+        let mut f = finding(Some(1), Some(1), "m");
+        f.file = "crates\\engine\\src\\kernel.rs".into();
+        let out = to_sarif(&[f]);
+        assert!(out.contains("\"uri\": \"crates/engine/src/kernel.rs\""));
+    }
+}

@@ -34,6 +34,21 @@ fn expectations() -> BTreeMap<&'static str, (&'static str, Option<&'static str>)
         ("simt/dropped_counters.rs", ("launch-merges-counters", None)),
         ("board_read.rs", ("prof-confined", Some("stream_counters"))),
         ("seqcst_ordering.rs", ("no-seqcst", Some("SeqCst)"))),
+        ("nondet_order.rs", ("nondet-order", Some("out.push"))),
+        ("float_reduce.rs", ("float-reduce-order", Some("sum += w"))),
+        ("scope_block.rs", ("scope-blocking", Some("rs.submit"))),
+        (
+            "unsafe_erasure.rs",
+            ("scope-blocking", Some("std::mem::transmute")),
+        ),
+        (
+            "helper_divergence.rs",
+            ("divergent-sync", Some("acc |= full_ballot")),
+        ),
+        (
+            "helper_pool_race.rs",
+            ("pool-race", Some("pool.read_cursor_unsync")),
+        ),
     ])
 }
 
@@ -97,6 +112,7 @@ fn every_fixture_yields_exactly_its_expected_diagnostic() {
                     as u32
                     + 1;
                 assert_eq!(f.line, Some(want), "fixture {label}: wrong line: {f}");
+                assert!(f.col.is_some(), "fixture {label}: missing column: {f}");
             }
             None => assert_eq!(f.line, None, "fixture {label}: expected file-scoped: {f}"),
         }
@@ -112,16 +128,20 @@ fn every_fixture_yields_exactly_its_expected_diagnostic() {
 
 #[test]
 fn fixture_findings_are_machine_readable() {
-    // `file:line: rule: message` — one line per finding, parseable by
-    // splitting on ": " after an optional line number.
+    // `file:line:col: rule: message` — one line per finding, parseable by
+    // splitting on ": " after an optional line:col position.
     let root = fixtures_root();
     let src = std::fs::read_to_string(root.join("board_read.rs")).unwrap();
     let findings = gsword_analyzer::analyze_source("board_read.rs", &src);
     assert_eq!(findings.len(), 1);
     let line = findings[0].to_string();
     let (loc, rest) = line.split_once(": ").unwrap();
-    let (file, lineno) = loc.split_once(':').unwrap();
-    assert_eq!(file, "board_read.rs");
+    let mut parts = loc.split(':');
+    assert_eq!(parts.next(), Some("board_read.rs"));
+    let lineno = parts.next().unwrap();
+    let colno = parts.next().unwrap();
+    assert_eq!(parts.next(), None, "{line}");
     assert!(lineno.parse::<u32>().is_ok(), "{line}");
+    assert!(colno.parse::<u32>().is_ok(), "{line}");
     assert!(rest.starts_with("prof-confined: "), "{line}");
 }

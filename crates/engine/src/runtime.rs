@@ -208,6 +208,10 @@ where
             let q = std::sync::Arc::clone(&quotas);
             let dev: &'env Device = runtime.device(spec.device);
             let shard_seed = spec.seed;
+            // `run_block` only reaches `WarpExec::run`, which never drains
+            // the pool; the analyzer's name-keyed summaries conflate it
+            // with `SamplingRunBuilder::run`, which does block.
+            // gsword: allow(scope-blocking)
             let handle = rs.launch_named(
                 spec.device,
                 spec.stream,

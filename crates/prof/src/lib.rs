@@ -291,7 +291,11 @@ impl ProfReport {
                 by_track.entry(s.track).or_default().push(s);
             }
         }
-        for (track, mut spans) in by_track {
+        // Sorted snapshot: which track's violation is reported first must
+        // not depend on HashMap iteration order.
+        let mut tracks: Vec<(Track, Vec<&Span>)> = by_track.into_iter().collect();
+        tracks.sort_by_key(|(t, _)| *t);
+        for (track, mut spans) in tracks {
             spans.sort_by_key(|s| (s.start_us, s.end_us));
             for w in spans.windows(2) {
                 if w[1].start_us < w[0].end_us {

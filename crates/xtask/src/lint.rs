@@ -10,17 +10,14 @@
 
 use std::path::Path;
 
-/// A single finding, formatted `file[:line]: rule: message`.
-pub type Finding = String;
-
 /// Walk `root` and run every analyzer rule on each `.rs` file. Paths
 /// containing an `xtask` or `fixtures` component are skipped — both
-/// fixture trees violate the rules on purpose.
-pub fn run(root: &Path) -> Vec<Finding> {
+/// fixture trees violate the rules on purpose. Both the `analyze` and
+/// `lint` tasks funnel through here; callers stringify via `Display`
+/// (`file[:line[:col]]: rule: message`) or hand the structs to the SARIF
+/// writer.
+pub fn run(root: &Path) -> Vec<gsword_analyzer::Finding> {
     gsword_analyzer::analyze_tree(root)
-        .iter()
-        .map(ToString::to_string)
-        .collect()
 }
 
 #[cfg(test)]
@@ -34,7 +31,11 @@ mod tests {
         assert!(
             findings.is_empty(),
             "workspace lint findings:\n{}",
-            findings.join("\n")
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
         );
     }
 
@@ -73,7 +74,9 @@ mod tests {
     #[test]
     fn finding_format_is_unchanged() {
         // The migrated rules must keep the legacy message text so CI diffs
-        // and tooling that greps lint output stay stable.
+        // and tooling that greps lint output stay stable. Line-scoped
+        // findings now also carry a column (`file:line:col:`); file-scoped
+        // ones keep the bare `file:` prefix.
         let f = gsword_analyzer::analyze_source(
             "warp.rs",
             "pub fn bad(ctr: &mut KernelCounters, mask: u32) -> u32 { mask }\n",
@@ -90,9 +93,9 @@ mod tests {
         );
         assert_eq!(
             g[0].to_string(),
-            "core/src/builder.rs:1: prof-confined: direct counter-board read \
-             outside crates/simt, crates/prof, and the engine runtime module \
-             (consume ProfReport / EngineReport instead)"
+            "core/src/builder.rs:1:21: prof-confined: direct counter-board \
+             read outside crates/simt, crates/prof, and the engine runtime \
+             module (consume ProfReport / EngineReport instead)"
         );
     }
 

@@ -1,0 +1,194 @@
+//! Shape validation for SARIF 2.1.0 logs written by gsword-analyzer.
+//!
+//! Mirrors `gsword_prof::json::validate_chrome_trace`: the writer is
+//! hand-rolled (the workspace carries no serde), so CI round-trips every
+//! emitted log through the profiler's JSON parser and checks the
+//! structural subset consumers (code-scanning UIs) rely on.
+
+use gsword_prof::json::{parse, JsonValue};
+
+/// What a valid log contained, for the one-line CLI summary.
+pub struct SarifSummary {
+    pub rules: usize,
+    pub results: usize,
+    /// Results carrying a region (line-scoped findings).
+    pub located: usize,
+}
+
+/// Parse and shape-check a SARIF log. Returns a summary or the first
+/// structural error.
+pub fn validate_sarif(input: &str) -> Result<SarifSummary, String> {
+    let v = parse(input)?;
+    let version = v
+        .get("version")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field 'version'")?;
+    if version != "2.1.0" {
+        return Err(format!("unsupported SARIF version '{version}'"));
+    }
+    let runs = v
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field 'runs'")?;
+    if runs.len() != 1 {
+        return Err(format!("expected exactly one run, got {}", runs.len()));
+    }
+    let run = &runs[0];
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .ok_or("missing 'tool.driver'")?;
+    let name = driver
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field 'tool.driver.name'")?;
+    if name != "gsword-analyzer" {
+        return Err(format!("unexpected driver name '{name}'"));
+    }
+    let rules = driver
+        .get("rules")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field 'tool.driver.rules'")?;
+    let mut rule_ids = Vec::new();
+    for (i, r) in rules.iter().enumerate() {
+        let id = r
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("rule {i}: missing string field 'id'"))?;
+        if rule_ids.contains(&id) {
+            return Err(format!("duplicate rule id '{id}'"));
+        }
+        r.get("shortDescription")
+            .and_then(|d| d.get("text"))
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("rule '{id}': missing 'shortDescription.text'"))?;
+        rule_ids.push(id);
+    }
+    if rule_ids.is_empty() {
+        return Err("empty 'tool.driver.rules'".into());
+    }
+    let results = run
+        .get("results")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field 'results'")?;
+    let mut located = 0;
+    for (i, res) in results.iter().enumerate() {
+        let rule_id = res
+            .get("ruleId")
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("result {i}: missing string field 'ruleId'"))?;
+        if !rule_ids.contains(&rule_id) {
+            return Err(format!(
+                "result {i}: ruleId '{rule_id}' not in driver.rules"
+            ));
+        }
+        if let Some(idx) = res.get("ruleIndex").and_then(JsonValue::as_f64) {
+            if idx as usize >= rule_ids.len() || rule_ids[idx as usize] != rule_id {
+                return Err(format!(
+                    "result {i}: ruleIndex {idx} does not point at '{rule_id}'"
+                ));
+            }
+        }
+        res.get("message")
+            .and_then(|m| m.get("text"))
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("result {i}: missing 'message.text'"))?;
+        let locations = res
+            .get("locations")
+            .and_then(JsonValue::as_array)
+            .ok_or(format!("result {i}: missing array field 'locations'"))?;
+        if locations.len() != 1 {
+            return Err(format!("result {i}: expected exactly one location"));
+        }
+        let phys = locations[0]
+            .get("physicalLocation")
+            .ok_or(format!("result {i}: missing 'physicalLocation'"))?;
+        let uri = phys
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(JsonValue::as_str)
+            .ok_or(format!("result {i}: missing 'artifactLocation.uri'"))?;
+        if uri.contains('\\') {
+            return Err(format!("result {i}: uri '{uri}' must use forward slashes"));
+        }
+        if let Some(region) = phys.get("region") {
+            let line = region
+                .get("startLine")
+                .and_then(JsonValue::as_f64)
+                .ok_or(format!("result {i}: region without numeric 'startLine'"))?;
+            if line < 1.0 || line.fract() != 0.0 {
+                return Err(format!("result {i}: bad startLine {line}"));
+            }
+            if let Some(col) = region.get("startColumn").and_then(JsonValue::as_f64) {
+                if col < 1.0 || col.fract() != 0.0 {
+                    return Err(format!("result {i}: bad startColumn {col}"));
+                }
+            }
+            located += 1;
+        }
+    }
+    Ok(SarifSummary {
+        rules: rule_ids.len(),
+        results: results.len(),
+        located,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsword_analyzer::{sarif::to_sarif, Finding};
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/engine/src/kernel.rs".into(),
+                line: Some(12),
+                col: Some(9),
+                rule: "divergent-sync",
+                message: "full mask under divergence".into(),
+            },
+            Finding {
+                file: "crates/engine/src/warp.rs".into(),
+                line: None,
+                col: None,
+                rule: "primitive-charges-counters",
+                message: "never charges".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let log = to_sarif(&sample());
+        let s = validate_sarif(&log).expect("valid SARIF");
+        assert_eq!(s.results, 2);
+        assert_eq!(s.located, 1);
+        assert_eq!(s.rules, gsword_analyzer::RULES.len());
+    }
+
+    #[test]
+    fn empty_log_validates() {
+        let s = validate_sarif(&to_sarif(&[])).expect("valid SARIF");
+        assert_eq!(s.results, 0);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let log = to_sarif(&[]).replace("2.1.0", "2.0.0");
+        assert!(validate_sarif(&log).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_id_rejected() {
+        let log =
+            to_sarif(&sample()).replace("\"ruleId\": \"divergent-sync\"", "\"ruleId\": \"nope\"");
+        assert!(validate_sarif(&log).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(validate_sarif("{]").is_err());
+        assert!(validate_sarif("{}").is_err());
+    }
+}

@@ -17,8 +17,8 @@
 
 use gsword_analyzer::Finding;
 use gsword_simt::{
-    warp, Device, DeviceConfig, DeviceModel, KernelCounters, Runtime, RuntimeConfig, SamplePool,
-    Sanitizer, SanitizerMode, ViolationKind, WARP_SIZE,
+    warp, Device, DeviceConfig, DeviceModel, Event, KernelCounters, Runtime, RuntimeConfig,
+    SamplePool, Sanitizer, SanitizerMode, ViolationKind, WARP_SIZE,
 };
 
 /// Analyze `src` under the path label `label` and assert the analyzer
@@ -264,6 +264,69 @@ fn stray_launch_pairs_with_lost_attribution() {
         KernelCounters::default(),
         "routing the launch through the runtime restores attribution"
     );
+}
+
+// ---------------------------------------------------------------------------
+// scope-blocking  <->  a pool worker waiting on its own stream deadlocks
+// ---------------------------------------------------------------------------
+
+/// Static: a job submitted to the stream pool waits on an event from
+/// inside the worker. Dynamic: each (device, stream) has exactly one
+/// dedicated worker, so a job that waits for a *later* job on the same
+/// stream parks the only thread that could ever run that later job — the
+/// scope never drains. The cross-stream version of the same wait is fine,
+/// which is why the rule fires on blocking *reachable from a submitted
+/// job*, not on event waits as such.
+#[test]
+fn scope_blocking_pairs_with_same_stream_deadlock() {
+    assert_single_finding(
+        "core/src/schedule.rs",
+        "pub fn wait_inside_worker(rs: &RuntimeScope, ev: &Event) {
+            rs.submit(0, 0, move || ev.wait());
+        }",
+        "scope-blocking",
+    );
+
+    let config = RuntimeConfig {
+        num_devices: 1,
+        streams_per_device: 2,
+        device: DeviceConfig {
+            num_blocks: 2,
+            threads_per_block: 32,
+            host_threads: 1,
+        },
+    };
+
+    // Cross-stream wait drains: stream 1's worker records the event while
+    // stream 0's worker is parked in `wait`.
+    let rt = Runtime::new(config);
+    rt.scope(|rs| {
+        let ev = rs.record(0, 1);
+        rs.submit(0, 0, move || ev.wait());
+    });
+
+    // Same-stream wait deadlocks: the waiter is queued first, so stream
+    // 0's only worker parks in `wait` and the `record` job behind it can
+    // never run. Demonstrate via watchdog — the scope must still be stuck
+    // after a generous timeout. The runtime is leaked and the thread
+    // detached: joining either would block this test forever.
+    let rt: &'static Runtime = Box::leak(Box::new(Runtime::new(config)));
+    let (tx, rx) = std::sync::mpsc::channel();
+    let stuck = std::thread::spawn(move || {
+        rt.scope(|rs| {
+            let ev = Event::new();
+            let waiter = ev.clone();
+            rs.submit(0, 0, move || waiter.wait());
+            rs.submit(0, 0, move || ev.record());
+        });
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(std::time::Duration::from_millis(300)) {
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {} // parked, as predicted
+        Ok(()) => panic!("same-stream wait drained — the worker-per-stream model changed"),
+        Err(e) => panic!("watchdog channel broke: {e}"),
+    }
+    drop(stuck);
 }
 
 // ---------------------------------------------------------------------------
