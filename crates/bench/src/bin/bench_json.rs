@@ -234,6 +234,86 @@ fn main() {
     });
     let refine_speedup = refine_legacy_ns / refine_adaptive_ns;
 
+    // --- storage group: compressed backend vs CSR on the same operations ---
+    let packed = CompressedGraph::from_graph(&data);
+    let n = data.num_vertices() as VertexId;
+
+    // Full neighbor scan: CSR reads slices, compressed decodes Rice blocks.
+    let ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for v in 0..n {
+            acc += data.neighbors(v).len();
+        }
+        std::hint::black_box(acc);
+    });
+    rows.push(Row {
+        id: "storage/neighbor_scan/csr/yeast".into(),
+        median_ns: ns,
+    });
+    let ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for v in 0..n {
+            packed.for_each_neighbor(v, |_| {
+                acc += 1;
+                true
+            });
+        }
+        std::hint::black_box(acc);
+    });
+    rows.push(Row {
+        id: "storage/neighbor_scan/compressed/yeast".into(),
+        median_ns: ns,
+    });
+
+    // Membership probes: binary search vs restart-table block decode.
+    let ns = median_ns(samples, || {
+        let mut hits = 0usize;
+        for v in 0..n {
+            hits += usize::from(data.has_edge(v, (v * 17) % n));
+        }
+        std::hint::black_box(hits);
+    });
+    rows.push(Row {
+        id: "storage/member_probe/csr/yeast".into(),
+        median_ns: ns,
+    });
+    let ns = median_ns(samples, || {
+        let mut hits = 0usize;
+        for v in 0..n {
+            hits += usize::from(packed.neighbors(v).contains((v * 17) % n));
+        }
+        std::hint::black_box(hits);
+    });
+    rows.push(Row {
+        id: "storage/member_probe/compressed/yeast".into(),
+        median_ns: ns,
+    });
+
+    // Candidate build end-to-end over each backend (identical output by
+    // the storage-equivalence tests; this row prices the decode overhead).
+    let ns = median_ns(samples, || {
+        std::hint::black_box(
+            build_candidate_graph(&data, &query, &BuildConfig::default())
+                .0
+                .byte_size(),
+        );
+    });
+    rows.push(Row {
+        id: "storage/candidate_build/csr/yeast".into(),
+        median_ns: ns,
+    });
+    let ns = median_ns(samples, || {
+        std::hint::black_box(
+            build_candidate_graph(&packed, &query, &BuildConfig::default())
+                .0
+                .byte_size(),
+        );
+    });
+    rows.push(Row {
+        id: "storage/candidate_build/compressed/yeast".into(),
+        median_ns: ns,
+    });
+
     // --- artifact ---
     let root = std::fs::canonicalize(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
         .expect("workspace root exists");

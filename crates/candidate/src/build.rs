@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use gsword_graph::intersect::{self, BitmapIndex};
-use gsword_graph::{Graph, VertexId};
+use gsword_graph::{GraphStorage, VertexId};
 use gsword_query::{QueryGraph, QueryVertex};
 
 use crate::format::CandidateGraph;
@@ -94,8 +94,8 @@ const BITMAP_MIN_REUSE: usize = 8;
 /// The result is *sound*: every embedding of the query in the data graph is
 /// contained in the candidate graph (tested by exhaustive comparison against
 /// a naive matcher).
-pub fn build_candidate_graph(
-    data: &Graph,
+pub fn build_candidate_graph<S: GraphStorage>(
+    data: &S,
     query: &QueryGraph,
     config: &BuildConfig,
 ) -> (CandidateGraph, BuildStats) {
@@ -140,7 +140,12 @@ pub fn build_candidate_graph(
             for &v in &global_sets[u as usize] {
                 let ok = query.neighbors(u).all(|u2| {
                     let cu2 = &global_sets[u2 as usize];
-                    data.neighbors(v).iter().any(|&w| intersect::member(cu2, w))
+                    let mut hit = false;
+                    data.for_each_neighbor(v, |w| {
+                        hit = intersect::member(cu2, w);
+                        !hit // keep streaming until the first member
+                    });
+                    hit
                 });
                 if ok {
                     kept.push(v);
@@ -199,9 +204,16 @@ pub fn build_candidate_graph(
             for &v in &global_sets[u] {
                 cand_vtx.push(v);
                 if use_bitmap {
-                    pivot_index.intersect_into(data.neighbors(v), &mut local);
+                    // Stream-decoded equivalent of the slice bitmap path:
+                    // neighbors arrive ascending, so pushes stay sorted.
+                    data.for_each_neighbor(v, |w| {
+                        if pivot_index.contains(w) {
+                            local.push(w);
+                        }
+                        true
+                    });
                 } else {
-                    intersect::intersect_into(data.neighbors(v), cu2, &mut local);
+                    data.intersect_neighbors_into(v, cu2, &mut local);
                 }
                 local_off.push(local.len());
             }
@@ -231,21 +243,22 @@ pub fn build_candidate_graph(
     (cg, stats)
 }
 
-fn nlf_pass(data: &Graph, v: VertexId, required: &[u16]) -> bool {
+fn nlf_pass<S: GraphStorage>(data: &S, v: VertexId, required: &[u16]) -> bool {
     let mut have = vec![0u16; required.len()];
-    for &w in data.neighbors(v) {
+    data.for_each_neighbor(v, |w| {
         let l = data.label(w) as usize;
         if l < have.len() {
             have[l] += 1;
         }
-    }
+        true
+    });
     required.iter().zip(&have).all(|(r, h)| h >= r)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsword_graph::GraphBuilder;
+    use gsword_graph::{Graph, GraphBuilder};
 
     /// The running example of the paper (Figure 2): query q with 5 vertices
     /// labeled A,B,A,C,B and the data graph with 9 vertices. We reconstruct

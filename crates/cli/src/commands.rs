@@ -8,10 +8,12 @@ use crate::args::Args;
 /// Usage text shown on errors and `--help`.
 pub const USAGE: &str = "\
 usage:
-  gsword stats    <graph>
+  gsword stats    <graph> [--storage csr|compressed]
   gsword generate <dataset> -o <file>
+  gsword pack     <dataset|all> -o <file|dir> [--scale N]
   gsword estimate <graph> -q <query> [--samples N] [--estimator wj|alley]
                   [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
+                  [--storage csr|compressed]
                   [--sanitize full|sync,race,init]
                   [--devices N] [--streams N]
                   [--profile [--trace-out <file>]]
@@ -20,8 +22,14 @@ usage:
   gsword orders   <graph> -q <query> [--probe N]
 
 <graph>: dataset name (yeast hprd wordnet patents dblp orkut eu2005 uk2002),
-         a t/v/e file, or a SNAP edge list (*.el)
+         a t/v/e file, a SNAP edge list (*.el), or a packed image
+         (written by `gsword pack`; detected by magic, loaded via mmap)
 <query>: a t/v/e query file, or extract:<k>[:<seed>]
+--storage picks the data-graph backend: csr (in-memory, default) or
+compressed (succinct gap-coded adjacency; the default for packed images).
+Estimates are bit-identical across backends.
+pack writes a dataset as a compressed mmap-able image; --scale N divides
+the paper's |V| (default: the suite scale; --scale 1 = full paper size).
 --sanitize runs the device kernels under the compute-sanitizer analogue
 (synccheck/racecheck/initcheck); any violation fails the run.
 --devices/--streams shard device launches over N software devices with N
@@ -42,6 +50,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "stats" => cmd_stats(&args),
         "generate" => cmd_generate(&args),
+        "pack" => cmd_pack(&args),
         "estimate" => cmd_estimate(&args),
         "exact" => cmd_exact(&args),
         "motifs" => cmd_motifs(&args),
@@ -50,19 +59,50 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn load_data(spec: &str) -> Result<Graph, String> {
+/// Whether `path` starts with the packed-image magic.
+fn is_packed_file(path: &str) -> bool {
+    use std::io::Read;
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut head = [0u8; 8];
+    f.read_exact(&mut head).is_ok() && head == graph::compressed::MAGIC
+}
+
+fn load_data(spec: &str, storage: Option<&str>) -> Result<AnyGraph, String> {
+    let into_backend = |g: Graph| -> Result<AnyGraph, String> {
+        match storage.unwrap_or("csr") {
+            "csr" => Ok(AnyGraph::Csr(g)),
+            "compressed" => Ok(AnyGraph::Compressed(CompressedGraph::from_graph(&g))),
+            other => Err(format!(
+                "unknown storage '{other}' (expected csr|compressed)"
+            )),
+        }
+    };
     if datasets::dataset_names().contains(&spec) {
-        return Ok(datasets::dataset(spec));
+        return into_backend(datasets::dataset(spec));
+    }
+    if is_packed_file(spec) {
+        let c = CompressedGraph::load(spec)
+            .map_err(|e| format!("cannot load packed graph '{spec}': {e}"))?;
+        // Packed images stay compressed unless CSR is asked for explicitly.
+        return match storage {
+            None | Some("compressed") => Ok(AnyGraph::Compressed(c)),
+            Some("csr") => Ok(AnyGraph::Csr(c.to_csr())),
+            Some(other) => Err(format!(
+                "unknown storage '{other}' (expected csr|compressed)"
+            )),
+        };
     }
     let loaded = if spec.ends_with(".el") {
         graph::io::load_edge_list(spec)
     } else {
         graph::io::load_graph(spec)
     };
-    loaded.map_err(|e| format!("cannot load graph '{spec}': {e}"))
+    into_backend(loaded.map_err(|e| format!("cannot load graph '{spec}': {e}"))?)
 }
 
-fn load_query_spec(data: &Graph, spec: &str) -> Result<QueryGraph, String> {
+fn load_query_spec(data: &AnyGraph, spec: &str) -> Result<QueryGraph, String> {
     if let Some(rest) = spec.strip_prefix("extract:") {
         let mut parts = rest.split(':');
         let k: usize = parts
@@ -76,12 +116,16 @@ fn load_query_spec(data: &Graph, spec: &str) -> Result<QueryGraph, String> {
     query::io::load_query(spec).map_err(|e| format!("cannot load query '{spec}': {e}"))
 }
 
-fn data_arg(args: &Args) -> Result<Graph, String> {
-    load_data(args.positional(0).ok_or("missing <graph> argument")?)
+fn data_arg(args: &Args) -> Result<AnyGraph, String> {
+    load_data(
+        args.positional(0).ok_or("missing <graph> argument")?,
+        args.get("storage"),
+    )
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let g = data_arg(args)?;
+    println!("backend: {}", g.backend_name());
     println!("{}", GraphStats::of(&g));
     let lh = graph::ops::label_histogram(&g);
     let mut top: Vec<(usize, usize)> = lh.into_iter().enumerate().collect();
@@ -109,6 +153,45 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         out,
         g.num_vertices(),
         g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_pack(args: &Args) -> Result<(), String> {
+    let name = args.positional(0).ok_or("missing <dataset|all> argument")?;
+    let out = args.get("output").ok_or("missing -o <file|dir>")?;
+    let scale: Option<u32> = match args.get("scale") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --scale: {v}"))?),
+    };
+    if name == "all" {
+        std::fs::create_dir_all(out).map_err(|e| format!("cannot create '{out}': {e}"))?;
+        for spec in &datasets::SPECS {
+            let path = std::path::Path::new(out).join(format!("{}.gsw", spec.name));
+            pack_one(spec, scale, path.to_str().expect("utf-8 path"))?;
+        }
+        return Ok(());
+    }
+    let spec = datasets::spec(name).ok_or_else(|| format!("unknown dataset '{name}'"))?;
+    pack_one(spec, scale, out)
+}
+
+fn pack_one(spec: &datasets::DatasetSpec, scale: Option<u32>, out: &str) -> Result<(), String> {
+    let div = scale.unwrap_or(spec.scale);
+    let g = spec.generate_at(div);
+    let c = CompressedGraph::from_graph(&g);
+    c.save(out)
+        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+    let csr = g.mem_bytes();
+    let packed = GraphStorage::mem_bytes(&c);
+    println!(
+        "{}: scale 1/{div} |V|={} |E|={} csr={}B packed={}B ({:.1}% of csr) -> {out}",
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        csr,
+        packed,
+        100.0 * packed as f64 / csr as f64
     );
     Ok(())
 }

@@ -108,3 +108,64 @@ fn trawl_flag_runs() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("trawling estimate"), "{stdout}");
 }
+
+#[test]
+fn pack_then_stats_round_trip() {
+    let out = std::env::temp_dir().join(format!("gsword-cli-pack-{}.gsw", std::process::id()));
+    let path = out.to_str().unwrap();
+    let (ok, stdout, _) = run(&["pack", "yeast", "-o", path]);
+    assert!(ok, "pack failed");
+    assert!(stdout.contains("yeast"), "pack output: {stdout}");
+    assert!(stdout.contains("% of csr"), "pack output: {stdout}");
+
+    // Packed images are detected by magic and load via the compressed backend.
+    let (ok, stdout, _) = run(&["stats", path]);
+    assert!(ok, "stats on packed image failed");
+    assert!(stdout.contains("backend: compressed"), "stats: {stdout}");
+    assert!(stdout.contains("|V|=3112"), "stats: {stdout}");
+
+    // --storage csr decompresses to the in-memory backend.
+    let (ok, stdout, _) = run(&["stats", path, "--storage", "csr"]);
+    assert!(ok);
+    assert!(stdout.contains("backend: csr"), "stats: {stdout}");
+    assert!(stdout.contains("|V|=3112"), "stats: {stdout}");
+
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn storage_backends_agree_on_estimates() {
+    let args = [
+        "estimate",
+        "yeast",
+        "-q",
+        "extract:4:7",
+        "--samples",
+        "200",
+        "--seed",
+        "11",
+    ];
+    let (ok_a, out_a, _) = run(&args);
+    let mut with_storage: Vec<&str> = args.to_vec();
+    with_storage.extend(["--storage", "compressed"]);
+    let (ok_b, out_b, _) = run(&with_storage);
+    assert!(ok_a && ok_b);
+    let est = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("estimate"))
+            .map(str::to_owned)
+            .unwrap_or_default()
+    };
+    assert_eq!(est(&out_a), est(&out_b), "backends must be bit-identical");
+    assert!(!est(&out_a).is_empty());
+}
+
+#[test]
+fn pack_rejects_unknown_dataset_and_bad_scale() {
+    let (ok, _, err) = run(&["pack", "livejournal", "-o", "/tmp/x.gsw"]);
+    assert!(!ok);
+    assert!(err.contains("unknown dataset"), "stderr: {err}");
+    let (ok, _, err) = run(&["pack", "yeast", "-o", "/tmp/x.gsw", "--scale", "zero"]);
+    assert!(!ok);
+    assert!(err.contains("bad --scale"), "stderr: {err}");
+}

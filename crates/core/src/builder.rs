@@ -7,7 +7,7 @@ use gsword_engine::{run_engine, EngineConfig};
 use gsword_estimators::{
     q_error, run_parallel_cpu, with_estimator, Estimate, Estimator, EstimatorKind, QueryCtx,
 };
-use gsword_graph::Graph;
+use gsword_graph::GraphStorage;
 use gsword_pipeline::{run_coprocessing, TrawlConfig};
 use gsword_query::{make_order, OrderKind, QueryGraph};
 use gsword_simt::{DeviceConfig, KernelCounters, ProfReport, SanitizerMode, SanitizerReport};
@@ -63,8 +63,12 @@ impl std::error::Error for Error {}
 pub struct Gsword;
 
 impl Gsword {
-    /// Start configuring a run of `query` against `data`.
-    pub fn builder<'a>(data: &'a Graph, query: &'a QueryGraph) -> GswordBuilder<'a> {
+    /// Start configuring a run of `query` against `data` (any storage
+    /// backend — CSR or compressed).
+    pub fn builder<'a, S: GraphStorage>(
+        data: &'a S,
+        query: &'a QueryGraph,
+    ) -> GswordBuilder<'a, S> {
         GswordBuilder {
             data,
             query,
@@ -86,8 +90,8 @@ impl Gsword {
 
 /// Configuration builder for one query execution.
 #[derive(Debug, Clone)]
-pub struct GswordBuilder<'a> {
-    data: &'a Graph,
+pub struct GswordBuilder<'a, S: GraphStorage> {
+    data: &'a S,
     query: &'a QueryGraph,
     samples: u64,
     seed: u64,
@@ -103,7 +107,7 @@ pub struct GswordBuilder<'a> {
     streams_per_device: usize,
 }
 
-impl<'a> GswordBuilder<'a> {
+impl<'a, S: GraphStorage> GswordBuilder<'a, S> {
     /// Total sample budget (default 100 000).
     pub fn samples(mut self, n: u64) -> Self {
         self.samples = n;
@@ -378,7 +382,7 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsword_graph::datasets;
+    use gsword_graph::{datasets, Graph};
     use gsword_simt::DeviceConfig;
 
     fn fixture() -> (Graph, QueryGraph) {

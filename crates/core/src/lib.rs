@@ -50,7 +50,7 @@ pub use gsword_graph::datasets;
 use gsword_candidate::{build_candidate_graph, BuildConfig};
 use gsword_enumeration::{count_instances_parallel, EnumLimits};
 use gsword_estimators::QueryCtx;
-use gsword_graph::Graph;
+use gsword_graph::GraphStorage;
 use gsword_query::{quicksi_order, QueryGraph};
 
 /// Compute the exact subgraph (embedding) count for a query — the ground
@@ -58,7 +58,12 @@ use gsword_query::{quicksi_order, QueryGraph};
 ///
 /// Returns `None` when `budget` search nodes were exhausted before the
 /// search space was (the count would only be a lower bound).
-pub fn exact_count(data: &Graph, query: &QueryGraph, budget: u64, threads: usize) -> Option<u64> {
+pub fn exact_count<S: GraphStorage>(
+    data: &S,
+    query: &QueryGraph,
+    budget: u64,
+    threads: usize,
+) -> Option<u64> {
     let (cg, _) = build_candidate_graph(data, query, &BuildConfig::default());
     let order = quicksi_order(query, data);
     let ctx = QueryCtx::new(&cg, &order);

@@ -13,7 +13,10 @@ pub use gsword_estimators::{
     q_error, signed_q_error, Alley, Estimate, Estimator, EstimatorKind, QueryCtx, SampleState,
     Segment, WanderJoin,
 };
-pub use gsword_graph::{Graph, GraphBuilder, GraphStats, Label, VertexId};
+pub use gsword_graph::{
+    AnyGraph, CompressedGraph, Graph, GraphBuilder, GraphStats, GraphStorage, Label, NeighborsRef,
+    VertexId,
+};
 pub use gsword_pipeline::{run_coprocessing, DepthDist, TrawlConfig};
 pub use gsword_query::{
     gcare_order, quicksi_order, MatchingOrder, OrderKind, QueryClass, QueryGraph,

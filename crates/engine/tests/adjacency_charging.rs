@@ -1,0 +1,56 @@
+//! Byte-granular adjacency charging: membership probes into the compressed
+//! image report the byte offsets they touch (restart-table reads + decoded
+//! varint entry starts), and `warp_load_bytes` coalesces them into 128-byte
+//! line transactions under `Region::ADJ` exactly like word accesses into
+//! the candidate arrays.
+
+use gsword_graph::datasets;
+use gsword_simt::memory::{warp_load_bytes, LaneAddr, Region};
+use gsword_simt::warp::{Lanes, WarpSanitizer, WARP_SIZE};
+use gsword_simt::KernelCounters;
+
+#[test]
+fn compressed_probe_offsets_charge_coalesced_adjacency_lines() {
+    let g = datasets::dataset("yeast");
+    let c = gsword_graph::CompressedGraph::from_graph(&g);
+
+    // The hub's adjacency spans multiple blocks; 32 lanes each probe a
+    // different target against it, recording every byte they touch.
+    let hub = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap();
+    let nb = c.neighbors(hub);
+    let mut probe_bufs: Vec<Vec<usize>> = vec![Vec::new(); WARP_SIZE];
+    for (lane, buf) in probe_bufs.iter_mut().enumerate() {
+        let target = (lane * 97) as u32 % g.num_vertices() as u32;
+        nb.contains_with_probes(target, |byte_off| buf.push(byte_off));
+        assert!(!buf.is_empty(), "every probe touches at least one byte");
+    }
+
+    // Charge in lockstep rounds, as the refine kernel does for candidate
+    // probes: round r loads every lane's r-th recorded byte offset.
+    let san = WarpSanitizer::disabled();
+    let mut ctr = KernelCounters::default();
+    let rounds = probe_bufs.iter().map(Vec::len).max().unwrap();
+    let mut total_tx = 0u64;
+    for r in 0..rounds {
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (lane, buf) in probe_bufs.iter().enumerate() {
+            if let Some(&b) = buf.get(r) {
+                addrs[lane] = Some((Region::ADJ, b));
+            }
+        }
+        total_tx += warp_load_bytes(&mut ctr, &san, &addrs);
+    }
+
+    assert!(total_tx > 0);
+    // Early rounds read the same restart table / first blocks, so the
+    // charge must beat the fully-scattered worst case of one line per
+    // probe per lane.
+    let probes: usize = probe_bufs.iter().map(Vec::len).sum();
+    assert!(
+        total_tx < probes as u64,
+        "byte probes must coalesce: {total_tx} transactions for {probes} probes"
+    );
+    assert_eq!(ctr.mem_instructions, rounds as u64);
+}

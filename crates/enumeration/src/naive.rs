@@ -5,19 +5,24 @@
 //! against, so it must share as little code as possible with the optimized
 //! paths. Only use on tiny inputs.
 
-use gsword_graph::{Graph, VertexId};
+use gsword_graph::{GraphStorage, VertexId};
 use gsword_query::{QueryGraph, QueryVertex};
 
 /// Count injective, label- and edge-preserving mappings of `query` into
 /// `data` (embeddings — the quantity the HT estimators approximate).
-pub fn count_embeddings(data: &Graph, query: &QueryGraph) -> u64 {
+pub fn count_embeddings<S: GraphStorage>(data: &S, query: &QueryGraph) -> u64 {
     let mut partial: Vec<VertexId> = Vec::with_capacity(query.num_vertices());
     let mut count = 0u64;
     recurse(data, query, &mut partial, &mut count);
     count
 }
 
-fn recurse(data: &Graph, query: &QueryGraph, partial: &mut Vec<VertexId>, count: &mut u64) {
+fn recurse<S: GraphStorage>(
+    data: &S,
+    query: &QueryGraph,
+    partial: &mut Vec<VertexId>,
+    count: &mut u64,
+) {
     let d = partial.len();
     if d == query.num_vertices() {
         *count += 1;

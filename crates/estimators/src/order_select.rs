@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use gsword_candidate::CandidateGraph;
-use gsword_graph::Graph;
+use gsword_graph::GraphStorage;
 use gsword_query::{gcare_order, quicksi_order, MatchingOrder, QueryGraph, QueryVertex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -59,9 +59,9 @@ pub struct OrderScore {
 /// Select the best matching order for `query` on the candidate graph by
 /// round-robin probing. Returns the winner and all probe scores (best
 /// first).
-pub fn select_order<E: Estimator + ?Sized>(
+pub fn select_order<E: Estimator + ?Sized, S: GraphStorage>(
     cg: &CandidateGraph,
-    data: &Graph,
+    data: &S,
     query: &QueryGraph,
     est: &E,
     cfg: &OrderSelectConfig,
@@ -126,7 +126,7 @@ mod tests {
     use super::*;
     use crate::estimators::Alley;
     use gsword_candidate::{build_candidate_graph, BuildConfig};
-    use gsword_graph::gen;
+    use gsword_graph::{gen, Graph};
 
     fn fixture() -> (Graph, QueryGraph) {
         let g = gen::barabasi_albert(400, 5, gen::zipf_labels(400, 5, 0.9, 3), 3);

@@ -1,0 +1,1250 @@
+//! Succinct graph storage: Rice-coded gap adjacency with Elias-Fano
+//! indexing, packed into a single mmap-able image.
+//!
+//! The representation follows the WebGraph/BvGraph recipe adapted to this
+//! workspace's access patterns (DESIGN.md §13):
+//!
+//! * Each vertex's strictly ascending neighbor list is split into blocks
+//!   of [`BLOCK`] entries. A block starts with its first neighbor as an
+//!   absolute LEB128 varint, then a one-byte Rice parameter `k` chosen
+//!   per block to minimize total bits, then the remaining entries as
+//!   Rice-coded `gap − 1` values (gaps are ≥ 1 in a strict list):
+//!   quotient in unary, `k` low bits binary, LSB-first, padded to a byte
+//!   boundary at block end. Per-block Rice beats plain LEB128 varints by
+//!   ~20% on the power-law suites (a 580-mean gap costs ~11 bits instead
+//!   of 16). Multi-block vertices carry a restart table of `u32` byte
+//!   offsets so membership probes binary-search *blocks* and decode at
+//!   most one of them — the block-skippable variant of the adaptive
+//!   intersection engine.
+//! * Two Elias-Fano monotone sequences index the stream: cumulative
+//!   degrees (degree in O(1)-ish, universe `2|E|`) and cumulative byte
+//!   offsets of each vertex's adjacency region.
+//! * Labels, the label→vertices index, and its offsets are stored raw so
+//!   [`GraphStorage::vertices_with_label`] stays zero-copy.
+//!
+//! The on-disk image *is* the in-memory representation: [`pack_to_vec`]
+//! produces the file bytes, and [`CompressedGraph::load`] maps them with
+//! no per-vertex materialization. All sections are 8-byte aligned and
+//! little-endian; a header magic/version/endianness probe rejects foreign
+//! images instead of misreading them.
+
+use std::path::Path;
+
+use crate::mmap::Bytes;
+use crate::storage::{GraphStorage, NeighborsRef};
+use crate::{intersect, Graph, GraphBuilder, GraphError, Label, VertexId};
+
+/// Entries per adjacency block (one restart point each).
+pub const BLOCK: usize = 64;
+
+/// Image magic: "GSWDPK" + 2-digit format version.
+pub const MAGIC: [u8; 8] = *b"GSWDPK01";
+
+const ENDIAN_PROBE: u64 = 0x0102_0304_0506_0708;
+
+/// Header size in bytes: magic, probe, n, m, label_count, two EF low-bit
+/// widths, then 8 `(offset, len)` section entries.
+const HEADER_LEN: usize = 48 + SECTIONS * 16;
+const SECTIONS: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rice-coded bit stream (LSB-first within each byte)
+// ---------------------------------------------------------------------------
+
+/// Bit-granular writer appending to a byte vector.
+struct BitWriter {
+    cur: u8,
+    fill: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { cur: 0, fill: 0 }
+    }
+
+    #[inline]
+    fn push_bit(&mut self, out: &mut Vec<u8>, bit: u32) {
+        self.cur |= ((bit & 1) as u8) << self.fill;
+        self.fill += 1;
+        if self.fill == 8 {
+            out.push(self.cur);
+            self.cur = 0;
+            self.fill = 0;
+        }
+    }
+
+    /// Rice code of `v` with parameter `k`: `v >> k` one-bits, a zero
+    /// terminator, then the `k` low bits.
+    fn write_rice(&mut self, out: &mut Vec<u8>, v: u32, k: u32) {
+        for _ in 0..(v >> k) {
+            self.push_bit(out, 1);
+        }
+        self.push_bit(out, 0);
+        for i in 0..k {
+            self.push_bit(out, v >> i);
+        }
+    }
+
+    /// Flush the partial byte (zero-padded) — the per-block alignment.
+    fn finish(&mut self, out: &mut Vec<u8>) {
+        if self.fill > 0 {
+            out.push(self.cur);
+            self.cur = 0;
+            self.fill = 0;
+        }
+    }
+}
+
+/// The Rice parameter minimizing the exact encoded size of `gaps`.
+fn rice_param(gaps: &[u32]) -> u32 {
+    let mut best_k = 0u32;
+    let mut best_cost = u64::MAX;
+    for k in 0..32u32 {
+        let cost: u64 = gaps
+            .iter()
+            .map(|&v| u64::from(v >> k) + 1 + u64::from(k))
+            .sum();
+        if cost < best_cost {
+            best_cost = cost;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Bit-granular cursor over one adjacency region: byte position plus bit
+/// offset within that byte. Block starts are byte-aligned (absolute-first
+/// varint and the `k` parameter byte), gap entries are Rice-coded bits.
+#[derive(Debug, Clone, Copy)]
+struct BlockCursor {
+    pos: usize,
+    bit: u32,
+    k: u32,
+}
+
+impl BlockCursor {
+    fn at(pos: usize) -> Self {
+        BlockCursor { pos, bit: 0, k: 0 }
+    }
+
+    #[inline]
+    fn align(&mut self) {
+        if self.bit != 0 {
+            self.pos += 1;
+            self.bit = 0;
+        }
+    }
+
+    /// Unary quotient: count one-bits up to the zero terminator,
+    /// byte-chunked (a sentinel bit above the valid range stops
+    /// `trailing_ones` from running into undefined bits).
+    #[inline]
+    fn read_unary(&mut self, bytes: &[u8]) -> u32 {
+        let mut q = 0u32;
+        loop {
+            let avail = 8 - self.bit;
+            let chunk = (u32::from(bytes[self.pos]) >> self.bit) | (1u32 << avail);
+            let ones = chunk.trailing_ones().min(avail);
+            q += ones;
+            if ones == avail {
+                self.pos += 1;
+                self.bit = 0;
+            } else {
+                self.bit += ones + 1;
+                if self.bit == 8 {
+                    self.pos += 1;
+                    self.bit = 0;
+                }
+                return q;
+            }
+        }
+    }
+
+    /// `width` bits, LSB-first, byte-chunked.
+    #[inline]
+    fn read_bits(&mut self, bytes: &[u8], width: u32) -> u32 {
+        let mut v = 0u32;
+        let mut got = 0u32;
+        while got < width {
+            let avail = (8 - self.bit).min(width - got);
+            let chunk = (u32::from(bytes[self.pos]) >> self.bit) & ((1u32 << avail) - 1);
+            v |= chunk << got;
+            got += avail;
+            self.bit += avail;
+            if self.bit == 8 {
+                self.pos += 1;
+                self.bit = 0;
+            }
+        }
+        v
+    }
+
+    /// The next Rice-coded gap value under the current block's `k`.
+    #[inline]
+    fn read_gap(&mut self, bytes: &[u8]) -> u32 {
+        let q = self.read_unary(bytes);
+        let low = self.read_bits(bytes, self.k);
+        (q << self.k) | low
+    }
+}
+
+/// Decode the next list entry at `idx`: block starts re-align and read the
+/// absolute varint plus the block's Rice parameter; later entries are
+/// `prev + 1 + gap`.
+#[inline]
+fn decode_next(
+    cur: &mut BlockCursor,
+    bytes: &[u8],
+    idx: usize,
+    deg: usize,
+    prev: VertexId,
+) -> VertexId {
+    if idx.is_multiple_of(BLOCK) {
+        cur.align();
+        let v = read_varint(bytes, &mut cur.pos);
+        if (deg - idx - 1).min(BLOCK - 1) > 0 {
+            cur.k = u32::from(bytes[cur.pos]);
+            cur.pos += 1;
+        }
+        v
+    } else {
+        prev + 1 + cur.read_gap(bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elias-Fano
+// ---------------------------------------------------------------------------
+
+/// Owned Elias-Fano encoding of a monotone non-decreasing `u64` sequence —
+/// the build-side representation; the load side reads the same words
+/// zero-copy through [`EfView`].
+#[derive(Debug, Clone)]
+struct EliasFano {
+    l: u32,
+    lows: Vec<u64>,
+    highs: Vec<u64>,
+}
+
+fn ef_low_width(n: usize, universe: u64) -> u32 {
+    if n == 0 || universe < n as u64 {
+        0
+    } else {
+        (universe / n as u64).ilog2()
+    }
+}
+
+fn set_bits(words: &mut [u64], bitpos: usize, value: u64, width: u32) {
+    if width == 0 {
+        return;
+    }
+    let w = bitpos / 64;
+    let o = (bitpos % 64) as u32;
+    words[w] |= value << o;
+    if o + width > 64 {
+        words[w + 1] |= value >> (64 - o);
+    }
+}
+
+fn get_bits(words: &[u64], bitpos: usize, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let w = bitpos / 64;
+    let o = (bitpos % 64) as u32;
+    let mut v = words[w] >> o;
+    if o + width > 64 {
+        v |= words[w + 1] << (64 - o);
+    }
+    v & ((1u64 << width) - 1)
+}
+
+impl EliasFano {
+    /// Encode `values` (monotone non-decreasing).
+    fn encode(values: &[u64]) -> Self {
+        let n = values.len();
+        let universe = values.last().copied().unwrap_or(0);
+        let l = ef_low_width(n, universe);
+        let mut lows = vec![0u64; (n * l as usize).div_ceil(64)];
+        let high_bits = (universe >> l) as usize + n + 1;
+        let mut highs = vec![0u64; high_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            set_bits(&mut lows, i * l as usize, v & ((1u64 << l) - 1), l);
+            let high = (v >> l) as usize + i;
+            highs[high / 64] |= 1u64 << (high % 64);
+        }
+        EliasFano { l, lows, highs }
+    }
+}
+
+/// Zero-copy Elias-Fano reader over externally stored words plus a small
+/// per-word cumulative-rank table built at load time for `select1`.
+#[derive(Debug, Clone, Copy)]
+struct EfView<'a> {
+    l: u32,
+    lows: &'a [u64],
+    highs: &'a [u64],
+    rank: &'a [u32],
+}
+
+/// Exclusive cumulative popcount per word of `highs` — the select
+/// accelerator ([`EfView::get`] binary-searches it).
+fn build_rank(highs: &[u64]) -> Vec<u32> {
+    let mut rank = Vec::with_capacity(highs.len());
+    let mut acc = 0u32;
+    for &w in highs {
+        rank.push(acc);
+        acc += w.count_ones();
+    }
+    rank
+}
+
+impl EfView<'_> {
+    /// The `i`-th encoded value.
+    fn get(&self, i: usize) -> u64 {
+        // select1(i): the word holding the i-th set bit, then its offset.
+        let w = self.rank.partition_point(|&r| r <= i as u32) - 1;
+        let mut word = self.highs[w];
+        for _ in 0..(i as u32 - self.rank[w]) {
+            word &= word - 1;
+        }
+        let bitpos = w * 64 + word.trailing_zeros() as usize;
+        let high = (bitpos - i) as u64;
+        (high << self.l) | get_bits(self.lows, i * self.l as usize, self.l)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adjacency block coding
+// ---------------------------------------------------------------------------
+
+fn encode_adjacency(nbrs: &[VertexId], out: &mut Vec<u8>) {
+    let d = nbrs.len();
+    if d == 0 {
+        return;
+    }
+    let nblocks = d.div_ceil(BLOCK);
+    let table_pos = out.len();
+    if nblocks > 1 {
+        out.resize(out.len() + nblocks * 4, 0);
+    }
+    let data_start = out.len();
+    for (b, chunk) in nbrs.chunks(BLOCK).enumerate() {
+        if nblocks > 1 {
+            let off = (out.len() - data_start) as u32;
+            out[table_pos + b * 4..table_pos + b * 4 + 4].copy_from_slice(&off.to_le_bytes());
+        }
+        write_varint(out, chunk[0]);
+        if chunk.len() > 1 {
+            let gaps: Vec<u32> = chunk.windows(2).map(|w| w[1] - w[0] - 1).collect();
+            let k = rice_param(&gaps);
+            out.push(k as u8);
+            let mut bw = BitWriter::new();
+            for &gap in &gaps {
+                bw.write_rice(out, gap, k);
+            }
+            bw.finish(out);
+        }
+    }
+}
+
+/// One vertex's adjacency region: restart table (multi-block vertices
+/// only) followed by the gap-coded blocks. Decoding is streaming; seeks
+/// are block-skippable.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressedNeighbors<'a> {
+    region: &'a [u8],
+    deg: usize,
+    /// Byte offset of `region` within the whole adjacency section — what
+    /// probe callbacks report, so the coalescing model charges real
+    /// stream addresses.
+    base: usize,
+}
+
+impl<'a> CompressedNeighbors<'a> {
+    /// Number of neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.deg
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.deg == 0
+    }
+
+    #[inline]
+    fn nblocks(&self) -> usize {
+        self.deg.div_ceil(BLOCK)
+    }
+
+    #[inline]
+    fn data_start(&self) -> usize {
+        let nb = self.nblocks();
+        if nb > 1 {
+            nb * 4
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn block_off(&self, b: usize) -> usize {
+        if self.nblocks() > 1 {
+            let p = b * 4;
+            u32::from_le_bytes(self.region[p..p + 4].try_into().unwrap()) as usize
+        } else {
+            0
+        }
+    }
+
+    /// First neighbor of block `b` (decoded from the block's absolute
+    /// varint restart).
+    fn block_first(&self, b: usize) -> VertexId {
+        let mut pos = self.data_start() + self.block_off(b);
+        read_varint(self.region, &mut pos)
+    }
+
+    /// Streaming decoder over the list (ascending).
+    pub fn iter(&self) -> Decoder<'a> {
+        Decoder {
+            bytes: self.region,
+            cur: BlockCursor::at(self.data_start()),
+            idx: 0,
+            deg: self.deg,
+            prev: 0,
+        }
+    }
+
+    /// Append the decoded list to `out`.
+    pub fn decode_into(&self, out: &mut Vec<VertexId>) {
+        out.reserve(self.deg);
+        out.extend(self.iter());
+    }
+
+    /// Membership probe: binary-search the restart table, decode at most
+    /// one block. `O(log #blocks + BLOCK)`.
+    pub fn contains(&self, x: VertexId) -> bool {
+        self.contains_with_probes(x, |_| {})
+    }
+
+    /// [`Self::contains`] reporting every byte offset (within the
+    /// adjacency section) the probe touches — restart-table reads and
+    /// decoded entry positions — so device kernels can charge the
+    /// coalescing memory model with the compressed stream's actual
+    /// addresses.
+    pub fn contains_with_probes(&self, x: VertexId, mut probe: impl FnMut(usize)) -> bool {
+        if self.deg == 0 {
+            return false;
+        }
+        let nb = self.nblocks();
+        // Locate the last block with first ≤ x.
+        let mut block = 0usize;
+        if nb > 1 {
+            let (mut lo, mut hi) = (0usize, nb);
+            while lo + 1 < hi {
+                let mid = lo + (hi - lo) / 2;
+                probe(self.base + mid * 4); // restart-table read
+                let pos = self.data_start() + self.block_off(mid);
+                probe(self.base + pos); // block-first decode
+                if self.block_first(mid) <= x {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            block = lo;
+        }
+        // Linear decode within the block. Entries after the first are bit
+        // stream reads; the probe reports the byte each read starts in.
+        let mut cur = BlockCursor::at(self.data_start() + self.block_off(block));
+        let mut idx = block * BLOCK;
+        let end = ((block + 1) * BLOCK).min(self.deg);
+        let mut prev = 0;
+        while idx < end {
+            probe(self.base + cur.pos);
+            let v = decode_next(
+                &mut cur,
+                self.region,
+                idx % BLOCK,
+                end - (idx - idx % BLOCK),
+                prev,
+            );
+            if v >= x {
+                return v == x;
+            }
+            prev = v;
+            idx += 1;
+        }
+        false
+    }
+
+    /// Monotone seek cursor (for ascending probe sequences).
+    pub fn seeker(&self) -> Seeker<'a> {
+        Seeker {
+            list: *self,
+            block: 0,
+            cur: BlockCursor::at(self.data_start()),
+            idx: 0,
+            prev: 0,
+            have: false,
+        }
+    }
+
+    /// Append `self ∩ other` (ascending) to `out`.
+    ///
+    /// Picks between two strategies with identical output: decode the
+    /// stream and gallop into `other`, or — when `other` is smaller by
+    /// the engine's [`intersect::GALLOP_RATIO`] — seek block-skippingly
+    /// through the compressed list for each element of `other`.
+    pub fn intersect_into(&self, other: &[VertexId], out: &mut Vec<VertexId>) {
+        if self.deg == 0 || other.is_empty() {
+            return;
+        }
+        if other.len() * intersect::GALLOP_RATIO < self.deg {
+            let mut seek = self.seeker();
+            for &x in other {
+                if seek.advance_to(x) {
+                    out.push(x);
+                }
+            }
+        } else {
+            let mut cursor = 0usize;
+            for v in self.iter() {
+                if cursor >= other.len() {
+                    break;
+                }
+                if intersect::gallop_member(other, &mut cursor, v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+}
+
+impl<'a> IntoIterator for CompressedNeighbors<'a> {
+    type Item = VertexId;
+    type IntoIter = Decoder<'a>;
+
+    fn into_iter(self) -> Decoder<'a> {
+        self.iter()
+    }
+}
+
+/// Streaming gap decoder for one adjacency region.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    cur: BlockCursor,
+    idx: usize,
+    deg: usize,
+    prev: VertexId,
+}
+
+impl Iterator for Decoder<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.idx >= self.deg {
+            return None;
+        }
+        let v = decode_next(&mut self.cur, self.bytes, self.idx, self.deg, self.prev);
+        self.prev = v;
+        self.idx += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.deg - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Decoder<'_> {}
+
+/// Monotone block-skipping cursor over one compressed list: successive
+/// [`Seeker::advance_to`] calls with ascending targets decode each block
+/// at most once — the compressed analogue of
+/// [`intersect::gallop_member`]'s forward-only cursor.
+#[derive(Debug, Clone)]
+pub struct Seeker<'a> {
+    list: CompressedNeighbors<'a>,
+    block: usize,
+    cur: BlockCursor,
+    idx: usize,
+    prev: VertexId,
+    have: bool,
+}
+
+impl Seeker<'_> {
+    /// Advance to the first value ≥ `x`; returns whether it equals `x`.
+    /// Targets must be non-decreasing across calls.
+    pub fn advance_to(&mut self, x: VertexId) -> bool {
+        if self.have && self.prev >= x {
+            return self.prev == x;
+        }
+        // Skip whole blocks while the next one still starts ≤ x.
+        let nb = self.list.nblocks();
+        while self.block + 1 < nb && self.list.block_first(self.block + 1) <= x {
+            self.block += 1;
+            self.idx = self.block * BLOCK;
+            self.cur = BlockCursor::at(self.list.data_start() + self.list.block_off(self.block));
+            self.have = false;
+        }
+        while self.idx < self.list.deg {
+            let v = decode_next(
+                &mut self.cur,
+                self.list.region,
+                self.idx,
+                self.list.deg,
+                self.prev,
+            );
+            self.prev = v;
+            self.have = true;
+            self.idx += 1;
+            if self.idx.is_multiple_of(BLOCK) && self.block + 1 < nb {
+                self.block += 1;
+            }
+            if v >= x {
+                return v == x;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The packed image
+// ---------------------------------------------------------------------------
+
+fn pad8(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(8) {
+        out.push(0);
+    }
+}
+
+fn push_words(out: &mut Vec<u8>, words: &[u64]) -> (u64, u64) {
+    pad8(out);
+    let off = out.len() as u64;
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    (off, (words.len() * 8) as u64)
+}
+
+/// Serialize `g` into the packed image ([`MAGIC`] format). The returned
+/// bytes are exactly what [`CompressedGraph::load`] maps from disk.
+pub fn pack_to_vec(g: &Graph) -> Vec<u8> {
+    let n = g.num_vertices();
+
+    // Adjacency stream + the two monotone index sequences.
+    let mut adj = Vec::new();
+    let mut cum_deg = Vec::with_capacity(n + 1);
+    let mut cum_off = Vec::with_capacity(n + 1);
+    cum_deg.push(0u64);
+    cum_off.push(0u64);
+    for v in 0..n as VertexId {
+        encode_adjacency(g.neighbors(v), &mut adj);
+        cum_deg.push(cum_deg.last().unwrap() + g.degree(v) as u64);
+        cum_off.push(adj.len() as u64);
+    }
+    let deg_ef = EliasFano::encode(&cum_deg);
+    let off_ef = EliasFano::encode(&cum_off);
+
+    let mut out = vec![0u8; HEADER_LEN];
+    // labels: u16 per vertex.
+    pad8(&mut out);
+    let labels_off = out.len() as u64;
+    for &l in g.labels() {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    let labels_len = (n * 2) as u64;
+
+    // label_offsets: u64 × (label_count + 1); label_index: u32 × n.
+    pad8(&mut out);
+    let loff_off = out.len() as u64;
+    let mut acc = 0u64;
+    out.extend_from_slice(&acc.to_le_bytes());
+    for l in 0..g.label_count() {
+        acc += g.vertices_with_label(l as Label).len() as u64;
+        out.extend_from_slice(&acc.to_le_bytes());
+    }
+    let loff_len = ((g.label_count() + 1) * 8) as u64;
+
+    pad8(&mut out);
+    let lidx_off = out.len() as u64;
+    for l in 0..g.label_count() {
+        for &v in g.vertices_with_label(l as Label) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let lidx_len = (n * 4) as u64;
+
+    let (dl_off, dl_len) = push_words(&mut out, &deg_ef.lows);
+    let (dh_off, dh_len) = push_words(&mut out, &deg_ef.highs);
+    let (ol_off, ol_len) = push_words(&mut out, &off_ef.lows);
+    let (oh_off, oh_len) = push_words(&mut out, &off_ef.highs);
+
+    pad8(&mut out);
+    let adj_off = out.len() as u64;
+    out.extend_from_slice(&adj);
+    let adj_len = adj.len() as u64;
+    pad8(&mut out);
+
+    // Header last, once every offset is known.
+    out[0..8].copy_from_slice(&MAGIC);
+    out[8..16].copy_from_slice(&ENDIAN_PROBE.to_le_bytes());
+    out[16..24].copy_from_slice(&(n as u64).to_le_bytes());
+    out[24..32].copy_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    out[32..40].copy_from_slice(&(g.label_count() as u64).to_le_bytes());
+    out[40..44].copy_from_slice(&deg_ef.l.to_le_bytes());
+    out[44..48].copy_from_slice(&off_ef.l.to_le_bytes());
+    let table = [
+        (labels_off, labels_len),
+        (loff_off, loff_len),
+        (lidx_off, lidx_len),
+        (dl_off, dl_len),
+        (dh_off, dh_len),
+        (ol_off, ol_len),
+        (oh_off, oh_len),
+        (adj_off, adj_len),
+    ];
+    for (i, (off, len)) in table.iter().enumerate() {
+        let p = 48 + i * 16;
+        out[p..p + 8].copy_from_slice(&off.to_le_bytes());
+        out[p + 8..p + 16].copy_from_slice(&len.to_le_bytes());
+    }
+    out
+}
+
+type Range = std::ops::Range<usize>;
+
+/// The succinct, mmap-backed graph backend.
+///
+/// Holds the packed image (owned or mapped) plus two small select-rank
+/// tables built at load time; adjacency is never materialized as
+/// per-vertex vectors.
+#[derive(Debug, Clone)]
+pub struct CompressedGraph {
+    bytes: Bytes,
+    n: usize,
+    m: usize,
+    label_count: usize,
+    deg_l: u32,
+    off_l: u32,
+    labels: Range,
+    label_offsets: Range,
+    label_index: Range,
+    deg_lows: Range,
+    deg_highs: Range,
+    off_lows: Range,
+    off_highs: Range,
+    adj: Range,
+    deg_rank: Vec<u32>,
+    off_rank: Vec<u32>,
+}
+
+fn parse_err(message: impl Into<String>) -> GraphError {
+    GraphError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn read_u64(b: &[u8], p: usize) -> u64 {
+    u64::from_le_bytes(b[p..p + 8].try_into().unwrap())
+}
+
+impl CompressedGraph {
+    /// Compress an in-memory CSR graph (pack + reparse: the result is
+    /// bit-identical to a disk round trip by construction).
+    pub fn from_graph(g: &Graph) -> Self {
+        Self::from_bytes(Bytes::from_vec(pack_to_vec(g)))
+            .expect("freshly packed image always parses")
+    }
+
+    /// Map a packed image from disk (zero-copy on unix).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, GraphError> {
+        Self::from_bytes(Bytes::map_file(path.as_ref())?)
+    }
+
+    /// Write the packed image to disk (the in-memory bytes *are* the file
+    /// format).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), GraphError> {
+        std::fs::write(path, self.bytes.as_slice())?;
+        Ok(())
+    }
+
+    /// The raw packed image — what `save` writes and `load` maps.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bytes.as_slice()
+    }
+
+    /// Parse a packed image.
+    pub fn from_bytes(bytes: Bytes) -> Result<Self, GraphError> {
+        let b = bytes.as_slice();
+        if b.len() < HEADER_LEN {
+            return Err(parse_err("packed graph: truncated header"));
+        }
+        if b[0..8] != MAGIC {
+            return Err(parse_err(format!(
+                "packed graph: bad magic {:?} (expected {:?})",
+                &b[0..8],
+                MAGIC
+            )));
+        }
+        if read_u64(b, 8) != ENDIAN_PROBE {
+            return Err(parse_err(
+                "packed graph: endianness mismatch (image written on a foreign byte order)",
+            ));
+        }
+        let n = read_u64(b, 16) as usize;
+        let m = read_u64(b, 24) as usize;
+        let label_count = read_u64(b, 32) as usize;
+        let deg_l = u32::from_le_bytes(b[40..44].try_into().unwrap());
+        let off_l = u32::from_le_bytes(b[44..48].try_into().unwrap());
+        let mut sections: [Range; SECTIONS] = std::array::from_fn(|_| 0..0);
+        for (i, s) in sections.iter_mut().enumerate() {
+            let p = 48 + i * 16;
+            let off = read_u64(b, p) as usize;
+            let len = read_u64(b, p + 8) as usize;
+            let end = off
+                .checked_add(len)
+                .ok_or_else(|| parse_err(format!("packed graph: section {i} overflows")))?;
+            if !off.is_multiple_of(8) || end > b.len() {
+                return Err(parse_err(format!(
+                    "packed graph: section {i} out of bounds ({off}..{end} of {})",
+                    b.len()
+                )));
+            }
+            *s = off..end;
+        }
+        let [labels, label_offsets, label_index, deg_lows, deg_highs, off_lows, off_highs, adj] =
+            sections;
+        if labels.len() != n * 2
+            || label_offsets.len() != (label_count + 1) * 8
+            || label_index.len() != n * 4
+        {
+            return Err(parse_err(
+                "packed graph: label section sizes disagree with header",
+            ));
+        }
+        if deg_l >= 64 || off_l >= 64 {
+            return Err(parse_err("packed graph: Elias-Fano low width out of range"));
+        }
+        let g = CompressedGraph {
+            deg_rank: build_rank(words_u64(&bytes, &deg_highs)),
+            off_rank: build_rank(words_u64(&bytes, &off_highs)),
+            bytes,
+            n,
+            m,
+            label_count,
+            deg_l,
+            off_l,
+            labels,
+            label_offsets,
+            label_index,
+            deg_lows,
+            deg_highs,
+            off_lows,
+            off_highs,
+            adj,
+        };
+        // Index sanity: the final cumulative degree must be 2|E| and the
+        // final cumulative offset the adjacency length.
+        if g.n > 0 || g.m > 0 {
+            if g.deg_ef().get(g.n) != 2 * g.m as u64 {
+                return Err(parse_err("packed graph: degree index disagrees with |E|"));
+            }
+            if g.off_ef().get(g.n) != g.adj.len() as u64 {
+                return Err(parse_err(
+                    "packed graph: offset index disagrees with adjacency length",
+                ));
+            }
+        }
+        Ok(g)
+    }
+
+    fn deg_ef(&self) -> EfView<'_> {
+        EfView {
+            l: self.deg_l,
+            lows: words_u64(&self.bytes, &self.deg_lows),
+            highs: words_u64(&self.bytes, &self.deg_highs),
+            rank: &self.deg_rank,
+        }
+    }
+
+    fn off_ef(&self) -> EfView<'_> {
+        EfView {
+            l: self.off_l,
+            lows: words_u64(&self.bytes, &self.off_lows),
+            highs: words_u64(&self.bytes, &self.off_highs),
+            rank: &self.off_rank,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Number of distinct label values the graph can hold.
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// The label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        let p = self.labels.start + v as usize * 2;
+        u16::from_le_bytes(self.bytes.as_slice()[p..p + 2].try_into().unwrap())
+    }
+
+    /// Degree of vertex `v` (two Elias-Fano selects).
+    pub fn degree(&self, v: VertexId) -> usize {
+        let ef = self.deg_ef();
+        (ef.get(v as usize + 1) - ef.get(v as usize)) as usize
+    }
+
+    /// The compressed adjacency region of `v` — decode, probe, or
+    /// intersect without materializing.
+    pub fn neighbors(&self, v: VertexId) -> CompressedNeighbors<'_> {
+        let ef = self.off_ef();
+        let start = ef.get(v as usize) as usize;
+        let end = ef.get(v as usize + 1) as usize;
+        CompressedNeighbors {
+            region: &self.bytes.as_slice()[self.adj.start + start..self.adj.start + end],
+            deg: self.degree(v),
+            base: start,
+        }
+    }
+
+    /// Whether the undirected edge `(u, v)` exists (probes the smaller
+    /// side, like the CSR backend).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).contains(b)
+    }
+
+    /// Vertices carrying label `l`, sorted by id — zero-copy from the
+    /// image.
+    pub fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        let l = l as usize;
+        if l >= self.label_count {
+            return &[];
+        }
+        let offs = words_u64(&self.bytes, &self.label_offsets);
+        let idx = words_u32(&self.bytes, &self.label_index);
+        &idx[offs[l] as usize..offs[l + 1] as usize]
+    }
+
+    /// Whether the image is a live file mapping (vs owned bytes).
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// Resident footprint: the image (mapped extent or owned capacity)
+    /// plus the load-time select-rank tables.
+    pub fn mem_bytes(&self) -> usize {
+        self.bytes.mem_bytes() + (self.deg_rank.capacity() + self.off_rank.capacity()) * 4
+    }
+
+    /// Decompress back into an in-memory CSR graph (the `unpack`
+    /// direction of the round-trip property).
+    pub fn to_csr(&self) -> Graph {
+        let mut b = GraphBuilder::with_vertices(self.n);
+        for v in 0..self.n as VertexId {
+            b.set_label(v, self.label(v));
+            for w in self.neighbors(v).iter() {
+                if v < w {
+                    b.add_edge(v, w);
+                }
+            }
+        }
+        b.build().expect("decoded adjacency is in range")
+    }
+}
+
+/// View an 8-byte-aligned little-endian section as `&[u64]`.
+fn words_u64<'a>(bytes: &'a Bytes, r: &Range) -> &'a [u64] {
+    let s = &bytes.as_slice()[r.clone()];
+    debug_assert_eq!(s.as_ptr() as usize % 8, 0);
+    debug_assert_eq!(s.len() % 8, 0);
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u64, s.len() / 8) }
+}
+
+/// View a 4-byte-aligned little-endian section as `&[u32]`.
+fn words_u32<'a>(bytes: &'a Bytes, r: &Range) -> &'a [u32] {
+    let s = &bytes.as_slice()[r.clone()];
+    debug_assert_eq!(s.as_ptr() as usize % 4, 0);
+    debug_assert_eq!(s.len() % 4, 0);
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u32, s.len() / 4) }
+}
+
+impl GraphStorage for CompressedGraph {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    fn label(&self, v: VertexId) -> Label {
+        CompressedGraph::label(self, v)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        CompressedGraph::degree(self, v)
+    }
+
+    fn neighbors_ref(&self, v: VertexId) -> NeighborsRef<'_> {
+        let nb = self.neighbors(v);
+        let mut out = Vec::with_capacity(nb.len());
+        nb.decode_into(&mut out);
+        NeighborsRef::Owned(out)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        self.neighbors(v).decode_into(out);
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId) -> bool) {
+        for w in self.neighbors(v).iter() {
+            if !f(w) {
+                break;
+            }
+        }
+    }
+
+    fn intersect_neighbors_into(&self, v: VertexId, other: &[VertexId], out: &mut Vec<VertexId>) {
+        self.neighbors(v).intersect_into(other, out);
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        CompressedGraph::has_edge(self, u, v)
+    }
+
+    fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        CompressedGraph::vertices_with_label(self, l)
+    }
+
+    fn mem_bytes(&self) -> usize {
+        CompressedGraph::mem_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    fn check_equiv(g: &Graph, c: &CompressedGraph) {
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.label_count(), g.label_count());
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(c.label(v), g.label(v), "label({v})");
+            assert_eq!(c.degree(v), g.degree(v), "degree({v})");
+            let decoded: Vec<VertexId> = c.neighbors(v).iter().collect();
+            assert_eq!(decoded, g.neighbors(v), "neighbors({v})");
+        }
+        for l in 0..g.label_count() as Label {
+            assert_eq!(
+                c.vertices_with_label(l),
+                g.vertices_with_label(l),
+                "label {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let vals = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &vals {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn elias_fano_round_trip() {
+        for (n, step) in [(0usize, 0u64), (1, 0), (5, 3), (1000, 7), (1000, 0)] {
+            let values: Vec<u64> = (0..n as u64).map(|i| i * step + (i % 2)).collect();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let ef = EliasFano::encode(&sorted);
+            let rank = build_rank(&ef.highs);
+            let view = EfView {
+                l: ef.l,
+                lows: &ef.lows,
+                highs: &ef.highs,
+                rank: &rank,
+            };
+            for (i, &v) in sorted.iter().enumerate() {
+                assert_eq!(view.get(i), v, "i={i} n={n} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn yeast_round_trips_through_pack() {
+        let g = datasets::dataset("yeast");
+        let c = CompressedGraph::from_graph(&g);
+        check_equiv(&g, &c);
+        assert_eq!(c.to_csr(), g, "unpack reproduces the CSR bitwise");
+    }
+
+    #[test]
+    fn multi_block_lists_and_seeks() {
+        // A hub with degree far past BLOCK, with irregular gaps.
+        let n = 1000u32;
+        let mut b = GraphBuilder::with_vertices(n as usize);
+        for v in 1..n {
+            if v % 3 != 0 {
+                b.add_edge(0, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let c = CompressedGraph::from_graph(&g);
+        check_equiv(&g, &c);
+        let nb = c.neighbors(0);
+        assert!(nb.nblocks() > 1, "hub must span blocks");
+        for v in 0..n + 2 {
+            assert_eq!(
+                nb.contains(v),
+                g.neighbors(0).binary_search(&v).is_ok(),
+                "v={v}"
+            );
+        }
+        // Monotone seeker agrees with contains.
+        let mut seek = nb.seeker();
+        for v in 0..n + 2 {
+            assert_eq!(seek.advance_to(v), nb.contains(v), "seek v={v}");
+        }
+        // Both intersect strategies (skew forces the seek path; a same-size
+        // operand forces the decode-merge path) match the engine.
+        let small: Vec<VertexId> = (0..n).step_by(97).collect();
+        let big: Vec<VertexId> = (0..n).step_by(2).collect();
+        for other in [&small, &big] {
+            let mut got = Vec::new();
+            nb.intersect_into(other, &mut got);
+            let mut want = Vec::new();
+            intersect::intersect_into(g.neighbors(0), other, &mut want);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn disk_round_trip_via_mmap() {
+        let g = datasets::dataset("yeast");
+        let c = CompressedGraph::from_graph(&g);
+        let path = std::env::temp_dir().join(format!("gsword-pack-{}.gsw", std::process::id()));
+        c.save(&path).unwrap();
+        let loaded = CompressedGraph::load(&path).unwrap();
+        #[cfg(unix)]
+        assert!(loaded.is_mapped(), "disk load maps the image");
+        check_equiv(&g, &loaded);
+        assert_eq!(loaded.to_csr(), g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let g = datasets::dataset("yeast");
+        let mut img = pack_to_vec(&g);
+        assert!(CompressedGraph::from_bytes(Bytes::from_vec(b"short".to_vec())).is_err());
+        let mut bad_magic = img.clone();
+        bad_magic[0] = b'X';
+        assert!(CompressedGraph::from_bytes(Bytes::from_vec(bad_magic)).is_err());
+        let mut bad_endian = img.clone();
+        bad_endian[8..16].copy_from_slice(&ENDIAN_PROBE.to_be_bytes());
+        assert!(CompressedGraph::from_bytes(Bytes::from_vec(bad_endian)).is_err());
+        // Lie about |E|: the degree-index cross-check must trip.
+        img[24..32].copy_from_slice(&(g.num_edges() as u64 + 1).to_le_bytes());
+        assert!(CompressedGraph::from_bytes(Bytes::from_vec(img)).is_err());
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let empty = GraphBuilder::new().build().unwrap();
+        let c = CompressedGraph::from_graph(&empty);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.to_csr(), empty);
+        let mut b = GraphBuilder::with_vertices(3);
+        b.set_label(1, 7);
+        let g = b.build().unwrap(); // no edges at all
+        let c = CompressedGraph::from_graph(&g);
+        check_equiv(&g, &c);
+        assert!(c.neighbors(0).is_empty());
+        assert!(!GraphStorage::has_edge(&c, 0, 1));
+    }
+
+    #[test]
+    fn compression_beats_csr_on_power_law_suites() {
+        let g = datasets::dataset("eu2005");
+        let c = CompressedGraph::from_graph(&g);
+        let ratio = c.mem_bytes() as f64 / g.mem_bytes() as f64;
+        assert!(
+            ratio < 0.5,
+            "compressed/CSR = {ratio:.2} ({} / {} bytes)",
+            c.mem_bytes(),
+            g.mem_bytes()
+        );
+    }
+}

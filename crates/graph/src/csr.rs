@@ -121,14 +121,77 @@ impl Graph {
         })
     }
 
-    /// Approximate heap footprint in bytes — used to model candidate-graph
-    /// transfer costs.
+    /// Payload size in bytes (used lengths only) — used to model
+    /// candidate-graph transfer costs, where only the bytes actually
+    /// shipped matter.
     pub fn byte_size(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.neighbors.len() * std::mem::size_of::<VertexId>()
             + self.labels.len() * std::mem::size_of::<Label>()
             + self.label_offsets.len() * std::mem::size_of::<usize>()
             + self.label_index.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Resident heap footprint in bytes, counting each vector's allocated
+    /// *capacity* — what the process actually holds, and the honest
+    /// numerator/denominator for compression ratios ([`byte_size`]
+    /// (`Self::byte_size`) undercounts whenever a `Vec` over-allocated).
+    pub fn mem_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.neighbors.capacity() * std::mem::size_of::<VertexId>()
+            + self.labels.capacity() * std::mem::size_of::<Label>()
+            + self.label_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.label_index.capacity() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl crate::storage::GraphStorage for Graph {
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    fn label_count(&self) -> usize {
+        Graph::label_count(self)
+    }
+
+    fn label(&self, v: VertexId) -> Label {
+        Graph::label(self, v)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn neighbors_ref(&self, v: VertexId) -> crate::storage::NeighborsRef<'_> {
+        crate::storage::NeighborsRef::Borrowed(self.neighbors(v))
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    fn vertices_with_label(&self, l: Label) -> &[VertexId] {
+        Graph::vertices_with_label(self, l)
+    }
+
+    fn mem_bytes(&self) -> usize {
+        Graph::mem_bytes(self)
+    }
+
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+
+    fn avg_degree(&self) -> f64 {
+        Graph::avg_degree(self)
+    }
+
+    fn distinct_labels(&self) -> usize {
+        Graph::distinct_labels(self)
     }
 }
 

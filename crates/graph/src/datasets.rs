@@ -170,19 +170,35 @@ pub const SPECS: [DatasetSpec; 8] = [
 impl DatasetSpec {
     /// Generate the suite graph for this spec (deterministic).
     pub fn generate(&self) -> Graph {
+        self.generate_at(self.scale)
+    }
+
+    /// Generate this dataset at an explicit scale divisor over the *paper*
+    /// parameters: `scale_div == self.scale` reproduces the suite graph
+    /// exactly; `scale_div == 1` generates at the paper's unscaled size
+    /// (what `gsword pack --scale 1` writes for the compressed backend,
+    /// which can hold graphs the `Vec`-based CSR cannot).
+    pub fn generate_at(&self, scale_div: u32) -> Graph {
+        let div = scale_div.max(1) as u64;
+        let num_vertices = (self.paper_vertices / div).max(2) as usize;
+        // Uniform graphs target an edge *count*, which scales with the
+        // divisor; power-law attachment and the lexical generator already
+        // express per-vertex density, so only |V| scales.
+        let edge_param = match self.family {
+            Family::Uniform => (self.paper_edges / div).max(1) as usize,
+            Family::PowerLaw | Family::Lexical => self.edge_param,
+        };
         let seed = fxhash_name(self.name);
         match self.family {
             Family::Uniform => {
-                let labels =
-                    zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
-                erdos_renyi(self.num_vertices, self.edge_param, labels, seed ^ 0xE1)
+                let labels = zipf_labels(num_vertices, self.label_count, self.label_skew, seed);
+                erdos_renyi(num_vertices, edge_param, labels, seed ^ 0xE1)
             }
             Family::PowerLaw => {
-                let labels =
-                    zipf_labels(self.num_vertices, self.label_count, self.label_skew, seed);
-                barabasi_albert(self.num_vertices, self.edge_param, labels, seed ^ 0xBA)
+                let labels = zipf_labels(num_vertices, self.label_count, self.label_skew, seed);
+                barabasi_albert(num_vertices, edge_param, labels, seed ^ 0xBA)
             }
-            Family::Lexical => sparse_lexical(self.num_vertices, self.label_count, seed ^ 0x1E),
+            Family::Lexical => sparse_lexical(num_vertices, self.label_count, seed ^ 0x1E),
         }
     }
 }
@@ -283,5 +299,19 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_dataset_panics() {
         dataset("livejournal");
+    }
+
+    #[test]
+    fn generate_at_suite_scale_reproduces_suite_graph() {
+        for s in &SPECS {
+            assert_eq!(s.generate_at(s.scale), s.generate(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn generate_at_divisor_scales_vertex_count() {
+        let s = spec("dblp").unwrap();
+        assert!(s.generate_at(s.scale * 2).num_vertices() < s.num_vertices);
+        assert_eq!(s.generate_at(5).num_vertices(), 317_080 / 5);
     }
 }

@@ -18,18 +18,28 @@
 //! * [`intersect`] — the degree-adaptive sorted-set intersection engine
 //!   (merge / gallop / bitmap) shared by the candidate builder, the
 //!   estimators' Refine step, and the SIMT kernels' memory charging.
+//! * [`storage`] — the [`GraphStorage`] trait every data-graph consumer is
+//!   generic over, plus [`AnyGraph`] for runtime backend selection.
+//! * [`compressed`] — [`CompressedGraph`]: gap-coded varint adjacency with
+//!   Elias-Fano indexing, packed into an mmap-able on-disk image
+//!   ([`mmap`]), with decode-on-the-fly / block-skip intersection.
 
+pub mod compressed;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod intersect;
 pub mod io;
+pub mod mmap;
 pub mod ops;
 pub mod stats;
+pub mod storage;
 
+pub use compressed::CompressedGraph;
 pub use csr::{Graph, GraphBuilder};
 pub use datasets::{dataset, dataset_names, DatasetSpec};
 pub use stats::GraphStats;
+pub use storage::{AnyGraph, GraphStorage, NeighborsRef};
 
 /// Identifier of a data vertex. `u32` keeps hot structures compact (the
 /// largest suite graph has far fewer than 2^32 vertices, as do the paper's).

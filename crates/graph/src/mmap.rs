@@ -1,0 +1,253 @@
+//! Zero-copy file mapping for packed graphs, with an aligned owned
+//! fallback.
+//!
+//! The workspace vendors no `libc`, so the unix path declares the two
+//! syscall wrappers it needs (`mmap`/`munmap`) directly. Non-unix targets
+//! (and empty files) fall back to reading the file into an owned buffer.
+//! Either way the bytes are guaranteed 8-byte aligned: mapped pages are
+//! page-aligned, and the owned buffer is backed by a `Vec<u64>` — which is
+//! what lets the packed-format reader cast its `u64`/`u32`/`u16` sections
+//! in place instead of copying them out.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// An owned byte buffer with 8-byte alignment (backed by `Vec<u64>`).
+#[derive(Debug, Clone, Default)]
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copy `data` into a fresh aligned buffer.
+    pub fn from_slice(data: &[u8]) -> Self {
+        let mut words = vec![0u64; data.len().div_ceil(8)];
+        // Safe view of the word buffer as bytes for the copy-in.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+        };
+        dst[..data.len()].copy_from_slice(data);
+        AlignedBytes {
+            words,
+            len: data.len(),
+        }
+    }
+
+    /// The buffer contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    /// Heap footprint in bytes (allocated capacity).
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(p: *mut c_void) -> bool {
+        p as usize == usize::MAX || p.is_null()
+    }
+}
+
+/// Read-only bytes of a packed graph: either a private file mapping (unix,
+/// non-empty files) or an owned aligned buffer. Always 8-byte aligned.
+#[derive(Debug)]
+pub enum Bytes {
+    /// Owned, 8-byte-aligned copy.
+    Owned(AlignedBytes),
+    /// A live `mmap` of the file.
+    #[cfg(unix)]
+    Mapped {
+        /// Page-aligned mapping base.
+        ptr: *const u8,
+        /// Mapped length in bytes.
+        len: usize,
+    },
+}
+
+// The mapped variant is a private, read-only mapping never mutated or
+// remapped after construction, so shared references are safe to send.
+#[cfg(unix)]
+unsafe impl Send for Bytes {}
+#[cfg(unix)]
+unsafe impl Sync for Bytes {}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Self {
+        // Cloning a mapping degrades to an owned copy — clones are rare
+        // (CLI plumbing), mappings are not refcounted.
+        Bytes::Owned(AlignedBytes::from_slice(self.as_slice()))
+    }
+}
+
+impl Bytes {
+    /// Take ownership of `data` in an aligned buffer.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes::Owned(AlignedBytes::from_slice(&data))
+    }
+
+    /// Map `path` read-only (unix) or read it into an aligned owned buffer
+    /// (other targets, empty files, or mapping failure).
+    pub fn map_file(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len > 0 {
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if !sys::map_failed(ptr) {
+                    return Ok(Bytes::Mapped {
+                        ptr: ptr as *const u8,
+                        len,
+                    });
+                }
+                // Fall through to the buffered read on mapping failure.
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(Bytes::from_vec(buf))
+    }
+
+    /// The bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Owned(b) => b.as_slice(),
+            #[cfg(unix)]
+            Bytes::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Bytes::Owned(b) => b.len,
+            #[cfg(unix)]
+            Bytes::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the bytes are a live file mapping (vs an owned copy).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            Bytes::Owned(_) => false,
+            #[cfg(unix)]
+            Bytes::Mapped { .. } => true,
+        }
+    }
+
+    /// Resident footprint: allocated capacity for owned buffers, the
+    /// mapped extent for mappings.
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            Bytes::Owned(b) => b.capacity_bytes(),
+            #[cfg(unix)]
+            Bytes::Mapped { len, .. } => *len,
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Bytes::Mapped { ptr, len } = self {
+            unsafe {
+                sys::munmap(*ptr as *mut std::ffi::c_void, *len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gsword-mmap-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn aligned_bytes_round_trip_and_alignment() {
+        for n in [0usize, 1, 7, 8, 9, 4096] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let a = AlignedBytes::from_slice(&data);
+            assert_eq!(a.as_slice(), &data[..]);
+            assert_eq!(a.as_slice().as_ptr() as usize % 8, 0);
+        }
+    }
+
+    #[test]
+    fn map_file_reads_back_contents() {
+        let path = temp_path("roundtrip");
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let bytes = Bytes::map_file(&path).unwrap();
+        assert_eq!(bytes.as_slice(), &data[..]);
+        assert_eq!(bytes.len(), data.len());
+        assert_eq!(bytes.as_slice().as_ptr() as usize % 8, 0);
+        #[cfg(unix)]
+        assert!(bytes.is_mapped(), "non-empty files map on unix");
+        assert!(bytes.mem_bytes() >= data.len());
+        let clone = bytes.clone();
+        assert!(!clone.is_mapped(), "clones degrade to owned copies");
+        assert_eq!(clone.as_slice(), bytes.as_slice());
+        drop(bytes);
+        drop(clone);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let bytes = Bytes::map_file(&path).unwrap();
+        assert!(bytes.is_empty());
+        assert!(!bytes.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(Bytes::map_file(Path::new("/nonexistent/gsword.pack")).is_err());
+    }
+}

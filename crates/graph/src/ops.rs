@@ -4,11 +4,11 @@
 //! extraction and sampling want the giant component. These helpers cover
 //! the preprocessing a downstream user needs before counting.
 
-use crate::{Graph, GraphBuilder, VertexId};
+use crate::{Graph, GraphBuilder, GraphStorage, VertexId};
 
 /// Connected-component labeling: returns one component id per vertex and
 /// the number of components.
-pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+pub fn connected_components<S: GraphStorage>(g: &S) -> (Vec<u32>, usize) {
     const UNSET: u32 = u32::MAX;
     let mut comp = vec![UNSET; g.num_vertices()];
     let mut next = 0u32;
@@ -20,12 +20,13 @@ pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
         comp[start as usize] = next;
         stack.push(start);
         while let Some(v) = stack.pop() {
-            for &w in g.neighbors(v) {
+            g.for_each_neighbor(v, |w| {
                 if comp[w as usize] == UNSET {
                     comp[w as usize] = next;
                     stack.push(w);
                 }
-            }
+                true
+            });
         }
         next += 1;
     }
@@ -84,7 +85,7 @@ pub fn induced_subgraph(g: &Graph, vertices: &[VertexId]) -> Graph {
 }
 
 /// Degree histogram: `hist[d]` = number of vertices with degree `d`.
-pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+pub fn degree_histogram<S: GraphStorage>(g: &S) -> Vec<usize> {
     let mut hist = vec![0usize; g.max_degree() + 1];
     for v in 0..g.num_vertices() as VertexId {
         hist[g.degree(v)] += 1;
@@ -93,7 +94,7 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
 }
 
 /// Label histogram: `hist[l]` = number of vertices with label `l`.
-pub fn label_histogram(g: &Graph) -> Vec<usize> {
+pub fn label_histogram<S: GraphStorage>(g: &S) -> Vec<usize> {
     (0..g.label_count())
         .map(|l| g.vertices_with_label(l as crate::Label).len())
         .collect()

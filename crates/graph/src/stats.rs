@@ -1,6 +1,7 @@
 //! Graph statistics — the columns of Table 1.
 
-use crate::{Graph, VertexId};
+use crate::storage::GraphStorage;
+use crate::VertexId;
 
 /// Summary statistics of a data graph (Table 1's columns plus the degree
 /// extremes the workload-imbalance discussion depends on).
@@ -19,11 +20,15 @@ pub struct GraphStats {
     /// Coefficient of variation of the degree distribution (stddev/mean) —
     /// the skew proxy behind refine imbalance.
     pub degree_cv: f64,
+    /// Resident footprint of the backend in bytes (allocated capacity /
+    /// mapped extent) — compared across backends for honest compression
+    /// ratios.
+    pub mem_bytes: usize,
 }
 
 impl GraphStats {
-    /// Compute statistics for `g`.
-    pub fn of(g: &Graph) -> Self {
+    /// Compute statistics for any storage backend.
+    pub fn of<S: GraphStorage>(g: &S) -> Self {
         let n = g.num_vertices();
         let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
         let mean = if n == 0 {
@@ -50,6 +55,7 @@ impl GraphStats {
             max_degree: degrees.iter().copied().max().unwrap_or(0),
             labels: g.distinct_labels(),
             degree_cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            mem_bytes: g.mem_bytes(),
         }
     }
 }
@@ -58,13 +64,14 @@ impl std::fmt::Display for GraphStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "|V|={} |E|={} d={:.1} dmax={} L={} cv={:.2}",
+            "|V|={} |E|={} d={:.1} dmax={} L={} cv={:.2} mem={}B",
             self.num_vertices,
             self.num_edges,
             self.avg_degree,
             self.max_degree,
             self.labels,
-            self.degree_cv
+            self.degree_cv,
+            self.mem_bytes
         )
     }
 }

@@ -1,6 +1,6 @@
 //! Matching orders (Definition 2) and their backward-neighbor tables.
 
-use gsword_graph::Graph;
+use gsword_graph::GraphStorage;
 
 use crate::query::{QueryGraph, QueryVertex};
 
@@ -95,7 +95,7 @@ impl MatchingOrder {
 /// QuickSI-style order: start from the most selective labeled vertex, then
 /// greedily extend with the neighbor that is most constrained (most backward
 /// edges) and most selective (rarest label in the data graph).
-pub fn quicksi_order(query: &QueryGraph, data: &Graph) -> MatchingOrder {
+pub fn quicksi_order<S: GraphStorage>(query: &QueryGraph, data: &S) -> MatchingOrder {
     let n = query.num_vertices();
     let freq = |u: QueryVertex| data.vertices_with_label(query.label(u)).len() as f64;
 
@@ -114,7 +114,7 @@ pub fn quicksi_order(query: &QueryGraph, data: &Graph) -> MatchingOrder {
 }
 
 /// G-CARE-style order: BFS from the highest-degree query vertex.
-pub fn gcare_order(query: &QueryGraph, _data: &Graph) -> MatchingOrder {
+pub fn gcare_order<S: GraphStorage>(query: &QueryGraph, _data: &S) -> MatchingOrder {
     let n = query.num_vertices();
     let start = (0..n as QueryVertex)
         .max_by_key(|&u| query.degree(u))
@@ -155,7 +155,7 @@ fn greedy_order<F: Fn(QueryVertex, usize) -> f64>(
 }
 
 /// Convenience dispatcher over [`OrderKind`].
-pub fn make_order(kind: OrderKind, query: &QueryGraph, data: &Graph) -> MatchingOrder {
+pub fn make_order<S: GraphStorage>(kind: OrderKind, query: &QueryGraph, data: &S) -> MatchingOrder {
     match kind {
         OrderKind::QuickSi => quicksi_order(query, data),
         OrderKind::GCare => gcare_order(query, data),
@@ -165,7 +165,7 @@ pub fn make_order(kind: OrderKind, query: &QueryGraph, data: &Graph) -> Matching
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsword_graph::GraphBuilder;
+    use gsword_graph::{Graph, GraphBuilder};
 
     fn path_query() -> QueryGraph {
         QueryGraph::new(vec![0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap()

@@ -1,6 +1,6 @@
 //! Connected, vertex-labeled query graphs and their random-walk extraction.
 
-use gsword_graph::{Graph, Label, VertexId};
+use gsword_graph::{GraphStorage, Label, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -144,13 +144,13 @@ impl QueryGraph {
     /// collect `k` distinct vertices along a walk and take the induced
     /// subgraph (the paper's extraction method). Returns `None` if `data`
     /// has no component with `k` vertices reachable in the attempt budget.
-    pub fn extract(data: &Graph, k: usize, seed: u64) -> Option<Self> {
+    pub fn extract<S: GraphStorage>(data: &S, k: usize, seed: u64) -> Option<Self> {
         Self::extract_class(data, k, seed, None)
     }
 
     /// Extract a *sparse* query (a path, max degree 2) with `k` vertices via
     /// a self-avoiding walk, keeping only the walk edges.
-    pub fn extract_sparse(data: &Graph, k: usize, seed: u64) -> Option<Self> {
+    pub fn extract_sparse<S: GraphStorage>(data: &S, k: usize, seed: u64) -> Option<Self> {
         assert!((2..=Self::MAX_VERTICES).contains(&k));
         let mut rng = SmallRng::seed_from_u64(seed);
         'attempt: for _ in 0..512 {
@@ -159,7 +159,7 @@ impl QueryGraph {
             walk.push(start);
             while walk.len() < k {
                 let cur = *walk.last().unwrap();
-                let nbrs = data.neighbors(cur);
+                let nbrs = data.neighbors_ref(cur);
                 if nbrs.is_empty() {
                     continue 'attempt;
                 }
@@ -190,8 +190,8 @@ impl QueryGraph {
 
     /// Extract a query and insist on the given class (retrying extraction
     /// until the induced subgraph matches). `None` target accepts anything.
-    pub fn extract_class(
-        data: &Graph,
+    pub fn extract_class<S: GraphStorage>(
+        data: &S,
         k: usize,
         seed: u64,
         want: Option<QueryClass>,
@@ -210,7 +210,7 @@ impl QueryGraph {
             let mut cur = start;
             let mut stuck = 0;
             while verts.len() < k {
-                let nbrs = data.neighbors(cur);
+                let nbrs = data.neighbors_ref(cur);
                 if nbrs.is_empty() {
                     continue 'attempt;
                 }
@@ -248,7 +248,7 @@ impl QueryGraph {
     /// Generate the paper's per-dataset query workload: `count` queries of
     /// `k` vertices. For `k ≥ 8`, half are sparse and half dense (Section
     /// 6.1); for `k = 4` the class is unconstrained.
-    pub fn workload(data: &Graph, k: usize, count: usize, seed: u64) -> Vec<Self> {
+    pub fn workload<S: GraphStorage>(data: &S, k: usize, count: usize, seed: u64) -> Vec<Self> {
         let mut out = Vec::with_capacity(count);
         let mut attempt_seed = seed;
         while out.len() < count {
@@ -282,7 +282,7 @@ impl QueryGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsword_graph::GraphBuilder;
+    use gsword_graph::{Graph, GraphBuilder};
 
     fn ring(n: usize) -> Graph {
         let mut b = GraphBuilder::with_vertices(n);

@@ -50,6 +50,32 @@ impl Region {
 /// pair, or `None` when the lane is inactive for this load.
 pub type LaneAddr = Option<(Region, usize)>;
 
+/// Bytes per line; word addressing above is 4-byte elements.
+pub const LINE_BYTES: usize = LINE_WORDS * 4;
+
+/// Issue a warp-wide load at per-lane *byte* offsets and charge the
+/// coalesced transaction count.
+///
+/// The compressed adjacency image is gap-coded, so membership probes land
+/// on arbitrary byte positions (the restart-table reads and varint entry
+/// starts reported by `CompressedNeighbors::contains_with_probes`) rather
+/// than aligned `u32` elements. Bytes coalesce into the same 128-byte
+/// lines as words: lanes decoding neighbouring blocks share transactions,
+/// lanes scattered across hubs pay one line each. Offsets are mapped to
+/// the 4-byte word containing them, then charged through [`warp_load`] so
+/// line math and sanitizer bookkeeping stay identical across granularities.
+pub fn warp_load_bytes(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    byte_addrs: &Lanes<LaneAddr>,
+) -> u64 {
+    let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+    for (lane, a) in byte_addrs.iter().enumerate() {
+        addrs[lane] = a.map(|(region, byte_off)| (region, byte_off / 4));
+    }
+    warp_load(ctr, san, &addrs)
+}
+
 /// Issue a warp-wide load of one element per lane at each lane's address,
 /// and charge the coalesced transaction count.
 ///
@@ -206,6 +232,25 @@ mod tests {
         assert_eq!(c.mem_transactions, 3);
         warp_scan(&mut c, &san(), u32::MAX, Region::LOCAL, 0, 0); // empty: free
         assert_eq!(c.mem_instructions, 2);
+    }
+
+    #[test]
+    fn byte_probes_coalesce_within_a_line() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = Some((Region::ADJ, 256 + i * 3)); // varint-ish strides, one line
+        }
+        assert_eq!(warp_load_bytes(&mut c, &san(), &addrs), 1);
+    }
+
+    #[test]
+    fn byte_probes_split_on_line_boundaries() {
+        let mut c = KernelCounters::default();
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        addrs[0] = Some((Region::ADJ, LINE_BYTES - 1));
+        addrs[1] = Some((Region::ADJ, LINE_BYTES));
+        assert_eq!(warp_load_bytes(&mut c, &san(), &addrs), 2);
     }
 
     #[test]

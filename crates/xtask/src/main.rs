@@ -55,6 +55,11 @@ tasks:
   check-bench <file>   validate a BENCH_sampling.json artifact (parses
                        the JSON, checks every row has an id and a finite
                        median_ns) — used by the CI bench-smoke step
+  pack [dir] [scale]   write all eight suite datasets as compressed
+                       mmap-able images (<name>.gsw) into `dir` (default:
+                       datasets/ at the workspace root) via `gsword pack
+                       all`; the optional scale divides the paper's |V|
+                       (1 = full paper size)
 
 rules enforced by analyze/lint:
   1. divergent-sync: warp primitives (any/ballot/shfl/reduce_*) must not
@@ -186,6 +191,43 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             check_bench_file(path)
+        }
+        Some("pack") => {
+            let root = workspace_root();
+            let out = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => root.join("datasets"),
+            };
+            let mut cli = vec![
+                "run".to_string(),
+                "--release".to_string(),
+                "-p".to_string(),
+                "gsword-cli".to_string(),
+                "--".to_string(),
+                "pack".to_string(),
+                "all".to_string(),
+                "-o".to_string(),
+                out.display().to_string(),
+            ];
+            if let Some(scale) = args.get(2) {
+                cli.push("--scale".to_string());
+                cli.push(scale.clone());
+            }
+            let status = std::process::Command::new("cargo")
+                .args(&cli)
+                .current_dir(&root)
+                .status();
+            match status {
+                Ok(s) if s.success() => ExitCode::SUCCESS,
+                Ok(s) => {
+                    eprintln!("xtask pack: gsword pack exited with {s}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask pack: cannot spawn cargo: {e}");
+                    ExitCode::from(2)
+                }
+            }
         }
         Some("help") | Some("--help") | None => {
             println!("{USAGE}");
@@ -359,11 +401,14 @@ fn check_bench_file(path: &str) -> ExitCode {
         eprintln!("xtask check-bench: {path}: empty 'benches' array");
         return ExitCode::FAILURE;
     }
+    let mut ids = BTreeSet::new();
     for (i, row) in rows.iter().enumerate() {
         let id = row.get("id").and_then(|v| v.as_str());
         let ns = row.get("median_ns").and_then(|v| v.as_f64());
         match (id, ns) {
-            (Some(_), Some(ns)) if ns.is_finite() && ns > 0.0 => {}
+            (Some(id), Some(ns)) if ns.is_finite() && ns > 0.0 => {
+                ids.insert(id.to_string());
+            }
             _ => {
                 eprintln!(
                     "xtask check-bench: {path}: row {i} needs a string 'id' \
@@ -371,6 +416,29 @@ fn check_bench_file(path: &str) -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    // The rail's contract: every comparison the docs cite must be present,
+    // including the compressed-vs-CSR storage rows.
+    const REQUIRED_IDS: [&str; 13] = [
+        "cpu_sampling/WJ/yeast",
+        "cpu_sampling/AL/yeast",
+        "candidate_build/full/yeast",
+        "candidate_build/adaptive/yeast",
+        "candidate_build/legacy/yeast",
+        "alley_refine/adaptive/yeast",
+        "alley_refine/legacy/yeast",
+        "storage/neighbor_scan/csr/yeast",
+        "storage/neighbor_scan/compressed/yeast",
+        "storage/member_probe/csr/yeast",
+        "storage/member_probe/compressed/yeast",
+        "storage/candidate_build/csr/yeast",
+        "storage/candidate_build/compressed/yeast",
+    ];
+    for required in REQUIRED_IDS {
+        if !ids.contains(required) {
+            eprintln!("xtask check-bench: {path}: missing required bench id '{required}'");
+            return ExitCode::FAILURE;
         }
     }
     println!(
