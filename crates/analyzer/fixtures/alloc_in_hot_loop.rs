@@ -1,0 +1,12 @@
+//! Known-bad: a per-iteration heap allocation inside the lockstep round
+//! loop of a kernel entry point. The buffer must be hoisted above the
+//! loop (allocate once with `with_capacity`, `.clear()` per round).
+//! Expected: `alloc-in-hot-loop` at the `Vec::new()`.
+
+pub fn run_block(ctr: &mut KernelCounters, mask: WarpMask) {
+    for lane in 0..WARP_SIZE {
+        let tmp = Vec::new();
+        consume(&tmp, lane);
+    }
+    ctr.warp_instruction(mask);
+}

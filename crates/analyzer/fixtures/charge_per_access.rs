@@ -1,0 +1,17 @@
+//! Known-bad: the lockstep round loop does nothing but issue one
+//! `warp_load` per round — the exact shape `warp_load_rounds` replays in
+//! a single batched call with bit-identical counters. Expected:
+//! `charge-per-access` at the `warp_load`, naming the batch API.
+
+pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {
+    let rounds = bufs.iter().map(Vec::len).max().unwrap_or(0);
+    for r in 0..rounds {
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (lane, buf) in bufs.iter().enumerate() {
+            if let Some(&a) = buf.get(r) {
+                addrs[lane] = Some((Region::LOCAL, a));
+            }
+        }
+        warp_load(ctr, san, &addrs);
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad: the compressed adjacency of `u` is re-decoded on every
+//! iteration of a loop `u` does not vary in — the decode re-walks the
+//! same varint stream each time and must be hoisted above the loop.
+//! Expected: `decode-in-loop` at the `neighbors_ref`.
+
+pub fn probe_rounds(g: &CompressedGraph, u: VertexId, mask: WarpMask) -> usize {
+    let mut total = 0usize;
+    for _step in 0..WARP_SIZE {
+        let adj = g.neighbors_ref(u);
+        total += adj.len();
+    }
+    total
+}

@@ -3,6 +3,8 @@
 //! until the workers holding the erased closure finish. Expected:
 //! `scope-blocking` at the `transmute`.
 
+// SAFETY: callers must drain every worker holding the erased closure
+// before the borrowed environment goes out of scope.
 pub unsafe fn erase_job(job: Box<dyn FnOnce() + '_>) -> Box<dyn FnOnce() + 'static> {
     std::mem::transmute::<Box<dyn FnOnce() + '_>, Box<dyn FnOnce() + 'static>>(job)
 }

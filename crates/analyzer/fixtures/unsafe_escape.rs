@@ -1,0 +1,9 @@
+//! Known-bad: a slice minted inside `unsafe` from a raw pointer is
+//! returned to the caller, which now holds a reference whose validity
+//! only this function's (undocumented) context established. Expected:
+//! `unsafe-escape` at the `unsafe` block, with the escape message.
+
+pub fn view_words(ptr: *const u32, len: usize) -> &'static [u32] {
+    let s = unsafe { std::slice::from_raw_parts(ptr, len) };
+    s
+}

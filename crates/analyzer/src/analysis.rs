@@ -490,7 +490,18 @@ fn check_flow_rules(cfg: &Cfg, div: &Divergence, sums: &Summaries) -> Vec<RawFin
             transfer_call(&mut st, c, sums);
         }
     }
-    out.sort_by_key(|f| (f.line, f.col));
+    // Sort with rule and message as tiebreakers: two findings from
+    // different rules (or different messages of one rule) can share a
+    // (line, col) site, and position alone would leave their order to the
+    // emission order of the node walk.
+    out.sort_by(|a, b| {
+        (a.line, a.col, a.rule, a.message.as_str()).cmp(&(
+            b.line,
+            b.col,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
     out.dedup();
     out
 }
@@ -744,7 +755,7 @@ pub(crate) fn return_exprs(body: &Block) -> Vec<&[Tok]> {
                         collect(body, out);
                     }
                 }
-                Stmt::Block(inner) => collect(inner, out),
+                Stmt::Block(inner) | Stmt::Unsafe { body: inner, .. } => collect(inner, out),
                 _ => {}
             }
         }

@@ -194,7 +194,7 @@ impl Builder {
                 }
                 None => cur,
             },
-            Stmt::Block(b) => self.lower_block(b, cur, g),
+            Stmt::Block(b) | Stmt::Unsafe { body: b, .. } => self.lower_block(b, cur, g),
             Stmt::If {
                 cond,
                 then_b,

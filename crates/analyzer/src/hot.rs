@@ -1,0 +1,665 @@
+//! Hot-region classification and the loop-aware cost rules.
+//!
+//! ROADMAP item 2 says the SIMT simulator's wall clock is dominated by
+//! per-access charging inside the lockstep round loops. This module makes
+//! that work list mechanical: a function is **hot** when it is subject to
+//! the kernel rules ([`crate::analysis::is_kernel_fn`]) *and* reachable
+//! from a kernel entry point (`run` / `run_block`) over the name-level
+//! call graph ([`crate::callgraph::call_graph`]). Three rules then run
+//! over the loop structure ([`crate::loops`]):
+//!
+//! * `alloc-in-hot-loop` — a heap allocation (`Vec::new`, `Box::new`,
+//!   `String::new`, `vec![]`, `format!`, `.collect()`, `.to_vec()`)
+//!   inside a loop of a hot function. Exempt when the receiving buffer is
+//!   reused via the hoist idiom: allocate once outside (ideally
+//!   `with_capacity`) and `.clear()` it per iteration — any binding whose
+//!   variable is `.clear()`ed somewhere in the function is treated as a
+//!   reused buffer, not a per-iteration allocation.
+//! * `charge-per-access` — a loop whose *only* observable work is cost
+//!   charging (`warp_load` / `warp_load_bytes` plus pure bookkeeping)
+//!   issues one charge per element; the finding names the batched
+//!   per-round API ([`BATCH_APIS`]) that replays the identical charge
+//!   sequence in one call.
+//! * `decode-in-loop` — a compressed-adjacency decode
+//!   (`neighbors_ref` / `decode_into` / `contains_with_probes`) whose
+//!   argument is invariant with respect to the innermost enclosing loop:
+//!   the decode re-does identical work every iteration and is hoistable.
+//!
+//! The same machinery produces the [`HotRow`] report consumed by
+//! `cargo xtask analyze --hot-report` — the ranked work list for the
+//! vectorization pass.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::{is_kernel_fn, RawFinding};
+use crate::callgraph::call_graph;
+use crate::cfg::{lower, Action, Call, Cfg};
+use crate::lex::{Tok, TokKind};
+use crate::loops::{find_loops, Loops};
+use crate::parse::{visit_exprs, Block, FnDef, Stmt};
+
+/// Kernel entry points: the lockstep executors the launch layer invokes.
+pub const HOT_ENTRIES: &[&str] = &["run", "run_block"];
+
+/// Per-access charging calls with a batched per-round replacement.
+/// `(per-access call, batch API)` — the finding message names the batch
+/// API so the fix is mechanical.
+pub const BATCH_APIS: &[(&str, &str)] = &[
+    ("warp_load", "warp_load_rounds"),
+    ("warp_load_bytes", "warp_load_rounds"),
+];
+
+/// Calls allowed inside a pure charging loop besides the charges
+/// themselves: scalar bookkeeping that a batch API replicates internally.
+const PURE_BOOKKEEPING: &[&str] = &[
+    "clear",
+    "contains",
+    "count_ones",
+    "enumerate",
+    "flatten",
+    "get",
+    "iter",
+    "lanes_of",
+    "len",
+    "map",
+    "max",
+    "min",
+    "push",
+    "unwrap",
+    "unwrap_or",
+];
+
+/// Compressed-adjacency decodes whose repeated invocation on the same
+/// vertex re-walks the same varint stream.
+const DECODE_CALLS: &[&str] = &["neighbors_ref", "decode_into", "contains_with_probes"];
+
+/// Heap-allocating constructs matched token-wise (macros are invisible to
+/// the CFG's call extraction, so this scans statement expressions).
+const ALLOC_PATHS: &[&str] = &["Vec", "Box", "String"];
+
+/// BFS distances from the kernel entry points over the name-level call
+/// graph. A function name maps to its hop count from the nearest entry
+/// (0 for the entries themselves); unreachable names are absent.
+pub fn entry_distances(fns: &[FnDef]) -> BTreeMap<String, u32> {
+    let graph = call_graph(fns);
+    let mut dist: BTreeMap<String, u32> = BTreeMap::new();
+    let mut frontier: Vec<String> = Vec::new();
+    for e in HOT_ENTRIES {
+        if graph.contains_key(*e) {
+            dist.insert((*e).to_string(), 0);
+            frontier.push((*e).to_string());
+        }
+    }
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for name in frontier {
+            let Some(callees) = graph.get(&name) else {
+                continue;
+            };
+            for c in callees {
+                if !dist.contains_key(c) {
+                    dist.insert(c.clone(), d);
+                    next.push(c.clone());
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Run the three cost rules on one function. `dist` is the corpus-wide
+/// entry-distance map; the allocation and charging rules require the
+/// function to be hot, the decode rule applies to any non-test function.
+pub fn check_fn(file: &str, f: &FnDef, dist: &BTreeMap<String, u32>) -> Vec<RawFinding> {
+    if f.in_test {
+        return Vec::new();
+    }
+    let cfg = lower(&f.body);
+    let loops = find_loops(&cfg);
+    let mut out = decode_findings(&cfg, &loops);
+    if is_kernel_fn(file, f) && dist.contains_key(&f.name) {
+        out.extend(alloc_findings(f));
+        out.extend(charge_findings(f, &cfg, &loops));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// alloc-in-hot-loop
+// ---------------------------------------------------------------------------
+
+fn alloc_findings(f: &FnDef) -> Vec<RawFinding> {
+    let cleared = cleared_vars(&f.body);
+    let mut out = Vec::new();
+    walk_alloc(&f.body, 0, &cleared, &f.name, &mut out);
+    out
+}
+
+/// Variables `.clear()`ed anywhere in the function — the reuse half of
+/// the hoisted-buffer idiom.
+fn cleared_vars(body: &Block) -> Vec<String> {
+    let mut out = Vec::new();
+    visit_exprs(body, &mut |toks| {
+        for c in crate::cfg::extract_calls(toks) {
+            if c.is_method && c.name == "clear" {
+                if let Some(recv) = &c.recv {
+                    let last = recv.rsplit(" . ").next().unwrap_or(recv).to_string();
+                    if !out.contains(&last) {
+                        out.push(last);
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+fn walk_alloc(b: &Block, depth: u32, cleared: &[String], fn_name: &str, out: &mut Vec<RawFinding>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                names,
+                init,
+                else_block,
+                ..
+            } => {
+                let reused = names.iter().any(|n| cleared.contains(n));
+                if depth > 0 && !reused {
+                    emit_allocs(init, depth, fn_name, out);
+                }
+                if let Some(eb) = else_block {
+                    walk_alloc(eb, depth, cleared, fn_name, out);
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                if depth > 0 && !cleared.contains(target) {
+                    emit_allocs(value, depth, fn_name, out);
+                }
+            }
+            Stmt::Expr(toks) | Stmt::Return(toks) => {
+                if depth > 0 {
+                    emit_allocs(toks, depth, fn_name, out);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                if depth > 0 {
+                    emit_allocs(cond, depth, fn_name, out);
+                }
+                walk_alloc(then_b, depth, cleared, fn_name, out);
+                if let Some(eb) = else_b {
+                    walk_alloc(eb, depth, cleared, fn_name, out);
+                }
+            }
+            Stmt::While { cond, body } => {
+                emit_allocs(cond, depth + 1, fn_name, out);
+                walk_alloc(body, depth + 1, cleared, fn_name, out);
+            }
+            Stmt::Loop { body } => walk_alloc(body, depth + 1, cleared, fn_name, out),
+            Stmt::For { iter, body, .. } => {
+                // The iterator expression evaluates once, at the enclosing
+                // depth; only the body repeats.
+                if depth > 0 {
+                    emit_allocs(iter, depth, fn_name, out);
+                }
+                walk_alloc(body, depth + 1, cleared, fn_name, out);
+            }
+            Stmt::Match { scrutinee, arms } => {
+                if depth > 0 {
+                    emit_allocs(scrutinee, depth, fn_name, out);
+                }
+                for (_, body) in arms {
+                    walk_alloc(body, depth, cleared, fn_name, out);
+                }
+            }
+            Stmt::Block(inner) | Stmt::Unsafe { body: inner, .. } => {
+                walk_alloc(inner, depth, cleared, fn_name, out)
+            }
+            Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+/// Scan one expression token slice for allocation constructs and emit a
+/// finding per construct.
+fn emit_allocs(toks: &[Tok], depth: u32, fn_name: &str, out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(s));
+        let what = match t.text.as_str() {
+            "vec" | "format" if next_is("!") => Some(format!("{}!", t.text)),
+            "new" => {
+                let path = i
+                    .checked_sub(2)
+                    .filter(|_| toks[i - 1].is_punct("::"))
+                    .map(|p| toks[p].text.as_str());
+                path.filter(|p| ALLOC_PATHS.contains(p))
+                    .map(|p| format!("{p}::new()"))
+            }
+            "collect" | "to_vec" if next_is("(") && i > 0 && toks[i - 1].is_punct(".") => {
+                Some(format!(".{}()", t.text))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(RawFinding {
+                line: Some(t.line),
+                col: Some(t.col),
+                rule: "alloc-in-hot-loop",
+                message: format!(
+                    "`{what}` allocates inside a depth-{depth} loop of hot fn \
+                     `{fn_name}` — hoist the buffer (with_capacity once, \
+                     .clear() per iteration)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// charge-per-access
+// ---------------------------------------------------------------------------
+
+fn batch_api(name: &str) -> Option<&'static str> {
+    BATCH_APIS
+        .iter()
+        .find(|(per, _)| *per == name)
+        .map(|(_, batch)| *batch)
+}
+
+/// A loop is *pure charging* when every call in it is either a charge
+/// with a batch replacement, scalar bookkeeping, or an uppercase-initial
+/// constructor. Such a loop does nothing a batch API cannot replay.
+fn charge_findings(f: &FnDef, cfg: &Cfg, loops: &Loops) -> Vec<RawFinding> {
+    // The batch APIs themselves replay the per-round loop internally.
+    if BATCH_APIS.iter().any(|(_, b)| *b == f.name) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (li, l) in loops.loops.iter().enumerate() {
+        let mut charges: Vec<&Call> = Vec::new();
+        let mut pure = true;
+        for &node in &l.body {
+            if loops.innermost(node) != Some(li) {
+                continue; // belongs to a nested loop, judged there
+            }
+            for a in &cfg.nodes[node].actions {
+                let Action::Call(c) = a else { continue };
+                if batch_api(&c.name).is_some() {
+                    charges.push(c);
+                } else if !PURE_BOOKKEEPING.contains(&c.name.as_str())
+                    && !c.name.starts_with(|ch: char| ch.is_uppercase())
+                {
+                    pure = false;
+                }
+            }
+        }
+        if !pure {
+            continue;
+        }
+        for c in charges {
+            let batch = batch_api(&c.name).expect("collected as a charge");
+            out.push(RawFinding {
+                line: Some(c.line),
+                col: Some(c.col),
+                rule: "charge-per-access",
+                message: format!(
+                    "`{}` charges per element inside a pure charging loop of \
+                     `{}` — batch the whole round with `{batch}`",
+                    c.name, f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// decode-in-loop
+// ---------------------------------------------------------------------------
+
+fn decode_findings(cfg: &Cfg, loops: &Loops) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (ni, node) in cfg.nodes.iter().enumerate() {
+        let Some(li) = loops.innermost(ni) else {
+            continue;
+        };
+        for a in &node.actions {
+            let Action::Call(c) = a else { continue };
+            if !DECODE_CALLS.contains(&c.name.as_str()) {
+                continue;
+            }
+            let Some(arg) = c.args.first() else { continue };
+            if arg.is_empty() || arg.iter().any(|t| t.is_punct("(")) {
+                continue; // compound argument — conservatively variant
+            }
+            if loops.invariant_in(li, arg) {
+                out.push(RawFinding {
+                    line: Some(c.line),
+                    col: Some(c.col),
+                    rule: "decode-in-loop",
+                    message: format!(
+                        "`{}` re-decodes loop-invariant `{}` every iteration \
+                         — hoist the decode above the loop",
+                        c.name,
+                        crate::parse::join(arg)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hot report
+// ---------------------------------------------------------------------------
+
+/// One charge call site inside a loop of a hot function.
+#[derive(Debug, Clone)]
+pub struct ChargeSite {
+    pub call: String,
+    pub line: u32,
+    pub depth: u32,
+}
+
+/// One row of the `--hot-report` table: a kernel-reachable function with
+/// its loop structure, in-loop charge sites, cost-rule hits, and call
+/// graph distance from the nearest kernel entry.
+#[derive(Debug, Clone)]
+pub struct HotRow {
+    pub function: String,
+    pub file: String,
+    pub line: u32,
+    pub distance: u32,
+    pub max_loop_depth: u32,
+    pub charge_sites: Vec<ChargeSite>,
+    pub rule_hits: usize,
+}
+
+/// Charging calls worth listing in the report: the counter-charging
+/// methods, the warp memory model entry points, and the engine's
+/// `charge_*` helpers.
+fn is_charge_site(name: &str) -> bool {
+    name.starts_with("charge")
+        || matches!(
+            name,
+            "warp_load"
+                | "warp_load_bytes"
+                | "warp_store"
+                | "warp_scan"
+                | "warp_instruction"
+                | "diverge"
+        )
+}
+
+/// Build the report row for one function, or `None` when it is not hot.
+pub fn report_row(file: &str, f: &FnDef, dist: &BTreeMap<String, u32>) -> Option<HotRow> {
+    if f.in_test || !is_kernel_fn(file, f) {
+        return None;
+    }
+    let d = *dist.get(&f.name)?;
+    let cfg = lower(&f.body);
+    let loops = find_loops(&cfg);
+    let mut charge_sites = Vec::new();
+    for (ni, node) in cfg.nodes.iter().enumerate() {
+        if loops.depth[ni] == 0 {
+            continue;
+        }
+        for a in &node.actions {
+            let Action::Call(c) = a else { continue };
+            if is_charge_site(&c.name) {
+                charge_sites.push(ChargeSite {
+                    call: c.name.clone(),
+                    line: c.line,
+                    depth: loops.depth[ni],
+                });
+            }
+        }
+    }
+    charge_sites.sort_by(|a, b| (a.line, a.call.as_str()).cmp(&(b.line, b.call.as_str())));
+    Some(HotRow {
+        function: f.name.clone(),
+        file: file.to_string(),
+        line: f.line,
+        distance: d,
+        max_loop_depth: loops.max_depth(),
+        charge_sites,
+        rule_hits: check_fn(file, f, dist).len(),
+    })
+}
+
+/// Rank rows for the report: deepest loops first, then most in-loop
+/// charge sites, then closest to the entry, then by name.
+pub fn rank_rows(rows: &mut [HotRow]) {
+    rows.sort_by(|a, b| {
+        (
+            std::cmp::Reverse(a.max_loop_depth),
+            std::cmp::Reverse(a.charge_sites.len()),
+            a.distance,
+            a.function.as_str(),
+            a.file.as_str(),
+        )
+            .cmp(&(
+                std::cmp::Reverse(b.max_loop_depth),
+                std::cmp::Reverse(b.charge_sites.len()),
+                b.distance,
+                b.function.as_str(),
+                b.file.as_str(),
+            ))
+    });
+}
+
+/// Render the ranked report as a fixed-width text table, one row per hot
+/// function, with every in-loop charge site listed beneath its row.
+pub fn render(rows: &[HotRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<44} {:>5} {:>7} {:>4} {:>4}\n",
+        "function", "file:line", "depth", "charges", "hits", "dist"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:<44} {:>5} {:>7} {:>4} {:>4}\n",
+            r.function,
+            format!("{}:{}", r.file, r.line),
+            r.max_loop_depth,
+            r.charge_sites.len(),
+            r.rule_hits,
+            r.distance,
+        ));
+        for s in &r.charge_sites {
+            out.push_str(&format!(
+                "    {}:{} {} (loop depth {})\n",
+                r.file, s.line, s.call, s.depth
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn findings(file: &str, src: &str) -> Vec<RawFinding> {
+        let fns = parse_file(&lex(src));
+        let dist = entry_distances(&fns);
+        fns.iter().flat_map(|f| check_fn(file, f, &dist)).collect()
+    }
+
+    #[test]
+    fn entry_distances_walk_the_call_graph() {
+        let fns = parse_file(&lex("fn run_block(m: u32) { helper(m); }\n\
+             fn helper(m: u32) { leaf(m); }\n\
+             fn leaf(m: u32) { }\n\
+             fn island(m: u32) { }\n"));
+        let d = entry_distances(&fns);
+        assert_eq!(d.get("run_block"), Some(&0));
+        assert_eq!(d.get("helper"), Some(&1));
+        assert_eq!(d.get("leaf"), Some(&2));
+        assert_eq!(d.get("island"), None);
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_fires_and_names_the_construct() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, mask: WarpMask) {\n\
+                   for lane in 0..WARP_SIZE {\n\
+                       let tmp = Vec::new();\n\
+                       consume(&tmp, lane);\n\
+                   }\n\
+                   ctr.warp_instruction(mask);\n\
+                   }\n";
+        let f = findings("m.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "alloc-in-hot-loop");
+        assert_eq!(f[0].line, Some(3));
+        assert!(f[0].message.contains("Vec::new()"), "{f:?}");
+    }
+
+    #[test]
+    fn cleared_buffer_reuse_is_exempt() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, mask: WarpMask, bufs: &mut Vec<Vec<u32>>) {\n\
+                   for lane in 0..WARP_SIZE {\n\
+                       let mut buf = std::mem::take(&mut bufs[lane]);\n\
+                       buf.clear();\n\
+                       consume(&buf, lane);\n\
+                       bufs[lane] = buf;\n\
+                   }\n\
+                   ctr.warp_instruction(mask);\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_outside_loops_is_clean() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, mask: WarpMask) {\n\
+                   let acc: Vec<u32> = (0..4).map(|x| x).collect();\n\
+                   ctr.warp_instruction(mask);\n\
+                   drop(acc);\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cold_functions_are_exempt_from_alloc_rule() {
+        // Same body, but not reachable from run/run_block.
+        let src = "pub fn setup(ctr: &mut KernelCounters, mask: WarpMask) {\n\
+                   for lane in 0..WARP_SIZE {\n\
+                       let tmp = Vec::new();\n\
+                       consume(&tmp, lane);\n\
+                   }\n\
+                   ctr.warp_instruction(mask);\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn charge_per_access_fires_on_pure_charging_loop() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   let rounds = bufs.iter().map(Vec::len).max().unwrap_or(0);\n\
+                   for r in 0..rounds {\n\
+                       warp_load(ctr, san, bufs, r);\n\
+                   }\n\
+                   }\n";
+        let f = findings("m.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "charge-per-access");
+        assert!(f[0].message.contains("warp_load_rounds"), "{f:?}");
+    }
+
+    #[test]
+    fn mixed_work_loop_is_not_flagged() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   for r in 0..4 {\n\
+                       warp_load(ctr, san, bufs, r);\n\
+                       refine_one(bufs, r);\n\
+                   }\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn batch_api_implementation_is_exempt() {
+        let src = "pub fn warp_load_rounds(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   let rounds = bufs.iter().map(Vec::len).max().unwrap_or(0);\n\
+                   for r in 0..rounds {\n\
+                       warp_load(ctr, san, bufs, r);\n\
+                   }\n\
+                   }\n\
+                   pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   warp_load_rounds(ctr, san, bufs);\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn decode_of_invariant_vertex_fires() {
+        let src = "pub fn scan(g: &Graph, u: u32, mask: WarpMask) -> usize {\n\
+                   let mut total = 0usize;\n\
+                   for _step in 0..WARP_SIZE {\n\
+                       let adj = g.neighbors_ref(u);\n\
+                       total = probe(adj, total);\n\
+                   }\n\
+                   total\n\
+                   }\n";
+        let f = findings("m.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "decode-in-loop");
+        assert_eq!(f[0].line, Some(4));
+    }
+
+    #[test]
+    fn decode_of_loop_varying_vertex_is_clean() {
+        let src = "pub fn scan(g: &Graph, vs: &[u32], mask: WarpMask) -> usize {\n\
+                   let mut total = 0usize;\n\
+                   for v in vs {\n\
+                       let adj = g.neighbors_ref(v);\n\
+                       total = probe(adj, total);\n\
+                   }\n\
+                   total\n\
+                   }\n";
+        assert!(findings("m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn report_rows_rank_by_depth_then_sites() {
+        let src = "pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   deep(ctr, san, bufs);\n\
+                   }\n\
+                   pub fn deep(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+                   for r in 0..4 {\n\
+                       for s in 0..4 {\n\
+                           warp_load(ctr, san, bufs, r + s);\n\
+                           step(bufs, r, s);\n\
+                       }\n\
+                   }\n\
+                   }\n";
+        let fns = parse_file(&lex(src));
+        let dist = entry_distances(&fns);
+        let mut rows: Vec<HotRow> = fns
+            .iter()
+            .filter_map(|f| report_row("m.rs", f, &dist))
+            .collect();
+        rank_rows(&mut rows);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].function, "deep");
+        assert_eq!(rows[0].max_loop_depth, 2);
+        assert_eq!(rows[0].distance, 1);
+        assert_eq!(rows[0].charge_sites.len(), 1);
+        assert_eq!(rows[0].charge_sites[0].call, "warp_load");
+        assert_eq!(rows[0].charge_sites[0].depth, 2);
+        assert_eq!(rows[1].function, "run_block");
+        assert!(rows[1].charge_sites.is_empty());
+    }
+}

@@ -45,7 +45,10 @@ pub mod blocking;
 pub mod callgraph;
 pub mod cfg;
 pub mod confined;
+pub mod escape;
+pub mod hot;
 pub mod lex;
+pub mod loops;
 pub mod order;
 pub mod parse;
 pub mod sarif;
@@ -95,6 +98,22 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "scope-blocking",
         "blocking drain reachable from a pool worker job, or scope erasure with no drain",
+    ),
+    (
+        "alloc-in-hot-loop",
+        "heap allocation inside a loop of a kernel-reachable hot function",
+    ),
+    (
+        "charge-per-access",
+        "per-element cost charging in a pure charging loop where a batched per-round API exists",
+    ),
+    (
+        "decode-in-loop",
+        "compressed adjacency decode of a loop-invariant vertex repeated every iteration",
+    ),
+    (
+        "unsafe-escape",
+        "unsafe site without a SAFETY comment, or unsafe-derived value escaping its validator",
     ),
 ];
 
@@ -213,18 +232,21 @@ pub fn analyze_corpus(files: &[(String, String)]) -> Vec<Finding> {
         per_file_fns.push(fns);
     }
     let sums = Summaries::build(&all_fns);
+    let dist = hot::entry_distances(&all_fns);
 
     let mut out = Vec::new();
     for ((i, toks), fns) in parsed.iter().zip(&per_file_fns) {
         let (file, src) = &files[*i];
         let mut raw = confined::check_file(file, toks);
         raw.extend(blocking::check_erasure(toks));
+        raw.extend(escape::check_file(src, toks, fns));
         for f in fns {
             if is_kernel_fn(file, f) {
                 raw.extend(analyze_kernel_fn_with(f, &sums));
             }
             raw.extend(order::check_fn(f, &sums));
             raw.extend(blocking::check_fn(f, &sums));
+            raw.extend(hot::check_fn(file, f, &dist));
         }
         let sup = Suppressions::parse(src);
         out.extend(attach(file, raw).into_iter().filter(|f| !sup.allows(f)));
@@ -290,6 +312,12 @@ pub fn kernel_fn_names(file: &str, src: &str) -> Vec<String> {
 /// (its lint fixtures violate the rules on purpose), `fixtures` trees
 /// (same, for this crate), and `target`.
 pub fn analyze_tree(root: &Path) -> Vec<Finding> {
+    analyze_corpus(&corpus_files(root))
+}
+
+/// Collect the analyzable corpus under `root` as `(path label, source)`,
+/// with the same skip list `analyze_tree` applies.
+pub fn corpus_files(root: &Path) -> Vec<(String, String)> {
     let mut paths = Vec::new();
     collect_rs_files(root, &mut paths);
     paths.sort();
@@ -306,7 +334,34 @@ pub fn analyze_tree(root: &Path) -> Vec<Finding> {
         };
         files.push((rel.display().to_string(), src));
     }
-    analyze_corpus(&files)
+    files
+}
+
+/// Build the ranked hot-region report over a corpus: one [`hot::HotRow`]
+/// per kernel function reachable from an entry point, ranked deepest
+/// loops first (see [`hot::rank_rows`]).
+pub fn hot_report(files: &[(String, String)]) -> Vec<hot::HotRow> {
+    let mut all_fns = Vec::new();
+    let mut per_file_fns = Vec::new();
+    for (_, src) in files {
+        let fns = parse::parse_file(&lex::lex(src));
+        all_fns.extend(fns.iter().cloned());
+        per_file_fns.push(fns);
+    }
+    let dist = hot::entry_distances(&all_fns);
+    let mut rows = Vec::new();
+    for ((file, _), fns) in files.iter().zip(&per_file_fns) {
+        for f in fns {
+            rows.extend(hot::report_row(file, f, &dist));
+        }
+    }
+    hot::rank_rows(&mut rows);
+    rows
+}
+
+/// [`hot_report`] over a directory walk (same corpus as [`analyze_tree`]).
+pub fn hot_report_tree(root: &Path) -> Vec<hot::HotRow> {
+    hot_report(&corpus_files(root))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -363,7 +418,30 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate rule ids");
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn hot_report_ranks_reachable_kernel_fns() {
+        let files = vec![(
+            "engine/src/kernel.rs".to_string(),
+            "pub fn run_block(ctr: &mut KernelCounters, san: &WarpSanitizer, bufs: &[Vec<usize>]) {\n\
+             for r in 0..4 {\n\
+                 warp_load(ctr, san, bufs, r);\n\
+                 refine_one(bufs, r);\n\
+             }\n\
+             }\n"
+                .to_string(),
+        )];
+        let rows = hot_report(&files);
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(rows[0].function, "run_block");
+        assert_eq!(rows[0].distance, 0);
+        assert_eq!(rows[0].max_loop_depth, 1);
+        assert_eq!(rows[0].charge_sites.len(), 1);
+        let text = hot::render(&rows);
+        assert!(text.contains("run_block"), "{text}");
+        assert!(text.contains("warp_load"), "{text}");
     }
 
     #[test]
@@ -448,6 +526,40 @@ mod tests {
         assert_eq!(f[0].file, "b/kernel.rs");
         // The intraprocedural analyzer cannot see it.
         assert!(analyze_source_intraprocedural("b/kernel.rs", caller).is_empty());
+    }
+
+    #[test]
+    fn same_site_findings_sort_by_rule_then_message() {
+        // A divergent call into a helper that both reads the pool cursor at
+        // entry and holds a latent full-mask primitive emits TWO findings at
+        // the same (line, col). Emission order is pool-race first (the
+        // callee-summary check pushes it before the latent-prim check), so
+        // only the rule tiebreaker produces the canonical order:
+        // divergent-sync < pool-race.
+        let helper = "pub fn helper_probe(pool: &SamplePool, ctr: &mut KernelCounters, san: &WarpSanitizer) -> u32 {\n\
+                      let t = pool.read_cursor_unsync(san) as u32;\n\
+                      ballot(ctr, san, u32::MAX, t)\n\
+                      }\n";
+        let caller = "pub fn k(pool: &SamplePool, ctr: &mut KernelCounters, san: &WarpSanitizer, mask: WarpMask) {\n\
+                      let x = pool.fetch_sanitized(san);\n\
+                      for lane in lanes_of(mask) {\n\
+                          helper_probe(pool, ctr, san);\n\
+                      }\n\
+                      ctr.warp_instruction(mask);\n\
+                      }\n";
+        let files = vec![
+            ("a/helper.rs".to_string(), helper.to_string()),
+            ("b/kernel.rs".to_string(), caller.to_string()),
+        ];
+        let f = analyze_corpus(&files);
+        let at_call: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.file == "b/kernel.rs" && x.line == Some(4))
+            .collect();
+        assert_eq!(at_call.len(), 2, "{f:?}");
+        assert_eq!(at_call[0].col, at_call[1].col, "{f:?}");
+        assert_eq!(at_call[0].rule, "divergent-sync", "{f:?}");
+        assert_eq!(at_call[1].rule, "pool-race", "{f:?}");
     }
 
     #[test]

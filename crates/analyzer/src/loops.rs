@@ -1,0 +1,284 @@
+//! Loop structure over the statement-level CFG.
+//!
+//! The CFG's guard stacks cannot distinguish loops from conditionals
+//! (`while` bodies carry a plain [`Guard::Cond`], `loop {}` bodies carry
+//! no extra guard at all), so loop structure is recovered the classic way:
+//! a DFS from the entry node finds **back edges** (an edge `u → v` with
+//! `v` still on the DFS stack), and each back edge's **natural loop** is
+//! the header `v` plus every node that reaches the latch `u` without
+//! passing through `v` (reverse reachability over predecessors).
+//!
+//! On top of the node sets this module derives what the cost rules need:
+//! per-node nesting depth (how many natural loops contain the node), the
+//! innermost loop containing a node, and per-loop *defined* variable sets
+//! (loop-pattern bindings plus assignment/let targets inside the body) so
+//! a rule can ask whether an expression is **invariant** with respect to a
+//! given loop.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Action, Cfg, Guard};
+use crate::lex::{Tok, TokKind};
+
+/// One natural loop discovered from a back edge.
+#[derive(Debug)]
+pub struct Loop {
+    /// The back edge's target: the single entry node of the loop.
+    pub header: usize,
+    /// Every node in the natural loop, header included.
+    pub body: BTreeSet<usize>,
+    /// Variables defined inside the loop: this loop's own iteration
+    /// bindings plus every let/assignment target in the body. Outer
+    /// loops' bindings are *not* included — they are invariant here.
+    pub defined: BTreeSet<String>,
+}
+
+/// Loop structure of one function's CFG.
+#[derive(Debug, Default)]
+pub struct Loops {
+    pub loops: Vec<Loop>,
+    /// Per-node nesting depth: the number of natural loops containing the
+    /// node (0 = straight-line code).
+    pub depth: Vec<u32>,
+}
+
+impl Loops {
+    /// Index of the innermost (smallest-body) loop containing `node`.
+    pub fn innermost(&self, node: usize) -> Option<usize> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.body.contains(&node))
+            .min_by_key(|(_, l)| l.body.len())
+            .map(|(i, _)| i)
+    }
+
+    /// Maximum nesting depth anywhere in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Is the token slice invariant with respect to loop `idx` — no
+    /// identifier it reads is (re)defined inside that loop?
+    pub fn invariant_in(&self, idx: usize, toks: &[Tok]) -> bool {
+        let defined = &self.loops[idx].defined;
+        toks.iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .all(|t| !defined.contains(&t.text))
+    }
+}
+
+/// Find every natural loop of `cfg` and the derived per-node depths.
+pub fn find_loops(cfg: &Cfg) -> Loops {
+    let n = cfg.nodes.len();
+    if n == 0 {
+        return Loops::default();
+    }
+    let back_edges = find_back_edges(cfg);
+    let preds = cfg.preds();
+
+    let mut loops: Vec<Loop> = Vec::new();
+    for (latch, header) in back_edges {
+        let body = natural_loop(&preds, latch, header);
+        // Two back edges can share a header (e.g. `continue` + fallthrough);
+        // merge their node sets into one loop.
+        if let Some(l) = loops.iter_mut().find(|l| l.header == header) {
+            l.body.extend(body);
+        } else {
+            loops.push(Loop {
+                header,
+                body,
+                defined: BTreeSet::new(),
+            });
+        }
+    }
+
+    let mut depth = vec![0u32; n];
+    for l in &loops {
+        for &node in &l.body {
+            depth[node] += 1;
+        }
+    }
+
+    // A loop's *own* guards are those appearing on body nodes but not on
+    // the header (the header still carries only the enclosing stack);
+    // their `for` bindings belong to this loop, while an outer loop's
+    // bindings stay invariant here.
+    for l in &mut loops {
+        let header_guards: BTreeSet<usize> = cfg.nodes[l.header].guards.iter().copied().collect();
+        for &node in &l.body {
+            for a in &cfg.nodes[node].actions {
+                if let Action::Def { names, .. } = a {
+                    l.defined.extend(names.iter().cloned());
+                }
+            }
+            for &g in &cfg.nodes[node].guards {
+                if header_guards.contains(&g) {
+                    continue;
+                }
+                if let Guard::Loop { bindings, .. } = &cfg.guards[g] {
+                    l.defined.extend(bindings.iter().cloned());
+                }
+            }
+        }
+    }
+
+    Loops { loops, depth }
+}
+
+/// Back edges `(u, v)` of a DFS from node 0: edges whose target is still
+/// on the DFS stack. Iterative to keep deep CFGs off the call stack.
+fn find_back_edges(cfg: &Cfg) -> Vec<(usize, usize)> {
+    let n = cfg.nodes.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        if *next < cfg.nodes[node].succs.len() {
+            let s = cfg.nodes[node].succs[*next];
+            *next += 1;
+            match state[s] {
+                0 => {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+                1 => out.push((node, s)),
+                _ => {}
+            }
+        } else {
+            state[node] = 2;
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// The natural loop of back edge `latch → header`: header plus every node
+/// that reaches the latch over predecessor edges without passing through
+/// the header.
+fn natural_loop(preds: &[Vec<usize>], latch: usize, header: usize) -> BTreeSet<usize> {
+    let mut body = BTreeSet::from([header, latch]);
+    let mut work = vec![latch];
+    while let Some(n) = work.pop() {
+        if n == header {
+            continue;
+        }
+        for &p in &preds[n] {
+            if body.insert(p) {
+                work.push(p);
+            }
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn loops_of(src: &str) -> (Cfg, Loops) {
+        let fns = parse_file(&lex(src));
+        let cfg = lower(&fns[0].body);
+        let l = find_loops(&cfg);
+        (cfg, l)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, l) = loops_of("fn f() { a(); b(); }");
+        assert!(l.loops.is_empty());
+        assert_eq!(l.max_depth(), 0);
+    }
+
+    #[test]
+    fn for_while_and_loop_are_all_detected() {
+        for src in [
+            "fn f() { for i in 0..4 { body(i); } }",
+            "fn f(mut i: u32) { while i > 0 { body(i); i -= 1; } }",
+            "fn f() { loop { body(); if done() { break; } } }",
+        ] {
+            let (_, l) = loops_of(src);
+            assert_eq!(l.loops.len(), 1, "{src}");
+            assert_eq!(l.max_depth(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn if_does_not_create_a_loop() {
+        let (_, l) = loops_of("fn f(c: bool) { if c { a(); } else { b(); } }");
+        assert!(l.loops.is_empty());
+    }
+
+    #[test]
+    fn nesting_depth_counts_containing_loops() {
+        let (cfg, l) = loops_of("fn f() { for i in 0..4 { for j in 0..4 { body(i, j); } } }");
+        assert_eq!(l.loops.len(), 2);
+        assert_eq!(l.max_depth(), 2);
+        // The node holding body() is at depth 2 and its innermost loop is
+        // the smaller of the two.
+        let body_node = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Call(c) if c.name == "body"))
+            })
+            .unwrap();
+        assert_eq!(l.depth[body_node], 2);
+        let inner = l.innermost(body_node).unwrap();
+        let outer = (0..2).find(|&i| i != inner).unwrap();
+        assert!(l.loops[inner].body.len() < l.loops[outer].body.len());
+    }
+
+    #[test]
+    fn inner_loop_defined_excludes_outer_bindings() {
+        let (cfg, l) =
+            loops_of("fn f(g: &G) { for u in 0..4 { for v in 0..4 { probe(g, u, v); } } }");
+        let probe_node = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Call(c) if c.name == "probe"))
+            })
+            .unwrap();
+        let inner = l.innermost(probe_node).unwrap();
+        let d = &l.loops[inner].defined;
+        assert!(d.contains("v"), "{d:?}");
+        assert!(!d.contains("u"), "outer binding must stay invariant: {d:?}");
+    }
+
+    #[test]
+    fn assignments_in_body_are_loop_defined() {
+        let (_, l) = loops_of("fn f() { let mut cur = seed(); loop { cur = step(cur); } }");
+        assert_eq!(l.loops.len(), 1);
+        assert!(l.loops[0].defined.contains("cur"));
+    }
+
+    #[test]
+    fn invariance_query_reads_defined_set() {
+        let (cfg, l) = loops_of("fn f(u: u32) { for v in 0..4 { probe(u, v); } }");
+        let node = cfg
+            .nodes
+            .iter()
+            .position(|n| !n.actions.is_empty() && l.depth[cfg.nodes.len() - 1] == 0)
+            .unwrap_or(0);
+        let _ = node;
+        let toks = lex("u");
+        assert!(l.invariant_in(0, &toks));
+        let toks = lex("v");
+        assert!(!l.invariant_in(0, &toks));
+    }
+
+    #[test]
+    fn continue_produces_one_merged_loop() {
+        let (_, l) = loops_of("fn f() { for i in 0..8 { if skip(i) { continue; } body(i); } }");
+        assert_eq!(l.loops.len(), 1, "continue back edge merges with latch");
+    }
+}

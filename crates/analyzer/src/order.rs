@@ -224,7 +224,7 @@ fn scan_block(b: &Block, env: &mut Env, sums: &Summaries) {
                     scan_block(body, env, sums);
                 }
             }
-            Stmt::Block(inner) => scan_block(inner, env, sums),
+            Stmt::Block(inner) | Stmt::Unsafe { body: inner, .. } => scan_block(inner, env, sums),
             _ => {}
         }
     }
@@ -277,7 +277,9 @@ fn walk(b: &Block, env: &Env, sums: &Summaries, in_unordered: bool, out: &mut Ve
                     walk(body, env, sums, in_unordered, out);
                 }
             }
-            Stmt::Block(inner) => walk(inner, env, sums, in_unordered, out),
+            Stmt::Block(inner) | Stmt::Unsafe { body: inner, .. } => {
+                walk(inner, env, sums, in_unordered, out)
+            }
             Stmt::Let {
                 else_block: Some(eb),
                 ..

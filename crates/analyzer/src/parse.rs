@@ -81,8 +81,15 @@ pub enum Stmt {
         /// (pattern bindings, arm body) per arm.
         arms: Vec<(Vec<String>, Block)>,
     },
-    /// Bare `{ ... }` (including `unsafe { ... }`).
+    /// Bare `{ ... }`.
     Block(Block),
+    /// `unsafe { ... }` statement block, with the `unsafe` keyword's
+    /// position kept so the escape analysis can anchor findings.
+    Unsafe {
+        body: Block,
+        line: u32,
+        col: u32,
+    },
     /// `return expr?;`
     Return(Vec<Tok>),
     /// `break expr?;`
@@ -325,7 +332,11 @@ pub fn parse_block(toks: &[Tok]) -> Block {
             i = n;
         } else if t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
             let end = matching(toks, i + 1);
-            stmts.push(Stmt::Block(parse_block(&toks[i + 2..end])));
+            stmts.push(Stmt::Unsafe {
+                body: parse_block(&toks[i + 2..end]),
+                line: t.line,
+                col: t.col,
+            });
             i = end + 1;
         } else if t.is_punct("{") {
             let end = matching(toks, i);
@@ -769,7 +780,7 @@ pub fn visit_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a [Tok])) {
                     visit_exprs(body, f);
                 }
             }
-            Stmt::Block(b) => visit_exprs(b, f),
+            Stmt::Block(b) | Stmt::Unsafe { body: b, .. } => visit_exprs(b, f),
             Stmt::Return(toks) | Stmt::Expr(toks) => f(toks),
             Stmt::Break | Stmt::Continue => {}
         }

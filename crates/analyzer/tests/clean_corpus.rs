@@ -54,6 +54,55 @@ fn analyzer_covers_every_engine_kernel() {
 }
 
 #[test]
+fn analyzer_sweeps_graph_and_prof_crates() {
+    // The storage and profiling crates hold the unsafe-escape corpus (the
+    // mmap image, the compressed word views) and must be part of the tree
+    // walk — both as parsed files and as individually clean sub-trees.
+    let corpus = gsword_analyzer::corpus_files(&crates_root());
+    for required in [
+        "graph/src/mmap.rs",
+        "graph/src/compressed.rs",
+        "prof/src/lib.rs",
+    ] {
+        assert!(
+            corpus.iter().any(|(f, _)| f == required),
+            "{required} missing from the analyzer corpus"
+        );
+    }
+    for sub in ["graph", "prof"] {
+        let findings = gsword_analyzer::analyze_tree(&crates_root().join(sub));
+        assert!(
+            findings.is_empty(),
+            "analyzer findings on crates/{sub}:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn every_workspace_unsafe_site_has_a_safety_comment() {
+    // Satellite of the unsafe-escape rule: the clean-corpus guarantee is
+    // achieved by documenting every unsafe site, not by suppressing the
+    // rule — so no analyzed file may carry a gsword allow for it.
+    // Assemble the needles at runtime so this test file (itself part of
+    // the corpus) doesn't contain them literally.
+    let needles = [
+        format!("allow({})", "unsafe-escape"),
+        format!("allow-file({})", "unsafe-escape"),
+    ];
+    for (file, src) in gsword_analyzer::corpus_files(&crates_root()) {
+        assert!(
+            needles.iter().all(|n| !src.contains(n.as_str())),
+            "{file} suppresses unsafe-escape instead of documenting the site"
+        );
+    }
+}
+
+#[test]
 fn analyzer_covers_warp_primitives() {
     let path = crates_root().join("simt/src/warp.rs");
     let src = std::fs::read_to_string(&path).expect("warp primitive source");

@@ -49,6 +49,22 @@ fn expectations() -> BTreeMap<&'static str, (&'static str, Option<&'static str>)
             "helper_pool_race.rs",
             ("pool-race", Some("pool.read_cursor_unsync")),
         ),
+        (
+            "alloc_in_hot_loop.rs",
+            ("alloc-in-hot-loop", Some("let tmp = Vec::new()")),
+        ),
+        (
+            "charge_per_access.rs",
+            ("charge-per-access", Some("warp_load(ctr, san, &addrs)")),
+        ),
+        (
+            "decode_in_loop.rs",
+            ("decode-in-loop", Some("neighbors_ref(u)")),
+        ),
+        (
+            "unsafe_escape.rs",
+            ("unsafe-escape", Some("unsafe { std::slice::from_raw_parts")),
+        ),
     ])
 }
 

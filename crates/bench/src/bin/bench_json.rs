@@ -12,6 +12,9 @@ use std::time::Instant;
 
 use gsword_core::prelude::*;
 use gsword_graph::intersect::{self, BitmapIndex};
+use gsword_simt::counters::KernelCounters;
+use gsword_simt::memory::{warp_load, warp_load_rounds, LaneAddr, Region};
+use gsword_simt::warp::{Lanes, WarpSanitizer, WARP_SIZE};
 
 /// Median wall nanoseconds of `samples` timed calls (after one warmup).
 fn median_ns(samples: usize, mut op: impl FnMut()) -> f64 {
@@ -312,6 +315,65 @@ fn main() {
     rows.push(Row {
         id: "storage/candidate_build/compressed/yeast".into(),
         median_ns: ns,
+    });
+
+    // --- probe-charging group: per-access warp_load loop (the exact shape
+    // the analyzer's charge-per-access rule flagged in the kernel) vs the
+    // batched warp_load_rounds replacement it names. The snapshots must be
+    // bit-identical — only the call overhead is amortized. ---
+    let probe_seqs: Vec<Vec<usize>> = (0..WARP_SIZE)
+        .map(|lane| {
+            let v = (lane as VertexId * 97) % n;
+            data.neighbors(v).iter().map(|&w| w as usize).collect()
+        })
+        .collect();
+    let san = WarpSanitizer::disabled();
+    let per_access_ns = median_ns(samples, || {
+        let mut ctr = KernelCounters::default();
+        let rounds = probe_seqs.iter().map(Vec::len).max().unwrap_or(0);
+        for r in 0..rounds {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for (lane, buf) in probe_seqs.iter().enumerate() {
+                if let Some(&a) = buf.get(r) {
+                    addrs[lane] = Some((Region::LOCAL, a));
+                }
+            }
+            warp_load(&mut ctr, &san, &addrs);
+        }
+        std::hint::black_box(ctr.mem_transactions);
+    });
+    let batched_ns = median_ns(samples, || {
+        let mut ctr = KernelCounters::default();
+        warp_load_rounds(&mut ctr, &san, Region::LOCAL, &probe_seqs);
+        std::hint::black_box(ctr.mem_transactions);
+    });
+    {
+        let mut manual = KernelCounters::default();
+        let rounds = probe_seqs.iter().map(Vec::len).max().unwrap_or(0);
+        for r in 0..rounds {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for (lane, buf) in probe_seqs.iter().enumerate() {
+                if let Some(&a) = buf.get(r) {
+                    addrs[lane] = Some((Region::LOCAL, a));
+                }
+            }
+            warp_load(&mut manual, &san, &addrs);
+        }
+        let mut batched = KernelCounters::default();
+        warp_load_rounds(&mut batched, &san, Region::LOCAL, &probe_seqs);
+        assert_eq!(
+            manual.snapshot(),
+            batched.snapshot(),
+            "batched probe charging must replay the per-access loop exactly"
+        );
+    }
+    rows.push(Row {
+        id: "storage/charge_probes/per_access/yeast".into(),
+        median_ns: per_access_ns,
+    });
+    rows.push(Row {
+        id: "storage/charge_probes/batched/yeast".into(),
+        median_ns: batched_ns,
     });
 
     // --- artifact ---

@@ -14,7 +14,7 @@
 
 use gsword_estimators::{Estimate, Estimator, QueryCtx, SampleState, Segment};
 use gsword_graph::{intersect, VertexId};
-use gsword_simt::memory::{warp_load, warp_scan, LaneAddr};
+use gsword_simt::memory::{warp_load, warp_load_rounds, warp_scan, LaneAddr};
 use gsword_simt::warp::{self, Lanes, WarpMask};
 use gsword_simt::{
     Device, DeviceConfig, KernelCounters, Region, SamplePool, WarpSanitizer, WARP_SIZE,
@@ -749,20 +749,19 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             self.segs[lane] = seg_buf;
             cand[lane] = Some(lc);
         }
-        let max_bw = lanes_of(mask)
-            .map(|lane| self.ctx.backward(depth[lane]).len())
-            .max()
-            .unwrap_or(0);
-        for step in 0..max_bw {
-            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        // Each lane resolves one local-CSR lookup per backward segment
+        // (`segs[lane]` holds exactly the segments of its own depth);
+        // replay the whole mixed-depth sequence in lockstep rounds.
+        self.clear_probe_bufs();
+        {
+            let (segs, bufs) = (&self.segs, &mut self.probe_bufs);
             for lane in lanes_of(mask) {
-                if step < self.ctx.backward(depth[lane]).len() {
-                    let (_, addr) = self.segs[lane][step];
-                    addrs[lane] = Some((Region::LOCAL, addr));
+                for &(_, addr) in &segs[lane] {
+                    bufs[lane].push(addr);
                 }
             }
-            warp_load(&mut self.ctr, &self.san, &addrs);
         }
+        warp_load_rounds(&mut self.ctr, &self.san, Region::LOCAL, &self.probe_bufs);
 
         // Refine + sample per lane (serial scans, mixed lengths).
         let mut chosen: Lanes<Option<(VertexId, f64)>> = [None; WARP_SIZE];
@@ -882,16 +881,18 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
             self.ctr.warp_instruction(mask);
             return;
         }
-        for step in 0..k {
-            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        // All active lanes sit at depth `d`, so each holds exactly `k`
+        // segments and the batched replay issues exactly `k` rounds.
+        self.clear_probe_bufs();
+        {
+            let (segs, bufs) = (&self.segs, &mut self.probe_bufs);
             for lane in lanes_of(mask) {
-                if step < self.segs[lane].len() {
-                    let (_, base) = self.segs[lane][step];
-                    addrs[lane] = Some((Region::CAND, base));
+                for &(_, base) in &segs[lane] {
+                    bufs[lane].push(base);
                 }
             }
-            warp_load(&mut self.ctr, &self.san, &addrs);
         }
+        warp_load_rounds(&mut self.ctr, &self.san, Region::CAND, &self.probe_bufs);
     }
 
     /// Reset every active lane's gallop cursors, one per backward segment.
@@ -934,16 +935,7 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
     /// `r`-th probe, so cross-lane divergence in search depth shows up as
     /// partially-filled transactions exactly as it would on a device.
     fn charge_recorded_probes(&mut self) {
-        let rounds = self.probe_bufs.iter().map(Vec::len).max().unwrap_or(0);
-        for r in 0..rounds {
-            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
-            for (lane, buf) in self.probe_bufs.iter().enumerate() {
-                if let Some(&a) = buf.get(r) {
-                    addrs[lane] = Some((Region::LOCAL, a));
-                }
-            }
-            warp_load(&mut self.ctr, &self.san, &addrs);
-        }
+        warp_load_rounds(&mut self.ctr, &self.san, Region::LOCAL, &self.probe_bufs);
     }
 
     /// Collaborative-phase probes: the 32 worker lanes test 32 consecutive

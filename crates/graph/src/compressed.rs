@@ -1015,6 +1015,9 @@ fn words_u64<'a>(bytes: &'a Bytes, r: &Range) -> &'a [u64] {
     let s = &bytes.as_slice()[r.clone()];
     debug_assert_eq!(s.as_ptr() as usize % 8, 0);
     debug_assert_eq!(s.len() % 8, 0);
+    // SAFETY: the section was written as little-endian u64 words at an
+    // 8-byte-aligned offset of the 8-byte-aligned buffer (asserted above),
+    // every bit pattern is a valid u64, and the view borrows `bytes`.
     unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u64, s.len() / 8) }
 }
 
@@ -1023,6 +1026,9 @@ fn words_u32<'a>(bytes: &'a Bytes, r: &Range) -> &'a [u32] {
     let s = &bytes.as_slice()[r.clone()];
     debug_assert_eq!(s.as_ptr() as usize % 4, 0);
     debug_assert_eq!(s.len() % 4, 0);
+    // SAFETY: the section was written as little-endian u32 words at a
+    // 4-byte-aligned offset (asserted above), every bit pattern is a valid
+    // u32, and the view borrows `bytes`.
     unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u32, s.len() / 4) }
 }
 

@@ -24,7 +24,9 @@ impl AlignedBytes {
     /// Copy `data` into a fresh aligned buffer.
     pub fn from_slice(data: &[u8]) -> Self {
         let mut words = vec![0u64; data.len().div_ceil(8)];
-        // Safe view of the word buffer as bytes for the copy-in.
+        // SAFETY: the byte view covers exactly the `Vec<u64>` allocation
+        // (len * 8 bytes), u8 has no alignment requirement, and `words` is
+        // exclusively borrowed for the duration of the view.
         let dst = unsafe {
             std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
         };
@@ -38,6 +40,9 @@ impl AlignedBytes {
     /// The buffer contents.
     #[inline]
     pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `len <= words.len() * 8` by construction (`from_slice`
+        // sizes the word buffer to cover it), the words stay alive for
+        // `'self`, and a shared byte view of initialized u64s is valid.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
     }
 
@@ -87,10 +92,12 @@ pub enum Bytes {
     },
 }
 
-// The mapped variant is a private, read-only mapping never mutated or
-// remapped after construction, so shared references are safe to send.
+// SAFETY: the mapped variant is a private, read-only mapping never mutated
+// or remapped after construction, so moving it across threads and sharing
+// references is sound; the owned variant is plain Vec-backed data.
 #[cfg(unix)]
 unsafe impl Send for Bytes {}
+// SAFETY: same invariant as Send — all access paths are read-only.
 #[cfg(unix)]
 unsafe impl Sync for Bytes {}
 
@@ -117,6 +124,9 @@ impl Bytes {
         {
             use std::os::unix::io::AsRawFd;
             if len > 0 {
+                // SAFETY: a null-addr PROT_READ/MAP_PRIVATE request with a
+                // nonzero length and a live fd is a valid mmap call; the
+                // result is checked against MAP_FAILED before use.
                 let ptr = unsafe {
                     sys::mmap(
                         std::ptr::null_mut(),
@@ -147,6 +157,8 @@ impl Bytes {
         match self {
             Bytes::Owned(b) => b.as_slice(),
             #[cfg(unix)]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, unmapped only in Drop, so the view is valid for 'self.
             Bytes::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
         }
     }
@@ -191,6 +203,8 @@ impl Drop for Bytes {
     fn drop(&mut self) {
         #[cfg(unix)]
         if let Bytes::Mapped { ptr, len } = self {
+            // SAFETY: `ptr`/`len` came from a successful mmap and Drop runs
+            // once, so this is the unique munmap of that mapping.
             unsafe {
                 sys::munmap(*ptr as *mut std::ffi::c_void, *len);
             }

@@ -122,6 +122,39 @@ fn charge_lane_access(ctr: &mut KernelCounters, addrs: &Lanes<LaneAddr>, store: 
     tx
 }
 
+/// Issue the whole per-lane access sequence of one lockstep round as a
+/// series of warp-wide loads into `region`, one load per probe step.
+///
+/// `lane_offs[lane]` holds lane `lane`'s element offsets in probe order;
+/// round `r` loads the `r`-th offset of every lane that has one. This is
+/// the batched replacement for hand-written per-access charging loops
+/// (the analyzer's `charge-per-access` rule points here): the charge
+/// sequence — including sanitizer read order and the `mem_instructions`
+/// bump of rounds where some lanes have run dry — is bit-identical to
+/// issuing the same [`warp_load`] calls one by one.
+///
+/// Lanes beyond [`WARP_SIZE`] are ignored. Returns the total transaction
+/// count across all rounds.
+pub fn warp_load_rounds(
+    ctr: &mut KernelCounters,
+    san: &WarpSanitizer,
+    region: Region,
+    lane_offs: &[Vec<usize>],
+) -> u64 {
+    let rounds = lane_offs.iter().map(Vec::len).max().unwrap_or(0);
+    let mut total = 0;
+    for r in 0..rounds {
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        for (lane, offs) in lane_offs.iter().enumerate().take(WARP_SIZE) {
+            if let Some(&off) = offs.get(r) {
+                addrs[lane] = Some((region, off));
+            }
+        }
+        total += warp_load(ctr, san, &addrs);
+    }
+    total
+}
+
 /// Charge a warp-wide *sequential* scan: every lane reads `len` consecutive
 /// elements starting at `base` (broadcast access, e.g. the leader's shared
 /// candidate array in warp streaming). Consecutive elements coalesce
@@ -251,6 +284,43 @@ mod tests {
         addrs[0] = Some((Region::ADJ, LINE_BYTES - 1));
         addrs[1] = Some((Region::ADJ, LINE_BYTES));
         assert_eq!(warp_load_bytes(&mut c, &san(), &addrs), 2);
+    }
+
+    #[test]
+    fn load_rounds_replays_the_per_access_loop_exactly() {
+        // Ragged per-lane sequences: lane 0 probes 3 words, lane 1 probes 1,
+        // lane 2 none. The batched call must charge the same counters as
+        // the equivalent hand-rolled round loop, including round 2 where
+        // only lane 0 is still active and round boundaries where some
+        // lanes' addresses are None.
+        let seqs = vec![vec![0usize, 40, 80], vec![0usize], vec![]];
+        let mut batched = KernelCounters::default();
+        let tx = warp_load_rounds(&mut batched, &san(), Region::CAND, &seqs);
+
+        let mut manual = KernelCounters::default();
+        let mut manual_tx = 0;
+        for r in 0..3 {
+            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+            for (lane, s) in seqs.iter().enumerate() {
+                if let Some(&off) = s.get(r) {
+                    addrs[lane] = Some((Region::CAND, off));
+                }
+            }
+            manual_tx += warp_load(&mut manual, &san(), &addrs);
+        }
+        assert_eq!(tx, manual_tx);
+        assert_eq!(batched.snapshot(), manual.snapshot());
+        assert_eq!(batched.mem_instructions, 3);
+    }
+
+    #[test]
+    fn load_rounds_of_empty_sequences_charges_nothing() {
+        let mut c = KernelCounters::default();
+        assert_eq!(warp_load_rounds(&mut c, &san(), Region::LOCAL, &[]), 0);
+        assert_eq!(c.mem_instructions, 0);
+        let empties: Vec<Vec<usize>> = vec![vec![]; 4];
+        assert_eq!(warp_load_rounds(&mut c, &san(), Region::LOCAL, &empties), 0);
+        assert_eq!(c.mem_instructions, 0);
     }
 
     #[test]

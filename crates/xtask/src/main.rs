@@ -35,6 +35,12 @@ tasks:
                          analyzer-baseline.txt at the workspace root;
                          missing file = empty baseline; lines starting
                          with '#' and blank lines are ignored)
+        --hot-report     also print the ranked hot-region table: every
+                         kernel function reachable from a run/run_block
+                         entry, with its max loop nesting depth, in-loop
+                         charge call sites, cost-rule hits, and call-graph
+                         distance from the entry — the worklist for the
+                         simulator speedup (ROADMAP item 2)
   lint [dir] [flags]   alias for analyze (the textual lint's rules are
                        now analyzer visitors; kept so CI invocations
                        don't break)
@@ -87,6 +93,19 @@ rules enforced by analyze/lint:
   10. scope-blocking: blocking drains (scope/wait_all/wait/wait_report)
      must not be reachable from inside a pool worker job, and 'static
      transmute erasure needs a registered wait_all drain in the file
+  11. alloc-in-hot-loop: no heap allocation (Vec::new/vec!/format!/
+     Box::new/.collect()) inside a loop of a kernel-reachable hot
+     function; hoist the buffer (with_capacity once, .clear() per
+     iteration)
+  12. charge-per-access: a loop whose only work is per-element cost
+     charging must use the batched per-round API the finding names
+     (warp_load_rounds) instead of one warp_load per element
+  13. decode-in-loop: compressed adjacency decodes (neighbors_ref/
+     decode_into/contains_with_probes) of a loop-invariant vertex must
+     be hoisted above the loop
+  14. unsafe-escape: every unsafe site carries a `// SAFETY:` comment;
+     unsafe-derived slices/pointers that escape the validating function
+     are called out explicitly
 
 suppressions: `// gsword: allow(rule, ...)` on or immediately above the
 flagged line; `// gsword: allow-file(rule)` anywhere in the file";
@@ -244,12 +263,14 @@ fn main() -> ExitCode {
 fn run_analyze(task: &str, rest: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut gate = false;
+    let mut hot_report = false;
     let mut sarif_out: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--gate" => gate = true,
+            "--hot-report" => hot_report = true,
             "--sarif" | "--baseline" => {
                 let flag = rest[i].clone();
                 i += 1;
@@ -284,6 +305,16 @@ fn run_analyze(task: &str, rest: &[String]) -> ExitCode {
     }
 
     let findings = lint::run(&root);
+
+    if hot_report {
+        let rows = gsword_analyzer::hot_report_tree(&root);
+        println!(
+            "hot-region report ({} function(s) reachable from {:?}):",
+            rows.len(),
+            gsword_analyzer::hot::HOT_ENTRIES
+        );
+        print!("{}", gsword_analyzer::hot::render(&rows));
+    }
 
     if let Some(path) = &sarif_out {
         let log = gsword_analyzer::sarif::to_sarif(&findings);
@@ -420,7 +451,9 @@ fn check_bench_file(path: &str) -> ExitCode {
     }
     // The rail's contract: every comparison the docs cite must be present,
     // including the compressed-vs-CSR storage rows.
-    const REQUIRED_IDS: [&str; 13] = [
+    const REQUIRED_IDS: [&str; 15] = [
+        "storage/charge_probes/per_access/yeast",
+        "storage/charge_probes/batched/yeast",
         "cpu_sampling/WJ/yeast",
         "cpu_sampling/AL/yeast",
         "candidate_build/full/yeast",
