@@ -104,6 +104,11 @@ pub fn check_fn(f: &FnDef, sums: &Summaries) -> Vec<RawFinding> {
 }
 
 /// Summary hook: does calling this function reach a blocking drain?
+///
+/// `spawn(..)` is a thread boundary: its closure runs on a *new* OS
+/// thread while the spawner returns immediately, so drains inside a spawn
+/// argument (a worker loop parked on a condvar, say) never block the
+/// caller and must not poison its summary.
 pub fn blocks_out(f: &FnDef, sums: &Summaries) -> bool {
     if f.in_test {
         return false;
@@ -113,8 +118,17 @@ pub fn blocks_out(f: &FnDef, sums: &Summaries) -> bool {
         if blocks {
             return;
         }
-        for c in extract_calls(toks) {
-            if blocking_name(&c, sums).is_some() {
+        let calls = crate::cfg::extract_calls_spanned(toks);
+        let spawn_spans: Vec<(usize, usize)> = calls
+            .iter()
+            .filter(|(c, _)| c.name == "spawn")
+            .map(|&(_, span)| span)
+            .collect();
+        for (c, (start, _)) in &calls {
+            if spawn_spans.iter().any(|&(s, e)| *start > s && *start < e) {
+                continue;
+            }
+            if blocking_name(c, sums).is_some() {
                 blocks = true;
                 return;
             }
@@ -240,6 +254,31 @@ mod tests {
             pub fn drop_guard(s: &ScopeSync) { s.wait_all(); }\n",
         );
         assert!(check_erasure(&good).is_empty());
+    }
+
+    #[test]
+    fn spawn_closure_is_a_thread_boundary() {
+        // A constructor that parks worker threads on a drain must not be
+        // summarized as blocking: the spawner returns immediately.
+        let src = "fn new_pool(sync: &ScopeHandle) {\n\
+            std::thread::spawn(move || sync.wait_all());\n\
+        }\n\
+        pub fn ok(rs: &RuntimeScope, sync: &ScopeHandle) {\n\
+            rs.submit(0, 0, move || new_pool(sync));\n\
+        }";
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+
+        // ...but a drain *outside* the spawn argument still blocks.
+        let src = "fn new_pool_then_drain(sync: &ScopeHandle) {\n\
+            std::thread::spawn(move || step());\n\
+            sync.wait_all();\n\
+        }\n\
+        pub fn bad(rs: &RuntimeScope, sync: &ScopeHandle) {\n\
+            rs.submit(0, 0, move || new_pool_then_drain(sync));\n\
+        }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`new_pool_then_drain`"), "{f:?}");
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! paths (two-pointer merge local-set assembly; per-element binary-search
 //! Alley Refine) over identical inputs, so the `/adaptive` ratio is the
 //! engine's speedup, self-documented in the artifact.
+//!
+//! The storage group runs per dataset (yeast and eu2005) and prices the
+//! compressed backend three ways: CSR slices, cold Rice-block decode
+//! (`/compressed`, cache disabled), and the decoded-block cache
+//! (`/cached`, default budget). The `sim/wall` pair times one full device
+//! run serially and with the grid's blocks fanned over 8 sim workers —
+//! on a single-core host the two are expected to tie (fan-out only adds
+//! queueing overhead); the row records whatever the hardware delivers.
 
 use std::time::Instant;
 
@@ -71,6 +79,31 @@ impl Estimator for LegacyAlley {
 struct Row {
     id: String,
     median_ns: f64,
+    /// Units processed per call, when the row has a natural throughput
+    /// (samples for sampling rows); reported as `samples_per_sec`.
+    units_per_call: Option<f64>,
+}
+
+impl Row {
+    fn new(id: impl Into<String>, median_ns: f64) -> Self {
+        Row {
+            id: id.into(),
+            median_ns,
+            units_per_call: None,
+        }
+    }
+
+    fn with_rate(id: impl Into<String>, median_ns: f64, units_per_call: f64) -> Self {
+        Row {
+            id: id.into(),
+            median_ns,
+            units_per_call: Some(units_per_call),
+        }
+    }
+
+    fn per_sec(&self) -> Option<f64> {
+        self.units_per_call.map(|u| u * 1e9 / self.median_ns)
+    }
 }
 
 /// The local-set assembly hot loop of `build_candidate_graph`, over the
@@ -141,107 +174,21 @@ fn refine_scenarios<'a>(
     out
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("GSWORD_FAST").is_ok();
-    let samples = if quick { 9 } else { 25 };
-    let budget: u64 = if quick { 2_000 } else { 10_000 };
-
-    let mut rows: Vec<Row> = Vec::new();
-    let data = gsword_core::datasets::dataset("yeast");
-    let query = QueryGraph::extract(&data, 8, 0xBE).expect("yeast query");
-    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
-    let order = quicksi_order(&query, &data);
-    let ctx = QueryCtx::new(&cg, &order);
-
-    // --- sampling group (the cpu_sampling bench, quick-mode) ---
-    for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
-        let ns = median_ns(samples, || {
-            gsword_core::estimators::with_estimator(kind, |est| {
-                std::hint::black_box(
-                    gsword_core::estimators::run_sequential(&ctx, est, budget, 7)
-                        .estimate
-                        .value(),
-                );
-            })
-        });
-        rows.push(Row {
-            id: format!("cpu_sampling/{}/yeast", kind.short()),
-            median_ns: ns,
-        });
-    }
-
-    // --- candidate group: full build plus the assembly hot loop both ways ---
-    let ns = median_ns(samples, || {
-        std::hint::black_box(
-            build_candidate_graph(&data, &query, &BuildConfig::default())
-                .0
-                .byte_size(),
-        );
-    });
-    rows.push(Row {
-        id: "candidate_build/full/yeast".into(),
-        median_ns: ns,
-    });
-    let adaptive_ns = median_ns(samples, || {
-        std::hint::black_box(assemble_local_sets(&data, &query, &cg, true));
-    });
-    let legacy_ns = median_ns(samples, || {
-        std::hint::black_box(assemble_local_sets(&data, &query, &cg, false));
-    });
-    assert_eq!(
-        assemble_local_sets(&data, &query, &cg, true),
-        assemble_local_sets(&data, &query, &cg, false),
-        "legacy and adaptive assembly must produce identical local sets"
-    );
-    rows.push(Row {
-        id: "candidate_build/adaptive/yeast".into(),
-        median_ns: adaptive_ns,
-    });
-    rows.push(Row {
-        id: "candidate_build/legacy/yeast".into(),
-        median_ns: legacy_ns,
-    });
-    let build_speedup = legacy_ns / adaptive_ns;
-
-    // --- Alley Refine group: batched k-way vs per-element binary search ---
-    let scenarios = refine_scenarios(&query, &cg);
-    assert!(!scenarios.is_empty(), "yeast query yields refine scenarios");
-    let mut out = Vec::new();
-    let refine_adaptive_ns = median_ns(samples, || {
-        for (cand, segs) in &scenarios {
-            out.clear();
-            Alley.refine_into(segs, cand, &mut out);
-            std::hint::black_box(out.len());
-        }
-    });
-    let refine_legacy_ns = median_ns(samples, || {
-        for (cand, segs) in &scenarios {
-            out.clear();
-            LegacyAlley.refine_into(segs, cand, &mut out);
-            std::hint::black_box(out.len());
-        }
-    });
-    for (cand, segs) in &scenarios {
-        let (mut a, mut l) = (Vec::new(), Vec::new());
-        Alley.refine_into(segs, cand, &mut a);
-        LegacyAlley.refine_into(segs, cand, &mut l);
-        assert_eq!(a, l, "batched Refine must match the per-element path");
-    }
-    rows.push(Row {
-        id: "alley_refine/adaptive/yeast".into(),
-        median_ns: refine_adaptive_ns,
-    });
-    rows.push(Row {
-        id: "alley_refine/legacy/yeast".into(),
-        median_ns: refine_legacy_ns,
-    });
-    let refine_speedup = refine_legacy_ns / refine_adaptive_ns;
-
-    // --- storage group: compressed backend vs CSR on the same operations ---
-    let packed = CompressedGraph::from_graph(&data);
+/// Storage group for one dataset: CSR vs cold compressed decode vs the
+/// decoded-block cache on the same operations, plus the probe-charging
+/// pair drawn from its adjacency.
+fn storage_rows(dsname: &str, samples: usize, rows: &mut Vec<Row>) {
+    let data = gsword_core::datasets::dataset(dsname);
+    let query = QueryGraph::extract(&data, 8, 0xBE).expect("storage query");
+    // `packed` disables the decode cache to keep the `/compressed` rows
+    // measuring the raw Rice stream; `cached` keeps the default budget.
+    let packed = CompressedGraph::from_graph(&data).with_decode_cache(0);
+    let cached = CompressedGraph::from_graph(&data);
     let n = data.num_vertices() as VertexId;
 
-    // Full neighbor scan: CSR reads slices, compressed decodes Rice blocks.
+    // Full neighbor scan: CSR reads slices, compressed decodes Rice
+    // blocks, cached answers from per-thread decoded blocks after the
+    // warmup pass primes them.
     let ns = median_ns(samples, || {
         let mut acc = 0usize;
         for v in 0..n {
@@ -249,10 +196,7 @@ fn main() {
         }
         std::hint::black_box(acc);
     });
-    rows.push(Row {
-        id: "storage/neighbor_scan/csr/yeast".into(),
-        median_ns: ns,
-    });
+    rows.push(Row::new(format!("storage/neighbor_scan/csr/{dsname}"), ns));
     let ns = median_ns(samples, || {
         let mut acc = 0usize;
         for v in 0..n {
@@ -263,10 +207,24 @@ fn main() {
         }
         std::hint::black_box(acc);
     });
-    rows.push(Row {
-        id: "storage/neighbor_scan/compressed/yeast".into(),
-        median_ns: ns,
+    rows.push(Row::new(
+        format!("storage/neighbor_scan/compressed/{dsname}"),
+        ns,
+    ));
+    let ns = median_ns(samples, || {
+        let mut acc = 0usize;
+        for v in 0..n {
+            cached.for_each_neighbor(v, |_| {
+                acc += 1;
+                true
+            });
+        }
+        std::hint::black_box(acc);
     });
+    rows.push(Row::new(
+        format!("storage/neighbor_scan/cached/{dsname}"),
+        ns,
+    ));
 
     // Membership probes: binary search vs restart-table block decode.
     let ns = median_ns(samples, || {
@@ -276,10 +234,7 @@ fn main() {
         }
         std::hint::black_box(hits);
     });
-    rows.push(Row {
-        id: "storage/member_probe/csr/yeast".into(),
-        median_ns: ns,
-    });
+    rows.push(Row::new(format!("storage/member_probe/csr/{dsname}"), ns));
     let ns = median_ns(samples, || {
         let mut hits = 0usize;
         for v in 0..n {
@@ -287,10 +242,10 @@ fn main() {
         }
         std::hint::black_box(hits);
     });
-    rows.push(Row {
-        id: "storage/member_probe/compressed/yeast".into(),
-        median_ns: ns,
-    });
+    rows.push(Row::new(
+        format!("storage/member_probe/compressed/{dsname}"),
+        ns,
+    ));
 
     // Candidate build end-to-end over each backend (identical output by
     // the storage-equivalence tests; this row prices the decode overhead).
@@ -301,10 +256,10 @@ fn main() {
                 .byte_size(),
         );
     });
-    rows.push(Row {
-        id: "storage/candidate_build/csr/yeast".into(),
-        median_ns: ns,
-    });
+    rows.push(Row::new(
+        format!("storage/candidate_build/csr/{dsname}"),
+        ns,
+    ));
     let ns = median_ns(samples, || {
         std::hint::black_box(
             build_candidate_graph(&packed, &query, &BuildConfig::default())
@@ -312,15 +267,15 @@ fn main() {
                 .byte_size(),
         );
     });
-    rows.push(Row {
-        id: "storage/candidate_build/compressed/yeast".into(),
-        median_ns: ns,
-    });
+    rows.push(Row::new(
+        format!("storage/candidate_build/compressed/{dsname}"),
+        ns,
+    ));
 
-    // --- probe-charging group: per-access warp_load loop (the exact shape
-    // the analyzer's charge-per-access rule flagged in the kernel) vs the
+    // Probe-charging pair: per-access warp_load loop (the exact shape the
+    // analyzer's charge-per-access rule flagged in the kernel) vs the
     // batched warp_load_rounds replacement it names. The snapshots must be
-    // bit-identical — only the call overhead is amortized. ---
+    // bit-identical — only the call overhead is amortized.
     let probe_seqs: Vec<Vec<usize>> = (0..WARP_SIZE)
         .map(|lane| {
             let v = (lane as VertexId * 97) % n;
@@ -367,14 +322,142 @@ fn main() {
             "batched probe charging must replay the per-access loop exactly"
         );
     }
-    rows.push(Row {
-        id: "storage/charge_probes/per_access/yeast".into(),
-        median_ns: per_access_ns,
+    rows.push(Row::new(
+        format!("storage/charge_probes/per_access/{dsname}"),
+        per_access_ns,
+    ));
+    rows.push(Row::new(
+        format!("storage/charge_probes/batched/{dsname}"),
+        batched_ns,
+    ));
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("GSWORD_FAST").is_ok();
+    let samples = if quick { 9 } else { 25 };
+    let budget: u64 = if quick { 2_000 } else { 10_000 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let data = gsword_core::datasets::dataset("yeast");
+    let query = QueryGraph::extract(&data, 8, 0xBE).expect("yeast query");
+    let (cg, _) = build_candidate_graph(&data, &query, &BuildConfig::default());
+    let order = quicksi_order(&query, &data);
+    let ctx = QueryCtx::new(&cg, &order);
+
+    // --- sampling group (the cpu_sampling bench, quick-mode) ---
+    for kind in [EstimatorKind::WanderJoin, EstimatorKind::Alley] {
+        let ns = median_ns(samples, || {
+            gsword_core::estimators::with_estimator(kind, |est| {
+                std::hint::black_box(
+                    gsword_core::estimators::run_sequential(&ctx, est, budget, 7)
+                        .estimate
+                        .value(),
+                );
+            })
+        });
+        rows.push(Row::with_rate(
+            format!("cpu_sampling/{}/yeast", kind.short()),
+            ns,
+            budget as f64,
+        ));
+    }
+
+    // --- candidate group: full build plus the assembly hot loop both ways ---
+    let ns = median_ns(samples, || {
+        std::hint::black_box(
+            build_candidate_graph(&data, &query, &BuildConfig::default())
+                .0
+                .byte_size(),
+        );
     });
-    rows.push(Row {
-        id: "storage/charge_probes/batched/yeast".into(),
-        median_ns: batched_ns,
+    rows.push(Row::new("candidate_build/full/yeast", ns));
+    let adaptive_ns = median_ns(samples, || {
+        std::hint::black_box(assemble_local_sets(&data, &query, &cg, true));
     });
+    let legacy_ns = median_ns(samples, || {
+        std::hint::black_box(assemble_local_sets(&data, &query, &cg, false));
+    });
+    assert_eq!(
+        assemble_local_sets(&data, &query, &cg, true),
+        assemble_local_sets(&data, &query, &cg, false),
+        "legacy and adaptive assembly must produce identical local sets"
+    );
+    rows.push(Row::new("candidate_build/adaptive/yeast", adaptive_ns));
+    rows.push(Row::new("candidate_build/legacy/yeast", legacy_ns));
+    let build_speedup = legacy_ns / adaptive_ns;
+
+    // --- Alley Refine group: batched k-way vs per-element binary search ---
+    let scenarios = refine_scenarios(&query, &cg);
+    assert!(!scenarios.is_empty(), "yeast query yields refine scenarios");
+    let mut out = Vec::new();
+    let refine_adaptive_ns = median_ns(samples, || {
+        for (cand, segs) in &scenarios {
+            out.clear();
+            Alley.refine_into(segs, cand, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    let refine_legacy_ns = median_ns(samples, || {
+        for (cand, segs) in &scenarios {
+            out.clear();
+            LegacyAlley.refine_into(segs, cand, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    for (cand, segs) in &scenarios {
+        let (mut a, mut l) = (Vec::new(), Vec::new());
+        Alley.refine_into(segs, cand, &mut a);
+        LegacyAlley.refine_into(segs, cand, &mut l);
+        assert_eq!(a, l, "batched Refine must match the per-element path");
+    }
+    rows.push(Row::new("alley_refine/adaptive/yeast", refine_adaptive_ns));
+    rows.push(Row::new("alley_refine/legacy/yeast", refine_legacy_ns));
+    let refine_speedup = refine_legacy_ns / refine_adaptive_ns;
+
+    // --- sim wall-clock group: one full device run, serial vs the grid's
+    // blocks fanned over 8 sim workers. The estimates are bit-identical by
+    // construction (asserted); only the wall clock may differ, and on a
+    // single-core host it will not. ---
+    let wall_budget: u64 = if quick { 4_000 } else { 20_000 };
+    let run_wall = |workers: usize| -> Report {
+        Gsword::builder(&data, &query)
+            .samples(wall_budget)
+            .estimator(EstimatorKind::Alley)
+            .seed(0xBE)
+            .backend(Backend::Gsword)
+            .sim_workers(workers)
+            .run()
+            .expect("wall run")
+    };
+    let serial_est = run_wall(1).estimate;
+    let parallel_est = run_wall(8).estimate;
+    assert_eq!(
+        serial_est.to_bits(),
+        parallel_est.to_bits(),
+        "block-parallel launches must not perturb the estimate"
+    );
+    let wall_samples = samples.min(5);
+    let serial_ns = median_ns(wall_samples, || {
+        std::hint::black_box(run_wall(1).estimate);
+    });
+    let parallel_ns = median_ns(wall_samples, || {
+        std::hint::black_box(run_wall(8).estimate);
+    });
+    rows.push(Row::with_rate(
+        "sim/wall/serial/yeast",
+        serial_ns,
+        wall_budget as f64,
+    ));
+    rows.push(Row::with_rate(
+        "sim/wall/parallel/yeast",
+        parallel_ns,
+        wall_budget as f64,
+    ));
+
+    // --- storage group, per dataset ---
+    for dsname in ["yeast", "eu2005"] {
+        storage_rows(dsname, samples, &mut rows);
+    }
 
     // --- artifact ---
     let root = std::fs::canonicalize(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
@@ -398,10 +481,16 @@ fn main() {
     json.push_str("  \"benches\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
-            row.id, row.median_ns
-        ));
+        match row.per_sec() {
+            Some(rate) => json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples_per_sec\": {rate:.1}}}{comma}\n",
+                row.id, row.median_ns
+            )),
+            None => json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
+                row.id, row.median_ns
+            )),
+        }
     }
     json.push_str("  ]\n}\n");
 
@@ -409,7 +498,13 @@ fn main() {
     std::fs::write(&path, &json).expect("write BENCH_sampling.json");
 
     for row in &rows {
-        println!("{}: {:.1} ns", row.id, row.median_ns);
+        match row.per_sec() {
+            Some(rate) => println!(
+                "{}: {:.1} ns ({:.0} samples/s)",
+                row.id, row.median_ns, rate
+            ),
+            None => println!("{}: {:.1} ns", row.id, row.median_ns),
+        }
     }
     println!("candidate-build speedup (legacy/adaptive): {build_speedup:.2}x");
     println!("alley-refine speedup (legacy/adaptive):    {refine_speedup:.2}x");

@@ -133,19 +133,20 @@ pub fn build_candidate_graph<S: GraphStorage>(
 
     // Fixpoint pruning: v survives in C(u) iff every query edge (u,u') gives
     // it at least one neighbor in C(u').
+    let mut nv: Vec<VertexId> = Vec::new();
     for _ in 0..config.prune_rounds {
         let mut changed = false;
         for u in 0..n as QueryVertex {
             let mut kept = Vec::with_capacity(global_sets[u as usize].len());
             for &v in &global_sets[u as usize] {
+                // N(v) is invariant across the query-neighbor loop below:
+                // decode it once into a reused buffer instead of streaming
+                // (and re-decoding) the adjacency once per query edge.
+                nv.clear();
+                data.neighbors_into(v, &mut nv);
                 let ok = query.neighbors(u).all(|u2| {
                     let cu2 = &global_sets[u2 as usize];
-                    let mut hit = false;
-                    data.for_each_neighbor(v, |w| {
-                        hit = intersect::member(cu2, w);
-                        !hit // keep streaming until the first member
-                    });
-                    hit
+                    nv.iter().any(|&w| intersect::member(cu2, w))
                 });
                 if ok {
                     kept.push(v);

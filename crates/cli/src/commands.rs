@@ -13,9 +13,9 @@ usage:
   gsword pack     <dataset|all> -o <file|dir> [--scale N]
   gsword estimate <graph> -q <query> [--samples N] [--estimator wj|alley]
                   [--backend cpu|gpu-baseline|gsword] [--seed N] [--trawl]
-                  [--storage csr|compressed]
+                  [--storage csr|compressed] [--decode-cache BYTES]
                   [--sanitize full|sync,race,init]
-                  [--devices N] [--streams N]
+                  [--devices N] [--streams N] [--sim-workers N]
                   [--profile [--trace-out <file>]]
   gsword exact    <graph> -q <query> [--budget N] [--threads N]
   gsword motifs   <graph> [--samples N] [--label L]
@@ -28,6 +28,11 @@ usage:
 --storage picks the data-graph backend: csr (in-memory, default) or
 compressed (succinct gap-coded adjacency; the default for packed images).
 Estimates are bit-identical across backends.
+--decode-cache sets the compressed backend's per-thread decoded-adjacency
+budget in bytes (0 disables; default 16 MiB). Purely a wall-clock knob:
+results and modeled counters are identical with the cache on or off.
+--sim-workers fans each kernel launch's blocks over N host threads
+(0 = auto, 1 = serial; default 1). Results are bit-identical for every N.
 pack writes a dataset as a compressed mmap-able image; --scale N divides
 the paper's |V| (default: the suite scale; --scale 1 = full paper size).
 --sanitize runs the device kernels under the compute-sanitizer analogue
@@ -69,11 +74,19 @@ fn is_packed_file(path: &str) -> bool {
     f.read_exact(&mut head).is_ok() && head == graph::compressed::MAGIC
 }
 
-fn load_data(spec: &str, storage: Option<&str>) -> Result<AnyGraph, String> {
+fn load_data(
+    spec: &str,
+    storage: Option<&str>,
+    decode_cache: Option<usize>,
+) -> Result<AnyGraph, String> {
+    let tune = |c: CompressedGraph| match decode_cache {
+        Some(bytes) => c.with_decode_cache(bytes),
+        None => c,
+    };
     let into_backend = |g: Graph| -> Result<AnyGraph, String> {
         match storage.unwrap_or("csr") {
             "csr" => Ok(AnyGraph::Csr(g)),
-            "compressed" => Ok(AnyGraph::Compressed(CompressedGraph::from_graph(&g))),
+            "compressed" => Ok(AnyGraph::Compressed(tune(CompressedGraph::from_graph(&g)))),
             other => Err(format!(
                 "unknown storage '{other}' (expected csr|compressed)"
             )),
@@ -87,7 +100,7 @@ fn load_data(spec: &str, storage: Option<&str>) -> Result<AnyGraph, String> {
             .map_err(|e| format!("cannot load packed graph '{spec}': {e}"))?;
         // Packed images stay compressed unless CSR is asked for explicitly.
         return match storage {
-            None | Some("compressed") => Ok(AnyGraph::Compressed(c)),
+            None | Some("compressed") => Ok(AnyGraph::Compressed(tune(c))),
             Some("csr") => Ok(AnyGraph::Csr(c.to_csr())),
             Some(other) => Err(format!(
                 "unknown storage '{other}' (expected csr|compressed)"
@@ -117,9 +130,14 @@ fn load_query_spec(data: &AnyGraph, spec: &str) -> Result<QueryGraph, String> {
 }
 
 fn data_arg(args: &Args) -> Result<AnyGraph, String> {
+    let decode_cache = match args.get("decode-cache") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --decode-cache: {v}"))?),
+    };
     load_data(
         args.positional(0).ok_or("missing <graph> argument")?,
         args.get("storage"),
+        decode_cache,
     )
 }
 
@@ -220,6 +238,7 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     let seed: u64 = args.num("seed", 42)?;
     let devices: usize = args.num("devices", 1)?;
     let streams: usize = args.num("streams", 1)?;
+    let sim_workers: usize = args.num("sim-workers", 1)?;
     if devices == 0 || streams == 0 {
         return Err("--devices and --streams must be at least 1".to_string());
     }
@@ -238,6 +257,7 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         .backend(parse_backend(args)?)
         .num_devices(devices)
         .streams_per_device(streams)
+        .sim_workers(sim_workers)
         .sanitize(sanitize)
         .profile(profile);
     if args.has("trawl") {

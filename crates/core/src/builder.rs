@@ -84,6 +84,7 @@ impl Gsword {
             profile: false,
             num_devices: 1,
             streams_per_device: 1,
+            sim_workers: 1,
         }
     }
 }
@@ -105,6 +106,7 @@ pub struct GswordBuilder<'a, S: GraphStorage> {
     profile: bool,
     num_devices: usize,
     streams_per_device: usize,
+    sim_workers: usize,
 }
 
 impl<'a, S: GraphStorage> GswordBuilder<'a, S> {
@@ -169,6 +171,16 @@ impl<'a, S: GraphStorage> GswordBuilder<'a, S> {
         self
     }
 
+    /// Intra-kernel simulation workers per launch: `0` = auto (the
+    /// device's `host_threads`), `1` = serial (default), `n` = a
+    /// persistent pool of `n` lockstep block workers. A wall-clock knob
+    /// only — estimates, counters, and sanitizer verdicts are
+    /// bit-identical for every value.
+    pub fn sim_workers(mut self, n: usize) -> Self {
+        self.sim_workers = n;
+        self
+    }
+
     /// Run the device kernels under the sanitizer (synccheck / racecheck /
     /// initcheck — the `compute-sanitizer` analogue). Findings land in
     /// [`Report::sanitizer`]. No effect on CPU backends.
@@ -209,6 +221,7 @@ impl<'a, S: GraphStorage> GswordBuilder<'a, S> {
             cfg.profile = self.profile;
             cfg.num_devices = self.num_devices;
             cfg.streams_per_device = self.streams_per_device;
+            cfg.sim_workers = self.sim_workers;
             cfg
         };
 
@@ -284,6 +297,7 @@ impl<'a, S: GraphStorage> GswordBuilder<'a, S> {
         cfg.profile = self.profile;
         cfg.num_devices = self.num_devices;
         cfg.streams_per_device = self.streams_per_device;
+        cfg.sim_workers = self.sim_workers;
         let r = run_engine(&ctx, est, &cfg);
         let mut report = Report::from_device(r);
         report.candidate_stats = Some(candidate_stats);

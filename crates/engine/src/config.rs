@@ -59,6 +59,12 @@ pub struct EngineConfig {
     pub num_devices: usize,
     /// Ordered async launch queues per device (CUDA-stream analogue).
     pub streams_per_device: usize,
+    /// Intra-kernel simulation workers: how many host threads one launch
+    /// fans its blocks over. `0` = auto (the device's `host_threads`),
+    /// `1` = serial in-stream execution, `n` = a persistent pool of `n`.
+    /// Results are bit-identical for every value — blocks merge in fixed
+    /// ascending order regardless of which worker simulated them.
+    pub sim_workers: usize,
 }
 
 impl EngineConfig {
@@ -76,6 +82,7 @@ impl EngineConfig {
             profile: false,
             num_devices: 1,
             streams_per_device: 1,
+            sim_workers: 1,
         }
     }
 
@@ -155,6 +162,14 @@ impl EngineConfig {
     pub fn with_topology(mut self, num_devices: usize, streams_per_device: usize) -> Self {
         self.num_devices = num_devices;
         self.streams_per_device = streams_per_device;
+        self
+    }
+
+    /// Builder-style intra-kernel worker override (`0` = auto, `1` =
+    /// serial, `n` = a pool of `n`). Purely a wall-clock knob: estimates,
+    /// counters, and sanitizer verdicts are identical for every value.
+    pub fn with_sim_workers(mut self, sim_workers: usize) -> Self {
+        self.sim_workers = sim_workers;
         self
     }
 }

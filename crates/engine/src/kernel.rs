@@ -646,20 +646,38 @@ impl<'e, 'c, E: Estimator + ?Sized> WarpExec<'e, 'c, E> {
 
         // --- Independent phase ---------------------------------------------
         self.reset_cursors(mask);
+        // Candidate element loads, batched: lane `l` walks its remaining
+        // `clen(l) - cur_iter[l]` candidates in consecutive rounds with no
+        // gaps (a lane active in round `r` was active in every earlier
+        // round), so one `warp_load_rounds` over the per-lane tails replays
+        // the per-step `warp_load` sequence bit-identically. Streaming
+        // refine only runs at positions with backward constraints, where
+        // every lane's candidate set lives in the local-CSR region.
+        debug_assert!(
+            lanes_of(mask).all(|l| cand[l].expect("active lane").region == Region::LOCAL),
+            "refine candidates come from backward segments (LOCAL)"
+        );
+        self.clear_probe_bufs();
+        {
+            let bufs = &mut self.probe_bufs;
+            for lane in lanes_of(mask) {
+                let lc = cand[lane].expect("active lane");
+                for t in cur_iter[lane]..lc.cand.len() {
+                    bufs[lane].push(lc.addr + t);
+                }
+            }
+        }
+        warp_load_rounds(&mut self.ctr, &self.san, Region::LOCAL, &self.probe_bufs);
         loop {
-            let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
             let mut step_mask: WarpMask = 0;
             for lane in lanes_of(mask) {
                 if cur_iter[lane] < clen(lane) {
                     step_mask |= 1 << lane;
-                    let lc = cand[lane].expect("active lane");
-                    addrs[lane] = Some((lc.region, lc.addr + cur_iter[lane]));
                 }
             }
             if step_mask == 0 {
                 break;
             }
-            warp_load(&mut self.ctr, &self.san, &addrs);
             self.clear_probe_bufs();
             for lane in lanes_of(step_mask) {
                 let lc = cand[lane].expect("active lane");

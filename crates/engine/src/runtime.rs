@@ -247,6 +247,7 @@ pub fn runtime_for(cfg: &EngineConfig, kernel_name: &str) -> Runtime {
             num_devices,
             streams_per_device,
             device: cfg.device,
+            sim_workers: cfg.sim_workers,
         },
         |_| Sanitizer::new(cfg.sanitize, kernel_name),
         profiler,

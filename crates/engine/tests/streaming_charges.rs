@@ -1,0 +1,62 @@
+//! The streaming refine kernel hoists its candidate-element loads out of
+//! the per-step loop: one `warp_load_rounds` over each lane's remaining
+//! candidate tail replaces the per-step `warp_load`. The rewrite is only
+//! sound because it is charge-preserving — counters are additive and the
+//! per-round active-lane sets are unchanged (a lane active in round `r`
+//! was active in every earlier round, so the tail of lane `l` occupies
+//! rounds `0..tail_len(l)` with no gaps). This test replays both
+//! schedules on ragged tails and asserts bit-identical snapshots.
+
+use gsword_simt::memory::{warp_load, warp_load_rounds, LaneAddr, Region};
+use gsword_simt::warp::{Lanes, WarpSanitizer, WARP_SIZE};
+use gsword_simt::KernelCounters;
+
+#[test]
+fn hoisted_candidate_loads_are_charge_identical() {
+    // Ragged tails with the prefix-active property the kernel guarantees.
+    let tail_lens: Vec<usize> = (0..WARP_SIZE).map(|l| (l * 7 + 3) % 23).collect();
+    let addr_of = |lane: usize, r: usize| 64 * lane + 4 * r; // overlapping lines
+    let probes_of = |lane: usize, r: usize| -> Vec<usize> {
+        (0..(lane + r) % 4).map(|p| 4096 + 8 * lane + p).collect()
+    };
+    let rounds = tail_lens.iter().copied().max().unwrap();
+    let san = WarpSanitizer::disabled();
+
+    // Interleaved schedule — the shape the kernel had before the hoist:
+    // per step, load the candidate element, then charge the membership
+    // probes it triggered.
+    let mut interleaved = KernelCounters::default();
+    for r in 0..rounds {
+        let mut addrs: Lanes<LaneAddr> = [None; WARP_SIZE];
+        let mut probe_bufs: Vec<Vec<usize>> = vec![Vec::new(); WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if r < tail_lens[lane] {
+                addrs[lane] = Some((Region::LOCAL, addr_of(lane, r)));
+                probe_bufs[lane] = probes_of(lane, r);
+            }
+        }
+        warp_load(&mut interleaved, &san, &addrs);
+        warp_load_rounds(&mut interleaved, &san, Region::LOCAL, &probe_bufs);
+    }
+
+    // Hoisted schedule — all candidate loads up front as lockstep rounds
+    // over the per-lane tails, then the same per-step probe batches.
+    let mut hoisted = KernelCounters::default();
+    let tails: Vec<Vec<usize>> = (0..WARP_SIZE)
+        .map(|lane| (0..tail_lens[lane]).map(|r| addr_of(lane, r)).collect())
+        .collect();
+    warp_load_rounds(&mut hoisted, &san, Region::LOCAL, &tails);
+    for r in 0..rounds {
+        let mut probe_bufs: Vec<Vec<usize>> = vec![Vec::new(); WARP_SIZE];
+        for lane in 0..WARP_SIZE {
+            if r < tail_lens[lane] {
+                probe_bufs[lane] = probes_of(lane, r);
+            }
+        }
+        warp_load_rounds(&mut hoisted, &san, Region::LOCAL, &probe_bufs);
+    }
+
+    assert_eq!(hoisted.snapshot(), interleaved.snapshot());
+    assert_eq!(hoisted.mem_transactions, interleaved.mem_transactions);
+    assert_eq!(hoisted.tx_histogram, interleaved.tx_histogram);
+}

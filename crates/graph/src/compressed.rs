@@ -27,8 +27,22 @@
 //! no per-vertex materialization. All sections are 8-byte aligned and
 //! little-endian; a header magic/version/endianness probe rejects foreign
 //! images instead of misreading them.
+//!
+//! Repeated access is served by a **per-thread decoded-adjacency cache**
+//! (DESIGN.md §15): the storage-trait entry points and the cached
+//! membership probe decode a vertex's list once per thread and serve later
+//! touches from the decoded copy, LRU-evicted under a per-graph byte
+//! budget ([`CompressedGraph::with_decode_cache`]). The cache is invisible
+//! to the memory model — cached probes replay the exact byte-offset
+//! sequence the streaming decoder would report, so modeled traffic is
+//! bit-identical with the cache on or off — and `mem_bytes` stays
+//! capacity-honest by counting resident cache bytes.
 
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::mmap::Bytes;
 use crate::storage::{GraphStorage, NeighborsRef};
@@ -752,11 +766,169 @@ pub fn pack_to_vec(g: &Graph) -> Vec<u8> {
 
 type Range = std::ops::Range<usize>;
 
+// ---------------------------------------------------------------------------
+// The per-thread decoded-adjacency cache
+// ---------------------------------------------------------------------------
+
+/// Default per-thread decoded-adjacency budget per graph, in bytes
+/// (16 MiB — enough to hold every suite dataset's decoded adjacency;
+/// eu2005, the largest, needs ~7.5 MiB).
+pub const DECODE_CACHE_DEFAULT_BYTES: usize = 1 << 24;
+
+/// Fixed per-entry overhead charged against the budget (map slot, LRU
+/// bookkeeping) on top of the decoded vectors themselves.
+const CACHE_ENTRY_OVERHEAD: usize = 64;
+
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// One decode cache per thread (per *sim worker* under the parallel
+    /// runtime): lockstep block workers never contend on it, and the
+    /// graph's shared byte counter keeps `mem_bytes` honest across all of
+    /// them.
+    static DECODE_CACHE: RefCell<DecodeCache> =
+        const { RefCell::new(DecodeCache { shards: Vec::new() }) };
+}
+
+/// Multiplicative hasher for the cache's small integer keys. The hit path
+/// runs once per adjacency access, where SipHash is most of the lookup
+/// cost; one multiply plus an xor-fold is plenty for vertex ids.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
+/// One cached vertex: the decoded list plus the byte offset each entry's
+/// decode starts at, so membership probes replay the streaming decoder's
+/// exact address sequence.
+struct CacheEntry {
+    decoded: Vec<VertexId>,
+    pos: Vec<u32>,
+    bytes: usize,
+    /// Second-chance bit: set on every hit, cleared (one rotation's grace)
+    /// by the eviction clock hand.
+    hot: bool,
+    /// Sticky hit bit (never cleared): did this entry serve at least one
+    /// hit while resident? Feeds the shard's thrash guard.
+    touched: bool,
+    /// The owning graph's resident-bytes counter; decremented on drop
+    /// (eviction or thread exit) so accounting never leaks.
+    counter: Arc<AtomicUsize>,
+}
+
+impl Drop for CacheEntry {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+/// This thread's cache shard for one graph. Eviction is CLOCK
+/// (second-chance): hits only set a flag — no queue traffic — and the
+/// ring holds each resident vertex exactly once, rotated at insert time.
+///
+/// A thrash guard keeps the cache from degrading below the uncached
+/// path: when a working set far exceeds the budget (a cyclic scan over a
+/// large graph, say), every admission evicts an entry that never served a
+/// hit, paying map and eviction overhead for nothing. After a full
+/// capacity's worth of consecutive *futile* evictions (victim never hit
+/// while resident) the shard stops admitting and serves as a pinned set —
+/// residents keep hitting, everything else streams at uncached cost. Any
+/// hit resets the guard, so workloads with real reuse never trip it.
+#[derive(Default)]
+struct GraphShard {
+    entries: FastMap<VertexId, CacheEntry>,
+    ring: VecDeque<VertexId>,
+    bytes: usize,
+    /// Consecutive evictions of never-hit entries; cleared on every hit.
+    futile_evictions: usize,
+}
+
+impl GraphShard {
+    /// Insert under `capacity`, advancing the clock hand as needed. A list
+    /// too large to ever fit — or arriving while the thrash guard is
+    /// engaged — is handed back instead of flushing the shard.
+    #[allow(clippy::result_large_err)]
+    fn insert(
+        &mut self,
+        v: VertexId,
+        decoded: Vec<VertexId>,
+        pos: Vec<u32>,
+        capacity: usize,
+        counter: &Arc<AtomicUsize>,
+    ) -> Result<&CacheEntry, (Vec<VertexId>, Vec<u32>)> {
+        let bytes = decoded.capacity() * 4 + pos.capacity() * 4 + CACHE_ENTRY_OVERHEAD;
+        if bytes > capacity {
+            return Err((decoded, pos));
+        }
+        if self.futile_evictions >= self.entries.len().max(64) {
+            return Err((decoded, pos));
+        }
+        while self.bytes + bytes > capacity {
+            let Some(victim) = self.ring.pop_front() else {
+                break;
+            };
+            let e = self.entries.get_mut(&victim).expect("ring tracks entries");
+            if e.hot {
+                e.hot = false;
+                self.ring.push_back(victim);
+            } else {
+                let e = self.entries.remove(&victim).expect("present");
+                self.bytes -= e.bytes;
+                if !e.touched {
+                    self.futile_evictions += 1;
+                }
+            }
+        }
+        counter.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes += bytes;
+        self.ring.push_back(v);
+        Ok(self.entries.entry(v).or_insert(CacheEntry {
+            decoded,
+            pos,
+            bytes,
+            hot: false,
+            touched: false,
+            counter: Arc::clone(counter),
+        }))
+    }
+}
+
+/// A thread's shards, one per live graph image. A linear scan over a
+/// two-or-three element vec beats hashing on the per-access path.
+struct DecodeCache {
+    shards: Vec<(u64, GraphShard)>,
+}
+
+impl DecodeCache {
+    fn shard(&mut self, id: u64) -> &mut GraphShard {
+        if let Some(i) = self.shards.iter().position(|(sid, _)| *sid == id) {
+            return &mut self.shards[i].1;
+        }
+        self.shards.push((id, GraphShard::default()));
+        &mut self.shards.last_mut().expect("just pushed").1
+    }
+}
+
 /// The succinct, mmap-backed graph backend.
 ///
 /// Holds the packed image (owned or mapped) plus two small select-rank
 /// tables built at load time; adjacency is never materialized as
-/// per-vertex vectors.
+/// per-vertex vectors — repeated access goes through the per-thread
+/// decoded cache instead.
 #[derive(Debug, Clone)]
 pub struct CompressedGraph {
     bytes: Bytes,
@@ -775,6 +947,14 @@ pub struct CompressedGraph {
     adj: Range,
     deg_rank: Vec<u32>,
     off_rank: Vec<u32>,
+    /// Identity of this image in the per-thread decode cache. Clones share
+    /// it (same bytes, same decoded lists).
+    cache_id: u64,
+    /// Per-thread decoded-adjacency budget in bytes; `0` disables caching.
+    cache_capacity: usize,
+    /// Bytes currently resident in this graph's decode-cache entries,
+    /// summed over every thread — the capacity-honest `mem_bytes` input.
+    cache_bytes: Arc<AtomicUsize>,
 }
 
 fn parse_err(message: impl Into<String>) -> GraphError {
@@ -868,6 +1048,9 @@ impl CompressedGraph {
         let g = CompressedGraph {
             deg_rank: build_rank(words_u64(&bytes, &deg_highs)),
             off_rank: build_rank(words_u64(&bytes, &off_highs)),
+            cache_id: NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            cache_capacity: DECODE_CACHE_DEFAULT_BYTES,
+            cache_bytes: Arc::new(AtomicUsize::new(0)),
             bytes,
             n,
             m,
@@ -968,7 +1151,105 @@ impl CompressedGraph {
         } else {
             (v, u)
         };
-        self.neighbors(a).contains(b)
+        match self.with_cached(a, |decoded, _| decoded.binary_search(&b).is_ok()) {
+            Some(hit) => hit,
+            None => self.neighbors(a).contains(b),
+        }
+    }
+
+    /// Override the per-thread decoded-adjacency cache budget, in bytes
+    /// (default [`DECODE_CACHE_DEFAULT_BYTES`]); `0` disables the cache.
+    /// Purely a wall-clock knob: every query result and every modeled
+    /// probe address is identical with the cache on or off.
+    pub fn with_decode_cache(mut self, capacity_bytes: usize) -> Self {
+        self.cache_capacity = capacity_bytes;
+        self
+    }
+
+    /// The configured per-thread cache budget in bytes (`0` = disabled).
+    pub fn decode_cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Bytes currently resident in this graph's decode-cache entries,
+    /// summed over all threads.
+    pub fn decode_cache_bytes(&self) -> usize {
+        self.cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cached membership probe of `x` in `v`'s adjacency. Replays the
+    /// exact byte-offset sequence [`CompressedNeighbors::contains_with_probes`]
+    /// reports — restart-table reads, block-first decodes, and per-entry
+    /// stream positions — so the coalescing memory model charges identical
+    /// modeled traffic whether the decoded list was cached or the Rice
+    /// stream was walked.
+    pub fn contains_with_probes(
+        &self,
+        v: VertexId,
+        x: VertexId,
+        mut probe: impl FnMut(usize),
+    ) -> bool {
+        let nb = self.neighbors(v);
+        match self.with_cached(v, |decoded, pos| {
+            replay_contains(&nb, decoded, pos, x, &mut probe)
+        }) {
+            Some(hit) => hit,
+            None => nb.contains_with_probes(x, probe),
+        }
+    }
+
+    /// Decode `v`'s full adjacency, recording the byte offset each entry's
+    /// decode starts at — exactly the positions the per-block probe path
+    /// reports, so a cached entry can replay them.
+    fn decode_with_positions(&self, v: VertexId) -> (Vec<VertexId>, Vec<u32>) {
+        let nb = self.neighbors(v);
+        let mut decoded = Vec::with_capacity(nb.deg);
+        let mut pos = Vec::with_capacity(nb.deg);
+        let mut cur = BlockCursor::at(nb.data_start());
+        let mut prev = 0;
+        for idx in 0..nb.deg {
+            if idx.is_multiple_of(BLOCK) {
+                // `decode_next` re-aligns at block starts; align first so
+                // the recorded position is the block's byte-aligned
+                // restart — what `contains_with_probes` probes.
+                cur.align();
+            }
+            pos.push(cur.pos as u32);
+            let w = decode_next(&mut cur, nb.region, idx, nb.deg, prev);
+            decoded.push(w);
+            prev = w;
+        }
+        (decoded, pos)
+    }
+
+    /// Run `f` over the cached decode of `v` (inserting on miss). `None`
+    /// when the cache is disabled, unavailable (re-entrant storage call on
+    /// this thread — `f` runs under the cache borrow), or the list exceeds
+    /// the whole budget — callers fall back to the streaming decoder.
+    fn with_cached<R>(&self, v: VertexId, f: impl FnOnce(&[VertexId], &[u32]) -> R) -> Option<R> {
+        if self.cache_capacity == 0 {
+            return None;
+        }
+        DECODE_CACHE.with(|tls| {
+            let mut cache = tls.try_borrow_mut().ok()?;
+            let shard = cache.shard(self.cache_id);
+            let GraphShard {
+                ref mut entries,
+                ref mut futile_evictions,
+                ..
+            } = *shard;
+            if let Some(e) = entries.get_mut(&v) {
+                e.hot = true;
+                e.touched = true;
+                *futile_evictions = 0;
+                return Some(f(&e.decoded, &e.pos));
+            }
+            let (decoded, pos) = self.decode_with_positions(v);
+            match shard.insert(v, decoded, pos, self.cache_capacity, &self.cache_bytes) {
+                Ok(e) => Some(f(&e.decoded, &e.pos)),
+                Err((decoded, pos)) => Some(f(&decoded, &pos)),
+            }
+        })
     }
 
     /// Vertices carrying label `l`, sorted by id — zero-copy from the
@@ -988,10 +1269,15 @@ impl CompressedGraph {
         self.bytes.is_mapped()
     }
 
-    /// Resident footprint: the image (mapped extent or owned capacity)
-    /// plus the load-time select-rank tables.
+    /// Resident footprint: the image (mapped extent or owned capacity),
+    /// the load-time select-rank tables, and every byte currently held by
+    /// this graph's decode-cache entries across all threads — the cache
+    /// is capacity-bounded, and its cost is never hidden from the
+    /// compression accounting.
     pub fn mem_bytes(&self) -> usize {
-        self.bytes.mem_bytes() + (self.deg_rank.capacity() + self.off_rank.capacity()) * 4
+        self.bytes.mem_bytes()
+            + (self.deg_rank.capacity() + self.off_rank.capacity()) * 4
+            + self.decode_cache_bytes()
     }
 
     /// Decompress back into an in-memory CSR graph (the `unpack`
@@ -1008,6 +1294,47 @@ impl CompressedGraph {
         }
         b.build().expect("decoded adjacency is in range")
     }
+}
+
+/// Replay [`CompressedNeighbors::contains_with_probes`] from a cached
+/// decode: the same restart-table binary search (probing table reads and
+/// block-first positions) followed by the same truncated in-block scan,
+/// with every probe address taken from the recorded entry positions.
+fn replay_contains(
+    nb: &CompressedNeighbors<'_>,
+    decoded: &[VertexId],
+    pos: &[u32],
+    x: VertexId,
+    probe: &mut impl FnMut(usize),
+) -> bool {
+    if decoded.is_empty() {
+        return false;
+    }
+    let nblocks = nb.nblocks();
+    let mut block = 0usize;
+    if nblocks > 1 {
+        let (mut lo, mut hi) = (0usize, nblocks);
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            probe(nb.base + mid * 4); // restart-table read
+            probe(nb.base + pos[mid * BLOCK] as usize); // block-first decode
+            if decoded[mid * BLOCK] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        block = lo;
+    }
+    let end = ((block + 1) * BLOCK).min(decoded.len());
+    for idx in block * BLOCK..end {
+        probe(nb.base + pos[idx] as usize);
+        let v = decoded[idx];
+        if v >= x {
+            return v == x;
+        }
+    }
+    false
 }
 
 /// View an 8-byte-aligned little-endian section as `&[u64]`.
@@ -1054,18 +1381,43 @@ impl GraphStorage for CompressedGraph {
     }
 
     fn neighbors_ref(&self, v: VertexId) -> NeighborsRef<'_> {
-        let nb = self.neighbors(v);
-        let mut out = Vec::with_capacity(nb.len());
-        nb.decode_into(&mut out);
-        NeighborsRef::Owned(out)
+        match self.with_cached(v, |decoded, _| decoded.to_vec()) {
+            Some(out) => NeighborsRef::Owned(out),
+            None => {
+                let nb = self.neighbors(v);
+                let mut out = Vec::with_capacity(nb.len());
+                nb.decode_into(&mut out);
+                NeighborsRef::Owned(out)
+            }
+        }
     }
 
     fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
         out.clear();
-        self.neighbors(v).decode_into(out);
+        if self
+            .with_cached(v, |decoded, _| out.extend_from_slice(decoded))
+            .is_none()
+        {
+            self.neighbors(v).decode_into(out);
+        }
     }
 
     fn for_each_neighbor(&self, v: VertexId, mut f: impl FnMut(VertexId) -> bool) {
+        // `f` runs under the cache borrow; a storage call inside it falls
+        // back to the streaming decoder (`with_cached` → `None`) rather
+        // than deadlocking or panicking.
+        if self
+            .with_cached(v, |decoded, _| {
+                for &w in decoded {
+                    if !f(w) {
+                        break;
+                    }
+                }
+            })
+            .is_some()
+        {
+            return;
+        }
         for w in self.neighbors(v).iter() {
             if !f(w) {
                 break;
@@ -1074,7 +1426,14 @@ impl GraphStorage for CompressedGraph {
     }
 
     fn intersect_neighbors_into(&self, v: VertexId, other: &[VertexId], out: &mut Vec<VertexId>) {
-        self.neighbors(v).intersect_into(other, out);
+        if self
+            .with_cached(v, |decoded, _| {
+                intersect::intersect_into(decoded, other, out)
+            })
+            .is_none()
+        {
+            self.neighbors(v).intersect_into(other, out);
+        }
     }
 
     fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
@@ -1193,6 +1552,123 @@ mod tests {
             let mut want = Vec::new();
             intersect::intersect_into(g.neighbors(0), other, &mut want);
             assert_eq!(got, want);
+        }
+    }
+
+    /// A hub graph whose vertex 0 spans several blocks — the shape that
+    /// exercises the restart-table binary search.
+    fn hub_graph(n: u32) -> Graph {
+        let mut b = GraphBuilder::with_vertices(n as usize);
+        for v in 1..n {
+            if v % 3 != 0 {
+                b.add_edge(0, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cached_probes_replay_the_streaming_sequence_bitwise() {
+        let g = hub_graph(1000);
+        let cached = CompressedGraph::from_graph(&g);
+        let uncached = cached.clone().with_decode_cache(0);
+        assert!(cached.neighbors(0).nblocks() > 1);
+        for v in [0u32, 1, 500] {
+            for x in 0..1002u32 {
+                let mut want = Vec::new();
+                let miss = uncached
+                    .neighbors(v)
+                    .contains_with_probes(x, |p| want.push(p));
+                // First call may populate the cache (miss), second must
+                // hit — both replay the identical probe sequence.
+                for round in 0..2 {
+                    let mut got = Vec::new();
+                    let hit = cached.contains_with_probes(v, x, |p| got.push(p));
+                    assert_eq!(hit, miss, "v={v} x={x} round={round}");
+                    assert_eq!(got, want, "probe addresses v={v} x={x} round={round}");
+                }
+            }
+        }
+        assert!(
+            cached.decode_cache_bytes() > 0,
+            "probes populated the cache"
+        );
+    }
+
+    #[test]
+    fn cache_respects_its_budget_and_accounts_in_mem_bytes() {
+        let g = hub_graph(4000);
+        let c = CompressedGraph::from_graph(&g).with_decode_cache(8 * 1024);
+        let base = c.mem_bytes();
+        for v in 0..g.num_vertices() as VertexId {
+            let _ = c.neighbors_ref(v);
+        }
+        let resident = c.decode_cache_bytes();
+        assert!(resident > 0, "scan populated the cache");
+        assert!(
+            resident <= 8 * 1024,
+            "resident {resident}B exceeds the 8KiB budget"
+        );
+        assert_eq!(c.mem_bytes(), base + resident, "mem_bytes counts the cache");
+        // Disabled cache: no growth, identical answers.
+        let off = CompressedGraph::from_graph(&g).with_decode_cache(0);
+        let before = off.mem_bytes();
+        for v in 0..64 {
+            assert_eq!(&*off.neighbors_ref(v), &*c.neighbors_ref(v), "v={v}");
+        }
+        assert_eq!(off.mem_bytes(), before, "disabled cache never grows");
+    }
+
+    #[test]
+    fn thrash_guard_freezes_admission_under_cyclic_scans() {
+        // A working set far beyond the budget: without the guard every
+        // access would decode, insert, and evict for zero hits. With it,
+        // admission freezes after a capacity's worth of futile evictions,
+        // the resident set pins, and answers stay exact.
+        let g = hub_graph(4000);
+        let c = CompressedGraph::from_graph(&g).with_decode_cache(8 * 1024);
+        let n = g.num_vertices() as VertexId;
+        for _ in 0..3 {
+            for v in 0..n {
+                assert_eq!(&*c.neighbors_ref(v), g.neighbors(v));
+            }
+        }
+        let resident = c.decode_cache_bytes();
+        assert!(resident > 0, "pinned set survives the scans");
+        assert!(resident <= 8 * 1024, "guard never overflows the budget");
+    }
+
+    #[test]
+    fn cached_storage_methods_match_streaming_decode() {
+        let g = hub_graph(1000);
+        let c = CompressedGraph::from_graph(&g);
+        // Twice: first pass misses, second hits the cache.
+        for round in 0..2 {
+            for v in [0u32, 5, 999] {
+                assert_eq!(&*c.neighbors_ref(v), g.neighbors(v), "round={round}");
+                let mut buf = Vec::new();
+                c.neighbors_into(v, &mut buf);
+                assert_eq!(buf, g.neighbors(v));
+                let mut seen = Vec::new();
+                c.for_each_neighbor(v, |w| {
+                    seen.push(w);
+                    seen.len() < 70
+                });
+                assert_eq!(&seen[..], &g.neighbors(v)[..seen.len()]);
+                let other: Vec<VertexId> = (0..1000).step_by(7).collect();
+                let mut got = Vec::new();
+                c.intersect_neighbors_into(v, &other, &mut got);
+                let mut want = Vec::new();
+                intersect::intersect_into(g.neighbors(v), &other, &mut want);
+                assert_eq!(got, want);
+                for x in [0u32, 1, 4, 500, 998] {
+                    assert_eq!(
+                        GraphStorage::has_edge(&c, v, x),
+                        g.neighbors(v).binary_search(&x).is_ok(),
+                        "has_edge({v},{x}) round={round}"
+                    );
+                }
+            }
         }
     }
 

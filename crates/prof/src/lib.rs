@@ -68,6 +68,17 @@ impl SpanKind {
 pub enum Track {
     /// Stream `stream` of device `device`.
     Stream { device: u32, stream: u32 },
+    /// Intra-kernel sim worker `worker` driving blocks of one launch on
+    /// `stream` of `device`. Worker rows are observability only: device
+    /// makespans are still derived from the stream tracks (the stream's
+    /// launch span already covers its workers), but worker spans obey the
+    /// same non-overlap invariant — launches on a stream are serialized
+    /// and a worker slot runs on one host thread per launch.
+    Worker {
+        device: u32,
+        stream: u32,
+        worker: u32,
+    },
     /// The host-side row.
     Host,
 }
@@ -272,8 +283,9 @@ impl ProfReport {
     }
 
     /// Check the structural invariants every profile must satisfy:
-    /// every span has `start ≤ end`; spans on one stream track never
-    /// overlap (stream jobs are serialized); and the incrementally tracked
+    /// every span has `start ≤ end`; spans on one stream or worker track
+    /// never overlap (stream jobs are serialized, and a worker slot runs
+    /// on one host thread per launch); and the incrementally tracked
     /// per-device makespan equals the max span end of that device's
     /// streams. Returns the first violation as an error string.
     pub fn validate(&self) -> Result<(), String> {
@@ -287,7 +299,7 @@ impl ProfReport {
         }
         let mut by_track: HashMap<Track, Vec<&Span>> = HashMap::new();
         for s in &self.spans {
-            if matches!(s.track, Track::Stream { .. }) {
+            if matches!(s.track, Track::Stream { .. } | Track::Worker { .. }) {
                 by_track.entry(s.track).or_default().push(s);
             }
         }
@@ -688,6 +700,57 @@ mod tests {
             name: "y".into(),
             start_us: 10,
             end_us: 15,
+        });
+        assert!(r.validate().unwrap_err().contains("overlapping"));
+    }
+
+    #[test]
+    fn worker_tracks_validate_like_streams_but_skip_makespan() {
+        let worker = |w: u32| Track::Worker {
+            device: 0,
+            stream: 0,
+            worker: w,
+        };
+        let mut r = ProfReport {
+            num_devices: 1,
+            streams_per_device: 1,
+            spans: vec![
+                Span {
+                    track: stream(0, 0),
+                    kind: SpanKind::Launch,
+                    name: "k".into(),
+                    start_us: 0,
+                    end_us: 40,
+                },
+                // Concurrent workers on *different* worker tracks are fine.
+                Span {
+                    track: worker(0),
+                    kind: SpanKind::Launch,
+                    name: "k".into(),
+                    start_us: 0,
+                    end_us: 30,
+                },
+                Span {
+                    track: worker(1),
+                    kind: SpanKind::Launch,
+                    name: "k".into(),
+                    start_us: 5,
+                    end_us: 35,
+                },
+            ],
+            // Makespan derives from the stream track only.
+            device_makespan_us: vec![40],
+            ..ProfReport::default()
+        };
+        assert!(r.validate().is_ok());
+        assert_eq!(r.makespan_from_spans_us(0), 40);
+        // Overlap on a single worker track is a violation.
+        r.spans.push(Span {
+            track: worker(1),
+            kind: SpanKind::Launch,
+            name: "k2".into(),
+            start_us: 20,
+            end_us: 50,
         });
         assert!(r.validate().unwrap_err().contains("overlapping"));
     }

@@ -13,6 +13,8 @@
 //! and byte-deterministic for a given [`ProfReport`]: metadata in
 //! (pid, tid) order, then spans in the report's sorted order.
 
+use std::collections::BTreeSet;
+
 use crate::{ProfReport, Track};
 
 /// `pid` assigned to the host track: one past the last device.
@@ -56,6 +58,21 @@ pub fn to_chrome_trace(report: &ProfReport) -> String {
             out.push_str(",\n");
         }
     };
+    // Worker rows exist only for launches that actually fanned out, so
+    // (unlike the fixed device×stream grid) they are declared lazily from
+    // the spans present in the report.
+    let mut worker_rows: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    for span in &report.spans {
+        if let Track::Worker {
+            device,
+            stream,
+            worker,
+        } = span.track
+        {
+            worker_rows.insert((device, stream, worker));
+        }
+    }
+    let worker_tid = |stream: u32, worker: u32| report.streams_per_device * (worker + 1) + stream;
     for device in 0..report.num_devices {
         sep(&mut out);
         push_metadata(
@@ -75,6 +92,19 @@ pub fn to_chrome_trace(report: &ProfReport) -> String {
                 &format!("stream {stream}"),
             );
         }
+        for &(d, stream, worker) in &worker_rows {
+            if d != device {
+                continue;
+            }
+            sep(&mut out);
+            push_metadata(
+                &mut out,
+                "thread_name",
+                device,
+                worker_tid(stream, worker),
+                &format!("s{stream} sim-worker {worker}"),
+            );
+        }
     }
     let host = host_pid(report);
     sep(&mut out);
@@ -84,6 +114,11 @@ pub fn to_chrome_trace(report: &ProfReport) -> String {
     for span in &report.spans {
         let (pid, tid) = match span.track {
             Track::Stream { device, stream } => (device, stream),
+            Track::Worker {
+                device,
+                stream,
+                worker,
+            } => (device, worker_tid(stream, worker)),
             Track::Host => (host, 0),
         };
         sep(&mut out);
@@ -142,6 +177,53 @@ mod tests {
         assert!(json.contains(
             "{\"name\":\"wait rsv\",\"cat\":\"wait\",\"ph\":\"X\",\"ts\":12,\"dur\":28,\"pid\":1,\"tid\":0}"
         ));
+    }
+
+    #[test]
+    fn worker_spans_get_their_own_lazily_declared_rows() {
+        let p = Profiler::new(1, 2);
+        p.record_span_at(
+            Track::Stream {
+                device: 0,
+                stream: 1,
+            },
+            SpanKind::Launch,
+            "k",
+            0,
+            50,
+        );
+        p.record_span_at(
+            Track::Worker {
+                device: 0,
+                stream: 1,
+                worker: 0,
+            },
+            SpanKind::Launch,
+            "k",
+            0,
+            40,
+        );
+        p.record_span_at(
+            Track::Worker {
+                device: 0,
+                stream: 1,
+                worker: 1,
+            },
+            SpanKind::Launch,
+            "k",
+            2,
+            45,
+        );
+        let json = p.report().to_chrome_trace();
+        assert!(json.contains("\"name\":\"s1 sim-worker 0\""));
+        assert!(json.contains("\"name\":\"s1 sim-worker 1\""));
+        // tid = streams_per_device * (worker + 1) + stream keeps worker
+        // rows clear of the stream rows: stream 1 → tid 1, workers → 3, 5.
+        assert!(json.contains("\"ts\":0,\"dur\":40,\"pid\":0,\"tid\":3"));
+        assert!(json.contains("\"ts\":2,\"dur\":43,\"pid\":0,\"tid\":5"));
+        let summary = crate::json::validate_chrome_trace(&json).expect("worker export must parse");
+        assert_eq!(summary.stream_tracks, 2);
+        assert_eq!(summary.complete_events, 3);
     }
 
     #[test]

@@ -374,12 +374,17 @@ impl InitShadow {
     }
 }
 
-/// Detailed violations plus the per-site counts enforcing the cap, kept
-/// under one lock so the count and the kept list cannot drift apart.
+/// Detailed violations plus the per-(site, block) counts enforcing the
+/// record-time cap, kept under one lock so the count and the kept list
+/// cannot drift apart. The cap is keyed by block as well as site so that
+/// blocks executing on different host threads cannot steal each other's
+/// detail budget in a thread-timing-dependent order; [`Sanitizer::report`]
+/// re-applies the global per-site cap in ascending block order, which is
+/// exactly the arrival order of a serial (block 0, 1, 2, …) execution.
 #[derive(Debug, Default)]
 struct Detail {
     kept: Vec<Violation>,
-    per_site: HashMap<Site, usize>,
+    per_site: HashMap<(Site, usize), usize>,
 }
 
 #[derive(Debug)]
@@ -396,7 +401,7 @@ impl Inner {
     fn record(&self, block: usize, warp: usize, kind: ViolationKind) {
         self.total.fetch_add(1, Ordering::Relaxed);
         let mut d = self.detail.lock();
-        let seen = d.per_site.entry(kind.site()).or_default();
+        let seen = d.per_site.entry((kind.site(), block)).or_default();
         if *seen < VIOLATION_CAP {
             *seen += 1;
             d.kept.push(Violation {
@@ -485,12 +490,28 @@ impl Sanitizer {
     }
 
     /// Collect the final report. Violations are sorted into a
-    /// deterministic order regardless of host-thread interleaving.
+    /// deterministic order regardless of host-thread interleaving, and the
+    /// global per-site cap of [`VIOLATION_CAP`] is applied in ascending
+    /// block order — the arrival order of a serial execution — so the kept
+    /// set is bit-identical however blocks were scheduled across threads.
     pub fn report(&self) -> SanitizerReport {
         let Some(inner) = &self.inner else {
             return SanitizerReport::default();
         };
-        let mut violations = inner.detail.lock().kept.clone();
+        let mut kept = inner.detail.lock().kept.clone();
+        // Each block's violations were pushed by the one thread running
+        // that block, so a stable sort by block restores the serial
+        // arrival order (blocks ascending, program order within a block).
+        kept.sort_by_key(|v| v.block);
+        let mut per_site: HashMap<Site, usize> = HashMap::new();
+        let mut violations = Vec::with_capacity(kept.len().min(VIOLATION_CAP));
+        for v in kept {
+            let seen = per_site.entry(v.kind.site()).or_default();
+            if *seen < VIOLATION_CAP {
+                *seen += 1;
+                violations.push(v);
+            }
+        }
         violations.sort_by(|a, b| {
             (a.block, a.warp, format!("{}", a.kind)).cmp(&(b.block, b.warp, format!("{}", b.kind)))
         });

@@ -188,7 +188,7 @@ impl Device {
 
 /// Minimal one-shot cell so block results can be written from worker
 /// threads without locking (each slot written exactly once).
-mod parking_slot {
+pub(crate) mod parking_slot {
     use std::cell::UnsafeCell;
     use std::sync::atomic::{AtomicBool, Ordering};
 

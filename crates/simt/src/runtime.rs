@@ -20,8 +20,9 @@
 //! (the standard fix in the simulator-parallelization literature). Workers
 //! drain and join when the runtime drops.
 
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -40,6 +41,14 @@ pub struct RuntimeConfig {
     pub streams_per_device: usize,
     /// Per-device launch geometry.
     pub device: DeviceConfig,
+    /// Intra-kernel block workers: how many host threads one launch fans
+    /// its grid's blocks across. `0` = auto (the device's `host_threads`),
+    /// `1` = serial in-stream execution, `n` = a persistent pool of `n`
+    /// lockstep block workers shared by every stream. Functional results,
+    /// counters, and sanitizer verdicts are bit-identical for every value
+    /// (results merge in fixed block order; the sanitizer's detail cap is
+    /// block-keyed), so this knob trades wall-clock only.
+    pub sim_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +57,7 @@ impl Default for RuntimeConfig {
             num_devices: 1,
             streams_per_device: 1,
             device: DeviceConfig::default(),
+            sim_workers: 0,
         }
     }
 }
@@ -151,6 +161,12 @@ pub struct Runtime {
     /// [`Runtime::scope`] entry, reused by every later scope, and joined
     /// when the runtime drops.
     pool: OnceLock<WorkerPool>,
+    /// Resolved intra-kernel worker count ([`RuntimeConfig::sim_workers`]
+    /// with `0` replaced by the device's `host_threads`).
+    sim_workers: usize,
+    /// Persistent block workers shared by every stream's launches, created
+    /// lazily on the first parallel launch (only when `sim_workers > 1`).
+    block_pool: OnceLock<BlockPool>,
 }
 
 /// The persistent stream workers: `senders[device * streams + stream]`
@@ -184,6 +200,220 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Profiler attribution of one parallel launch, carried by its batch so
+/// each participating worker can record a [`Track::Worker`] span.
+struct BatchProf {
+    profiler: Profiler,
+    name: String,
+    device: u32,
+    stream: u32,
+}
+
+/// One parallel launch in flight on the block pool: a shared cursor over
+/// the block indices, a type-erased per-block body, and completion
+/// tracking. Any thread (pool worker or the submitting stream worker) can
+/// claim blocks; results land in per-block slots owned by the submitter,
+/// so the merge order is the fixed ascending block order regardless of
+/// which worker ran which block.
+struct BlockBatch {
+    /// Next unclaimed block index (0-based within the launch's range).
+    cursor: AtomicUsize,
+    nblocks: usize,
+    /// Blocks not yet finished; the submitter blocks on it.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// Set when any block body panicked (the submitter re-panics after the
+    /// whole batch completes, so sibling blocks still produce results).
+    panicked: AtomicBool,
+    /// Worker-slot allocator for profiler track attribution.
+    participants: AtomicUsize,
+    /// The per-block runner. Lifetime-erased: see the SAFETY note in
+    /// [`BlockPool::run`].
+    body: &'static (dyn Fn(usize) + Sync),
+    prof: Option<BatchProf>,
+}
+
+impl BlockBatch {
+    /// Claim and execute blocks until the cursor is exhausted. A thread
+    /// that ran at least one block records one per-launch span on its
+    /// [`Track::Worker`] track when profiling.
+    fn participate(&self) {
+        let mut joined: Option<(usize, u64)> = None;
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.nblocks {
+                break;
+            }
+            if joined.is_none() {
+                let w = self.participants.fetch_add(1, Ordering::Relaxed);
+                let start = self.prof.as_ref().map_or(0, |p| p.profiler.now_us());
+                joined = Some((w, start));
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.body)(i))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            let mut rem = self.remaining.lock().expect("batch remaining");
+            *rem -= 1;
+            if *rem == 0 {
+                self.done.notify_all();
+            }
+        }
+        if let (Some((w, start)), Some(p)) = (joined, &self.prof) {
+            let track = Track::Worker {
+                device: p.device,
+                stream: p.stream,
+                worker: w as u32,
+            };
+            p.profiler
+                .record_span(track, SpanKind::Launch, &p.name, start);
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.nblocks
+    }
+
+    /// Block until every block of the batch has finished.
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().expect("batch remaining");
+        while *rem > 0 {
+            rem = self.done.wait(rem).expect("batch wait");
+        }
+    }
+}
+
+struct BlockShared {
+    queue: Mutex<VecDeque<Arc<BlockBatch>>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The persistent intra-kernel worker pool: `sim_workers - 1` parked
+/// threads that drain block batches FIFO (the submitting stream worker is
+/// the remaining participant, which also guarantees progress when every
+/// pool thread is busy elsewhere). Threads are created once per runtime
+/// and joined on drop.
+struct BlockPool {
+    shared: Arc<BlockShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BlockPool {
+    fn new(threads: usize) -> Self {
+        let shared = Arc::new(BlockShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        BlockPool { shared, handles }
+    }
+
+    fn worker_loop(shared: &BlockShared) {
+        loop {
+            let batch = {
+                let mut q = shared.queue.lock().expect("block queue");
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    while q.front().is_some_and(|b| b.exhausted()) {
+                        q.pop_front();
+                    }
+                    if let Some(b) = q.front() {
+                        break Arc::clone(b);
+                    }
+                    q = shared.cv.wait(q).expect("block queue wait");
+                }
+            };
+            batch.participate();
+        }
+    }
+
+    /// Fan one launch's blocks across the pool (the calling thread
+    /// participates too) and return the per-block results in ascending
+    /// block order. Panicking blocks poison the batch; the panic is
+    /// re-raised here once every sibling block has finished.
+    fn run<R, F>(&self, blocks: Range<usize>, body: F, prof: Option<BatchProf>) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let base = blocks.start;
+        let nb = blocks.len();
+        if nb == 0 {
+            return Vec::new();
+        }
+        let slots: Vec<crate::device::parking_slot::Slot<R>> = (0..nb)
+            .map(|_| crate::device::parking_slot::Slot::new())
+            .collect();
+        let runner = |i: usize| slots[i].put(body(base + i));
+        let runner_ref: &(dyn Fn(usize) + Sync) = &runner;
+        // SAFETY: the body reference is erased to 'static so pool threads
+        // can hold the batch, but every dereference happens between a
+        // successful cursor claim (`i < nblocks`) and that block's
+        // `remaining` decrement — and this function only returns after
+        // `remaining` reaches zero, so `runner`, `slots`, and `body`
+        // outlive every use. Workers touching the batch after completion
+        // only read its owned fields (cursor, prof), never `body`.
+        let body_static = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(
+                runner_ref,
+            )
+        };
+        let batch = Arc::new(BlockBatch {
+            cursor: AtomicUsize::new(0),
+            nblocks: nb,
+            remaining: Mutex::new(nb),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+            participants: AtomicUsize::new(0),
+            body: body_static,
+            prof,
+        });
+        self.shared
+            .queue
+            .lock()
+            .expect("block queue")
+            .push_back(Arc::clone(&batch));
+        self.shared.cv.notify_all();
+        batch.participate();
+        batch.wait();
+        // Drop the finished batch from the queue (helpers also pop
+        // exhausted fronts lazily).
+        self.shared
+            .queue
+            .lock()
+            .expect("block queue")
+            .retain(|b| !Arc::ptr_eq(b, &batch));
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a kernel block panicked inside a parallel launch");
+        }
+        slots
+            .into_iter()
+            .map(|s| s.take().expect("all blocks executed"))
+            .collect()
+    }
+}
+
+impl Drop for BlockPool {
+    fn drop(&mut self) {
+        {
+            let _q = self.shared.queue.lock().expect("block queue");
+            self.shared.shutdown.store(true, Ordering::Release);
+        }
+        self.shared.cv.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -255,6 +485,11 @@ impl Runtime {
         let board = (0..config.num_devices)
             .map(|_| vec![KernelCounters::default(); config.streams_per_device])
             .collect();
+        let sim_workers = if config.sim_workers == 0 {
+            config.device.host_threads.max(1)
+        } else {
+            config.sim_workers
+        };
         Runtime {
             devices,
             streams_per_device: config.streams_per_device,
@@ -262,6 +497,8 @@ impl Runtime {
             profiler,
             poisoned: AtomicBool::new(false),
             pool: OnceLock::new(),
+            sim_workers,
+            block_pool: OnceLock::new(),
         }
     }
 
@@ -269,6 +506,23 @@ impl Runtime {
     fn pool(&self) -> &WorkerPool {
         self.pool
             .get_or_init(|| WorkerPool::new(self.devices.len() * self.streams_per_device))
+    }
+
+    /// Resolved intra-kernel worker count (`1` = serial block execution).
+    pub fn sim_workers(&self) -> usize {
+        self.sim_workers
+    }
+
+    /// The persistent block-worker pool, or `None` when launches execute
+    /// their blocks serially on the stream worker.
+    fn block_pool(&self) -> Option<&BlockPool> {
+        if self.sim_workers <= 1 {
+            return None;
+        }
+        Some(
+            self.block_pool
+                .get_or_init(|| BlockPool::new(self.sim_workers - 1)),
+        )
     }
 
     /// Number of devices in the runtime.
@@ -477,7 +731,7 @@ impl<'env> RuntimeScope<'env> {
         R: Send + 'env,
         F: Fn(usize) -> R + Send + Sync + 'env,
     {
-        let dev: &'env Device = self.runtime.device(device);
+        let rt: &'env Runtime = self.runtime;
         let profiler = self.runtime.profiler.clone();
         let name = name.to_string();
         let track = Track::Stream {
@@ -487,9 +741,29 @@ impl<'env> RuntimeScope<'env> {
         let slot: Arc<Mutex<Option<Vec<R>>>> = Arc::new(Mutex::new(None));
         let event = Event::new();
         let (slot2, event2) = (Arc::clone(&slot), event.clone());
+        // `BlockPool::run` drains a *different* pool than the stream
+        // workers: its threads only ever claim block batches (they never
+        // submit to or wait on the stream pool), and the submitting stream
+        // worker participates in the batch itself, so the batch completes
+        // even with zero dedicated pool threads — no self-deadlock.
+        // gsword: allow(scope-blocking)
         self.submit(device, stream, move || {
             let start = profiler.now_us();
-            let out = dev.launch_blocks(blocks, body);
+            // Fan the blocks across the persistent intra-kernel pool when
+            // one is configured; either way, results come back in
+            // ascending block order, so downstream merges are identical.
+            let out = match rt.block_pool() {
+                Some(pool) => {
+                    let prof = profiler.enabled().then(|| BatchProf {
+                        profiler: profiler.clone(),
+                        name: name.clone(),
+                        device: device as u32,
+                        stream: stream as u32,
+                    });
+                    pool.run(blocks, body, prof)
+                }
+                None => blocks.map(&body).collect(),
+            };
             profiler.record_span(track, SpanKind::Launch, &name, start);
             *slot2.lock().expect("launch slot") = Some(out);
             event2.record();
@@ -525,6 +799,7 @@ mod tests {
                 threads_per_block: 32,
                 host_threads: 1,
             },
+            sim_workers: 0,
         })
     }
 
@@ -629,6 +904,7 @@ mod tests {
                     threads_per_block: 32,
                     host_threads: 1,
                 },
+                sim_workers: 0,
             },
             |_| Sanitizer::off(),
             Profiler::new(2, 2),
@@ -674,6 +950,103 @@ mod tests {
         rt.scope(|rs| {
             rs.submit(0, 0, || panic!("kernel exploded"));
             rs.record(0, 0).wait();
+        });
+    }
+
+    fn with_workers(workers: usize, blocks: usize) -> Runtime {
+        Runtime::new(RuntimeConfig {
+            num_devices: 1,
+            streams_per_device: 1,
+            device: DeviceConfig {
+                num_blocks: blocks,
+                threads_per_block: 32,
+                host_threads: 1,
+            },
+            sim_workers: workers,
+        })
+    }
+
+    #[test]
+    fn sim_workers_auto_resolves_to_host_threads() {
+        assert_eq!(tiny(1, 1).sim_workers(), 1);
+        assert_eq!(with_workers(8, 4).sim_workers(), 8);
+    }
+
+    #[test]
+    fn block_pool_matches_serial_results_on_any_worker_count() {
+        let want: Vec<usize> = (0..37).map(|b| b * 3 + 1).collect();
+        for workers in [1, 2, 3, 8] {
+            let rt = with_workers(workers, 37);
+            let out = rt.scope(|rs| rs.launch(0, 0, 0..37, |b| b * 3 + 1).wait());
+            assert_eq!(out, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn block_pool_is_reused_across_scopes_and_launches() {
+        let rt = with_workers(4, 16);
+        for _ in 0..3 {
+            let (a, b) = rt.scope(|rs| {
+                let a = rs.launch(0, 0, 0..16, |b| b);
+                let b = rs.launch(0, 0, 4..12, |b| b * 2);
+                (a.wait(), b.wait())
+            });
+            assert_eq!(a, (0..16).collect::<Vec<_>>());
+            assert_eq!(b, (4..12).map(|b| b * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_launch_records_worker_spans() {
+        let rt = Runtime::with_instrumentation(
+            RuntimeConfig {
+                num_devices: 1,
+                streams_per_device: 1,
+                device: DeviceConfig {
+                    num_blocks: 8,
+                    threads_per_block: 32,
+                    host_threads: 1,
+                },
+                sim_workers: 4,
+            },
+            |_| Sanitizer::off(),
+            Profiler::new(1, 1),
+        );
+        rt.scope(|rs| {
+            rs.launch_named(0, 0, 0..8, "par", |b| b).wait();
+        });
+        let report = rt.profiler().report();
+        report.validate().expect("worker tracks stay well-formed");
+        let stream_spans = report
+            .spans
+            .iter()
+            .filter(|s| matches!(s.track, Track::Stream { .. }))
+            .count();
+        let worker_spans = report
+            .spans
+            .iter()
+            .filter(|s| matches!(s.track, Track::Worker { .. }))
+            .count();
+        assert_eq!(stream_spans, 1);
+        assert!(
+            (1..=4).contains(&worker_spans),
+            "every participating worker records exactly one span, got {worker_spans}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stream job panicked")]
+    fn parallel_block_panic_poisons_the_scope() {
+        let rt = with_workers(4, 8);
+        rt.scope(|rs| {
+            // A panicked launch never records its event, so don't wait on
+            // the handle — the scope's drop drains the stream and re-raises.
+            let _h = rs.launch(0, 0, 0..8, |b| {
+                if b == 5 {
+                    panic!("block exploded");
+                }
+                b
+            });
         });
     }
 

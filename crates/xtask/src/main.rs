@@ -451,9 +451,11 @@ fn check_bench_file(path: &str) -> ExitCode {
     }
     // The rail's contract: every comparison the docs cite must be present,
     // including the compressed-vs-CSR storage rows.
-    const REQUIRED_IDS: [&str; 15] = [
+    const REQUIRED_IDS: [&str; 27] = [
         "storage/charge_probes/per_access/yeast",
         "storage/charge_probes/batched/yeast",
+        "storage/charge_probes/per_access/eu2005",
+        "storage/charge_probes/batched/eu2005",
         "cpu_sampling/WJ/yeast",
         "cpu_sampling/AL/yeast",
         "candidate_build/full/yeast",
@@ -461,12 +463,22 @@ fn check_bench_file(path: &str) -> ExitCode {
         "candidate_build/legacy/yeast",
         "alley_refine/adaptive/yeast",
         "alley_refine/legacy/yeast",
+        "sim/wall/serial/yeast",
+        "sim/wall/parallel/yeast",
         "storage/neighbor_scan/csr/yeast",
         "storage/neighbor_scan/compressed/yeast",
+        "storage/neighbor_scan/cached/yeast",
+        "storage/neighbor_scan/csr/eu2005",
+        "storage/neighbor_scan/compressed/eu2005",
+        "storage/neighbor_scan/cached/eu2005",
         "storage/member_probe/csr/yeast",
         "storage/member_probe/compressed/yeast",
+        "storage/member_probe/csr/eu2005",
+        "storage/member_probe/compressed/eu2005",
         "storage/candidate_build/csr/yeast",
         "storage/candidate_build/compressed/yeast",
+        "storage/candidate_build/csr/eu2005",
+        "storage/candidate_build/compressed/eu2005",
     ];
     for required in REQUIRED_IDS {
         if !ids.contains(required) {

@@ -54,6 +54,7 @@ proptest! {
                 num_devices: devices,
                 streams_per_device: streams,
                 device: tiny_grid(),
+                sim_workers: 1,
             },
             |_| Sanitizer::off(),
             Profiler::new(devices, streams),
@@ -153,7 +154,9 @@ proptest! {
         let mut bad = good.clone();
         let d = match bad.spans[0].track {
             Track::Stream { device, .. } => device as usize,
-            Track::Host => unreachable!("only stream spans recorded"),
+            Track::Host | Track::Worker { .. } => {
+                unreachable!("only stream spans recorded")
+            }
         };
         bad.device_makespan_us[d] += 1;
         prop_assert!(bad.validate().is_err());

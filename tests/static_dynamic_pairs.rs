@@ -245,6 +245,7 @@ fn stray_launch_pairs_with_lost_attribution() {
             threads_per_block: 32,
             host_threads: 1,
         },
+        sim_workers: 1,
     });
     let per_block: Vec<KernelCounters> = rt.device(0).launch(|_b| {
         let mut c = KernelCounters::default();
@@ -295,6 +296,7 @@ fn scope_blocking_pairs_with_same_stream_deadlock() {
             threads_per_block: 32,
             host_threads: 1,
         },
+        sim_workers: 1,
     };
 
     // Cross-stream wait drains: stream 1's worker records the event while

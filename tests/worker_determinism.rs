@@ -1,0 +1,169 @@
+//! Block-parallel launches are bit-deterministic: fanning a grid's blocks
+//! over any number of sim workers must not change a single observable —
+//! estimates, kernel counters, or sanitizer verdicts. Likewise the
+//! decoded-block cache inside the compressed backend is a pure
+//! memoization: every `GraphStorage` method answers identically with the
+//! cache on, off, or starved down to a budget that fits nothing.
+
+use gsword::graph::compressed::CompressedGraph;
+use gsword::prelude::*;
+use proptest::prelude::*;
+
+fn run_with_workers(
+    data: &Graph,
+    query: &QueryGraph,
+    kind: EstimatorKind,
+    seed: u64,
+    workers: usize,
+) -> Report {
+    Gsword::builder(data, query)
+        .samples(2_000)
+        .estimator(kind)
+        .seed(seed)
+        .backend(Backend::Gsword)
+        .sim_workers(workers)
+        .sanitize(SanitizerMode::FULL)
+        .run()
+        .expect("estimate runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 1, 2, and 8 sim workers: same estimate bits, same counter
+    /// snapshot, same sanitizer violation set — on both a small and a
+    /// larger dataset, for both estimators.
+    #[test]
+    fn estimates_are_bit_identical_across_worker_counts(seed in any::<u64>()) {
+        let dataset = if seed & 1 == 0 { "yeast" } else { "eu2005" };
+        let kind = if seed & 2 == 0 { EstimatorKind::WanderJoin } else { EstimatorKind::Alley };
+        let data = gsword::datasets::dataset(dataset);
+        let query = QueryGraph::extract(&data, 4, seed ^ 0xA5A5).expect("query");
+        let serial = run_with_workers(&data, &query, kind, seed, 1);
+        for workers in [2usize, 8] {
+            let parallel = run_with_workers(&data, &query, kind, seed, workers);
+            prop_assert_eq!(
+                serial.estimate.to_bits(),
+                parallel.estimate.to_bits(),
+                "{}/{:?}: estimate diverges at {} workers",
+                dataset, kind, workers
+            );
+            prop_assert_eq!(
+                serial.counters.as_ref().expect("counters").snapshot(),
+                parallel.counters.as_ref().expect("counters").snapshot(),
+                "{}/{:?}: counters diverge at {} workers",
+                dataset, kind, workers
+            );
+            prop_assert_eq!(
+                serial.sanitizer.as_ref().expect("sanitizer report"),
+                parallel.sanitizer.as_ref().expect("sanitizer report"),
+                "{}/{:?}: sanitizer verdicts diverge at {} workers",
+                dataset, kind, workers
+            );
+        }
+    }
+}
+
+/// Every `GraphStorage` method, compared element-for-element between a
+/// cache-enabled compressed graph, a cache-disabled one, and one whose
+/// budget is too small to admit any block (exercising the
+/// hand-back-uncached path).
+#[test]
+fn decode_cache_is_invisible_to_every_storage_method() {
+    let g = gsword::datasets::dataset("yeast");
+    let cached = CompressedGraph::from_graph(&g); // default cache on
+    let uncached = CompressedGraph::from_graph(&g).with_decode_cache(0);
+    let starved = CompressedGraph::from_graph(&g).with_decode_cache(1);
+
+    assert!(cached.decode_cache_capacity() > 0);
+    assert_eq!(uncached.decode_cache_capacity(), 0);
+
+    let n = g.num_vertices();
+    assert_eq!(cached.num_vertices(), n);
+    assert_eq!(uncached.num_vertices(), n);
+    assert_eq!(cached.num_edges(), uncached.num_edges());
+    assert_eq!(cached.label_count(), uncached.label_count());
+    assert_eq!(cached.max_degree(), uncached.max_degree());
+
+    let mut buf_c = Vec::new();
+    let mut buf_u = Vec::new();
+    for v in 0..n as VertexId {
+        // Twice per vertex: the second pass hits the warm cache.
+        for pass in 0..2 {
+            assert_eq!(
+                &*cached.neighbors_ref(v),
+                &*uncached.neighbors_ref(v),
+                "neighbors_ref({v}) pass {pass}"
+            );
+            assert_eq!(
+                &*starved.neighbors_ref(v),
+                &*uncached.neighbors_ref(v),
+                "starved neighbors_ref({v}) pass {pass}"
+            );
+
+            buf_c.clear();
+            buf_u.clear();
+            cached.neighbors_into(v, &mut buf_c);
+            uncached.neighbors_into(v, &mut buf_u);
+            assert_eq!(buf_c, buf_u, "neighbors_into({v})");
+
+            let mut seen_c = Vec::new();
+            cached.for_each_neighbor(v, |w| {
+                seen_c.push(w);
+                true
+            });
+            assert_eq!(seen_c, buf_u, "for_each_neighbor({v})");
+
+            // Early-exit streaming must stop at the same place.
+            let mut first_c = None;
+            let mut first_u = None;
+            cached.for_each_neighbor(v, |w| {
+                first_c = Some(w);
+                false
+            });
+            uncached.for_each_neighbor(v, |w| {
+                first_u = Some(w);
+                false
+            });
+            assert_eq!(first_c, first_u, "for_each_neighbor({v}) early exit");
+        }
+
+        assert_eq!(cached.degree(v), uncached.degree(v), "degree({v})");
+        assert_eq!(cached.label(v), uncached.label(v), "label({v})");
+
+        let probe = [(v * 7 + 3) % n as VertexId, (v + 1) % n as VertexId];
+        for &w in &probe {
+            assert_eq!(
+                cached.has_edge(v, w),
+                uncached.has_edge(v, w),
+                "has_edge({v}, {w})"
+            );
+        }
+
+        let other: Vec<VertexId> = (0..n as VertexId).step_by(3).collect();
+        buf_c.clear();
+        buf_u.clear();
+        cached.intersect_neighbors_into(v, &other, &mut buf_c);
+        uncached.intersect_neighbors_into(v, &other, &mut buf_u);
+        assert_eq!(buf_c, buf_u, "intersect_neighbors_into({v})");
+    }
+
+    for l in 0..cached.label_count() as Label {
+        assert_eq!(
+            cached.vertices_with_label(l),
+            uncached.vertices_with_label(l),
+            "vertices_with_label({l})"
+        );
+    }
+
+    // The cache is capacity-honest: resident bytes stay within budget and
+    // are reported by mem_bytes, so the cached graph never claims the
+    // uncached footprint.
+    assert!(cached.decode_cache_bytes() <= cached.decode_cache_capacity());
+    assert_eq!(
+        starved.decode_cache_bytes(),
+        0,
+        "nothing fits a 1-byte budget"
+    );
+    assert!(cached.mem_bytes() >= uncached.mem_bytes());
+}

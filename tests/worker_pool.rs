@@ -17,6 +17,7 @@ fn runtime(devices: usize, streams: usize) -> Runtime {
             threads_per_block: 32,
             host_threads: 1,
         },
+        sim_workers: 1,
     })
 }
 
